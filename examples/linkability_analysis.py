@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Privacy analysis: linkability via observational distinguishability.
+
+Runs the paper's linkability experiments — P2 (replayed
+authentication_request, Fig. 6), I6 (replayed security_mode_command) and
+the prior IMSI-paging attack — against all three implementations, and
+shows the CPV distinguishing test for each positive.
+"""
+
+from repro.testbed import run_attack
+
+EXPERIMENTS = (
+    ("P2", "linkability via replayed authentication_request (Fig. 6)"),
+    ("I6", "linkability via replayed security_mode_command"),
+    ("PRIOR-linkability-imsi-paging", "linkability via IMSI paging"),
+    ("PRIOR-linkability-auth-sync", "failure-message-type oracle"),
+    ("PRIOR-linkability-guti", "GUTI persistence across windows"),
+)
+
+IMPLEMENTATIONS = ("reference", "srsue", "oai")
+
+
+def main() -> None:
+    for attack_id, title in EXPERIMENTS:
+        print(f"=== {title} ===")
+        for implementation in IMPLEMENTATIONS:
+            result = run_attack(attack_id, implementation)
+            verdict = "LINKABLE" if result.succeeded else "unlinkable"
+            print(f"  {implementation:10s}: {verdict}")
+            if result.succeeded:
+                victim = result.details.get("victim")
+                bystander = result.details.get("bystander")
+                if victim is not None:
+                    print(f"{'':14s}victim responses:    {victim}")
+                    print(f"{'':14s}bystander responses: {bystander}")
+                else:
+                    print(f"{'':14s}{result.evidence}")
+        print()
+
+    print("The observational-equivalence engine behind these verdicts is "
+          "repro.cpv.equivalence:\ntwo response frames are distinguishable "
+          "when their message-type sequences differ,\nwhen a value-reuse "
+          "equality test separates them, or when a probe term is\n"
+          "derivable in only one world.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: analyse a 4G LTE implementation end-to-end.
+
+Runs the full ProChecker pipeline (Fig. 2) against the srsUE-like
+implementation: instrumented conformance testing, FSM extraction
+(Algorithm 1), and CEGAR verification of the 62-property catalog —
+then prints the per-property report and the detected attacks.
+
+    python examples/quickstart.py [reference|srsue|oai]
+"""
+
+import sys
+
+from repro import ProChecker
+
+
+def main() -> None:
+    implementation = sys.argv[1] if len(sys.argv) > 1 else "srsue"
+    print(f"=== ProChecker quickstart: analysing {implementation!r} ===\n")
+
+    checker = ProChecker(implementation)
+
+    # Stage 1+2: conformance run under instrumentation + extraction.
+    fsm = checker.extract()
+    print(f"Extracted FSM: {len(fsm.states)} states, "
+          f"{len(fsm.transitions)} transitions, "
+          f"{len(fsm.conditions)} conditions, "
+          f"{len(fsm.actions)} actions")
+    print("Sample transitions:")
+    for transition in sorted(fsm.transitions)[:6]:
+        print(f"  {transition.describe()}")
+    print()
+
+    # Stage 3-5: verify the full 62-property catalog.
+    report = checker.analyze()
+    print(report.format_table())
+
+    print("\nDetected attacks (Table I view):")
+    for attack in sorted(report.detected_attacks()):
+        print(f"  {attack}")
+
+
+if __name__ == "__main__":
+    main()

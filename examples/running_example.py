@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The paper's running example (Section V / Fig. 3).
+
+1. Instruments a C-like implementation of the attach-accept path with the
+   source-level instrumentor (the blue lines of Fig. 3).
+2. Feeds the resulting execution log — the trace of the test case "when a
+   properly formatted attach_accept with appropriate MAC is sent to the
+   UE, the UE responds with attach_complete" — to the model extractor.
+3. Prints the extracted transition: exactly the Fig. 3 reconstruction.
+"""
+
+from repro.extraction import SignatureTable, extract_model
+from repro.instrumentation import CLikeInstrumenter, parse_globals
+from repro.lte import constants as c
+
+HEADER = """\
+/* nas_state.h — global protocol state (Section IV-A insight #1) */
+int emm_state;
+int dl_count;
+"""
+
+SOURCE = """\
+void air_msg_handler(msg_t *msg) {
+    int msg_type = parse_type(msg);
+    if (msg_type == ATTACH_ACCEPT) {
+        recv_attach_accept(msg);
+    }
+}
+
+int recv_attach_accept(msg_t *msg) {
+    int mac_valid = check_mac(msg);
+    if (!mac_valid) {
+        return 0;
+    }
+    emm_state = UE_REGISTERED;
+    send_attach_complete();
+    return 1;
+}
+
+void send_attach_complete() {
+    build_and_send(ATTACH_COMPLETE);
+}
+"""
+
+#: What running the instrumented code under the test case prints —
+#: the information-rich log of Fig. 3(d).
+FIG3_LOG = """\
+ENTER air_msg_handler
+GLOBAL emm_state=UE_REGISTERED_INIT
+ENTER recv_attach_accept
+GLOBAL emm_state=UE_REGISTERED_INIT
+ENTER send_attach_complete
+GLOBAL emm_state=UE_REGISTERED
+EXIT send_attach_complete
+LOCAL mac_valid=1
+GLOBAL emm_state=UE_REGISTERED
+EXIT recv_attach_accept
+EXIT air_msg_handler
+"""
+
+
+def main() -> None:
+    print("=== Step 1: automatic source instrumentation (Fig. 3) ===\n")
+    instrumenter = CLikeInstrumenter(parse_globals(HEADER))
+    instrumented = instrumenter.instrument(SOURCE)
+    print(instrumented)
+
+    print("=== Step 2: the information-rich execution log ===\n")
+    print(FIG3_LOG)
+
+    print("=== Step 3: model extraction (Algorithm 1) ===\n")
+    table = SignatureTable(
+        state_signatures=("UE_REGISTERED_INIT", "UE_REGISTERED"),
+        state_variable="emm_state",
+        incoming_signatures={"recv_attach_accept": c.ATTACH_ACCEPT},
+        outgoing_signatures={"send_attach_complete": c.ATTACH_COMPLETE},
+        condition_variables=("mac_valid",),
+        initial_state="UE_REGISTERED_INIT",
+    )
+    fsm, stats = extract_model(FIG3_LOG, table, name="fig3")
+    print(f"log blocks: {stats.blocks}; extracted transitions:")
+    for transition in fsm.transitions:
+        print(f"  {transition.describe()}")
+    print("\nThe incoming state (UE_REGISTERED_INIT), the condition "
+          "(attach_accept with mac_valid=1), the action "
+          "(attach_complete)\nand the outgoing state (UE_REGISTERED) "
+          "were reconstructed purely from the log — no knowledge of the "
+          "source code.")
+
+
+if __name__ == "__main__":
+    main()

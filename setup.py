@@ -1,0 +1,23 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP
+517/660 editable installs (which must build a wheel) cannot work; keeping
+the project metadata here lets ``pip install -e .`` use the legacy
+setup.py-develop path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "ProChecker: automated security and privacy analysis of 4G LTE "
+        "protocol implementations (ICDCS 2021 reproduction)"
+    ),
+    author="ProChecker reproduction",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,40 @@
+"""ProChecker — automated security and privacy analysis of 4G LTE protocol
+implementations (reproduction of Karim, Hussain & Bertino, ICDCS 2021).
+
+Top-level API::
+
+    from repro import ProChecker
+    report = ProChecker("srsue").analyze()
+    print(report.format_table())
+
+Package map:
+
+- :mod:`repro.lte` — the 4G LTE NAS substrate (messages, security, SQN,
+  UE/MME implementations with the paper's per-stack deviations);
+- :mod:`repro.conformance` — functional conformance testing framework;
+- :mod:`repro.instrumentation` — C-like and runtime log instrumentors;
+- :mod:`repro.extraction` — the Algorithm 1 model extractor;
+- :mod:`repro.fsm` — protocol FSMs, refinement (RQ2), DOT serialisation;
+- :mod:`repro.threat` — Dolev-Yao model instrumentor (IMP^mu);
+- :mod:`repro.mc` — explicit-state LTL model checker (NuXmv stand-in);
+- :mod:`repro.cpv` — Dolev-Yao protocol verifier (ProVerif stand-in);
+- :mod:`repro.properties` — the 62-property catalog;
+- :mod:`repro.core` — the CEGAR loop and end-to-end pipeline;
+- :mod:`repro.testbed` — simulated SDR testbed + executable attacks;
+- :mod:`repro.baselines` — the LTEInspector models (RQ2/RQ3 baseline).
+"""
+
+from .core import (AnalysisReport, ProChecker, PropertyResult,
+                   analyze_implementation)
+from .fsm import FiniteStateMachine, Transition, check_refinement
+from .properties import ALL_PROPERTIES, catalog_summary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport", "ProChecker", "PropertyResult",
+    "analyze_implementation",
+    "FiniteStateMachine", "Transition", "check_refinement",
+    "ALL_PROPERTIES", "catalog_summary",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baselines from prior work: LTEInspector models (NDSS 2018) and a
+black-box active-automata-learning (L*) extractor for comparison."""
+
+from .lstar import (LStarLearner, LearningStats, LteUeSUL,
+                    MealyMachine, learn_ue_model)
+from .lteinspector import (SUBSTATE_MAP, lteinspector_mme, lteinspector_ue,
+                           MME_COMMON_PROC, MME_DEREGISTERED,
+                           MME_DEREG_INITIATED, MME_REGISTERED,
+                           UE_DEREGISTERED, UE_DEREG_INITIATED,
+                           UE_REGISTERED, UE_REGISTERED_INITIATED)
+
+__all__ = [
+    "LStarLearner", "LearningStats", "LteUeSUL", "MealyMachine",
+    "learn_ue_model",
+    "SUBSTATE_MAP", "lteinspector_mme", "lteinspector_ue",
+    "MME_COMMON_PROC", "MME_DEREGISTERED", "MME_DEREG_INITIATED",
+    "MME_REGISTERED", "UE_DEREGISTERED", "UE_DEREG_INITIATED",
+    "UE_REGISTERED", "UE_REGISTERED_INITIATED",
+]

@@ -1,0 +1,141 @@
+"""The LTEInspector baseline models (Hussain et al., NDSS 2018).
+
+The paper compares against — and borrows the core-network side from —
+LTEInspector's *manually constructed* NAS models: "we did not have access
+to the commercial/closed-sourced implementation of a core network and
+thus used the open-source core network's FSM manually constructed by
+Hussain et al.".
+
+These machines are deliberately coarse: four states per side, conditions
+are bare message names with no data predicates — which is exactly what
+the RQ2 refinement comparison measures ProChecker's extracted models
+against, and what the Fig. 8 scalability benchmark verifies the common
+properties on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..fsm import FiniteStateMachine, NULL_ACTION
+from ..lte import constants as c
+
+# LTEInspector state names (lower-case, per the original paper's figures).
+UE_DEREGISTERED = "ue_deregistered"
+UE_REGISTERED_INITIATED = "ue_registered_initiated"
+UE_REGISTERED = "ue_registered"
+UE_DEREG_INITIATED = "ue_dereg_initiated"
+
+MME_DEREGISTERED = "mme_deregistered"
+MME_COMMON_PROC = "mme_common_procedure_initiated"
+MME_REGISTERED = "mme_registered"
+MME_DEREG_INITIATED = "mme_dereg_initiated"
+
+#: Mapping of LTEInspector states onto the sub-states ProChecker extracts
+#: ("this mapping from states to sub-states is done following the
+#: standards"), used by the RQ2 refinement check.
+SUBSTATE_MAP: Dict[str, Tuple[str, ...]] = {
+    UE_DEREGISTERED: (c.EMM_DEREGISTERED,
+                      c.EMM_DEREGISTERED_ATTACH_NEEDED),
+    UE_REGISTERED_INITIATED: (
+        c.EMM_REGISTERED_INITIATED,
+        c.EMM_REGISTERED_INITIATED_AUTHENTICATED,
+        c.EMM_REGISTERED_INITIATED_SECURE),
+    UE_REGISTERED: (c.EMM_REGISTERED, c.EMM_REGISTERED_NORMAL_SERVICE,
+                    c.EMM_SERVICE_REQUEST_INITIATED,
+                    c.EMM_TRACKING_AREA_UPDATING_INITIATED),
+    UE_DEREG_INITIATED: (c.EMM_DEREGISTERED_INITIATED,),
+}
+
+
+def lteinspector_ue() -> FiniteStateMachine:
+    """The hand-built UE model LTE^mu (UE side)."""
+    fsm = FiniteStateMachine(name="LTEInspector_UE",
+                             initial_state=UE_DEREGISTERED)
+    add = fsm.add_transition
+    # Attach
+    add(UE_DEREGISTERED, UE_REGISTERED_INITIATED,
+        ("internal_power_on",), (c.ATTACH_REQUEST,))
+    add(UE_REGISTERED_INITIATED, UE_REGISTERED_INITIATED,
+        (c.IDENTITY_REQUEST,), (c.IDENTITY_RESPONSE,))
+    add(UE_REGISTERED_INITIATED, UE_REGISTERED_INITIATED,
+        (c.AUTHENTICATION_REQUEST,), (c.AUTHENTICATION_RESPONSE,))
+    # Fig. 7(i)'s example transition: SMC completes the secure setup.
+    add(UE_REGISTERED_INITIATED, UE_REGISTERED_INITIATED,
+        (c.SECURITY_MODE_COMMAND,), (c.SECURITY_MODE_COMPLETE,))
+    add(UE_REGISTERED_INITIATED, UE_REGISTERED,
+        (c.ATTACH_ACCEPT,), (c.ATTACH_COMPLETE,))
+    add(UE_REGISTERED_INITIATED, UE_DEREGISTERED,
+        (c.ATTACH_REJECT,), (NULL_ACTION,))
+    add(UE_REGISTERED_INITIATED, UE_DEREGISTERED,
+        (c.AUTHENTICATION_REJECT,), (NULL_ACTION,))
+    # Registered-state procedures
+    add(UE_REGISTERED, UE_REGISTERED,
+        (c.AUTHENTICATION_REQUEST,), (c.AUTHENTICATION_RESPONSE,))
+    add(UE_REGISTERED, UE_REGISTERED,
+        (c.GUTI_REALLOCATION_COMMAND,), (c.GUTI_REALLOCATION_COMPLETE,))
+    add(UE_REGISTERED, UE_REGISTERED,
+        (c.PAGING,), (c.SERVICE_REQUEST,))
+    add(UE_REGISTERED, UE_REGISTERED,
+        (c.TAU_ACCEPT,), (c.TAU_COMPLETE,))
+    add(UE_REGISTERED, UE_DEREGISTERED,
+        (c.TAU_REJECT,), (NULL_ACTION,))
+    add(UE_REGISTERED, UE_DEREGISTERED,
+        (c.SERVICE_REJECT,), (NULL_ACTION,))
+    add(UE_REGISTERED, UE_DEREGISTERED,
+        (c.DETACH_REQUEST,), (c.DETACH_ACCEPT,))
+    add(UE_REGISTERED, UE_DEREGISTERED,
+        (c.ATTACH_REJECT,), (NULL_ACTION,))
+    # Fig. 7(ii)'s example transition: UE-initiated detach.
+    add(UE_REGISTERED, UE_DEREG_INITIATED,
+        ("internal_detach",), (c.DETACH_REQUEST,))
+    add(UE_DEREG_INITIATED, UE_DEREGISTERED,
+        (c.DETACH_ACCEPT,), (NULL_ACTION,))
+    return fsm
+
+
+def lteinspector_mme() -> FiniteStateMachine:
+    """The hand-built core-network model (MME side).
+
+    This is the machine ProChecker pairs with every extracted UE model
+    ("we were interested in identifying vulnerabilities on the UE side").
+    """
+    fsm = FiniteStateMachine(name="LTEInspector_MME",
+                             initial_state=MME_DEREGISTERED)
+    add = fsm.add_transition
+    add(MME_DEREGISTERED, MME_COMMON_PROC,
+        (c.ATTACH_REQUEST,), (c.AUTHENTICATION_REQUEST,))
+    add(MME_COMMON_PROC, MME_COMMON_PROC,
+        (c.IDENTITY_RESPONSE,), (c.AUTHENTICATION_REQUEST,))
+    add(MME_COMMON_PROC, MME_COMMON_PROC,
+        (c.AUTHENTICATION_RESPONSE,), (c.SECURITY_MODE_COMMAND,))
+    add(MME_COMMON_PROC, MME_COMMON_PROC,
+        (c.AUTH_SYNC_FAILURE,), (c.AUTHENTICATION_REQUEST,))
+    add(MME_COMMON_PROC, MME_DEREGISTERED,
+        (c.AUTH_MAC_FAILURE,), (c.ATTACH_REJECT,))
+    add(MME_COMMON_PROC, MME_COMMON_PROC,
+        (c.SECURITY_MODE_COMPLETE,), (c.ATTACH_ACCEPT,))
+    add(MME_COMMON_PROC, MME_REGISTERED,
+        (c.ATTACH_COMPLETE,), (NULL_ACTION,))
+    # Registered-state procedures
+    add(MME_REGISTERED, MME_REGISTERED,
+        ("internal_guti_reallocation",), (c.GUTI_REALLOCATION_COMMAND,))
+    add(MME_REGISTERED, MME_REGISTERED,
+        (c.GUTI_REALLOCATION_COMPLETE,), (NULL_ACTION,))
+    add(MME_REGISTERED, MME_REGISTERED,
+        ("internal_paging",), (c.PAGING,))
+    add(MME_REGISTERED, MME_REGISTERED,
+        (c.SERVICE_REQUEST,), (NULL_ACTION,))
+    add(MME_REGISTERED, MME_REGISTERED,
+        (c.TAU_REQUEST,), (c.TAU_ACCEPT,))
+    add(MME_REGISTERED, MME_REGISTERED,
+        (c.TAU_COMPLETE,), (NULL_ACTION,))
+    add(MME_REGISTERED, MME_COMMON_PROC,
+        ("internal_reauthentication",), (c.AUTHENTICATION_REQUEST,))
+    add(MME_REGISTERED, MME_DEREGISTERED,
+        (c.DETACH_REQUEST,), (c.DETACH_ACCEPT,))
+    add(MME_REGISTERED, MME_DEREG_INITIATED,
+        ("internal_detach",), (c.DETACH_REQUEST,))
+    add(MME_DEREG_INITIATED, MME_DEREGISTERED,
+        (c.DETACH_ACCEPT,), (NULL_ACTION,))
+    return fsm

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the pipeline stages so each is scriptable on its own:
+
+- ``analyze <impl>``  — full pipeline, per-property report + attack list;
+- ``extract <impl>``  — conformance run + extraction; prints the FSM (or
+  writes the Graphviz-like model with ``--dot``);
+- ``verify <impl> <property-id>`` — one property through the CEGAR loop,
+  with the counterexample trace on violation;
+- ``attack <attack-id> <impl>`` — one testbed attack script end-to-end;
+- ``gaps <impl>``     — missing-stimulus report (candidate test cases the
+  suite does not exercise — the paper's "detecting missing test cases").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import ProChecker
+from .fsm import missing_stimuli, to_dot
+from .lte import constants as c
+from .lte.implementations import IMPLEMENTATION_NAMES
+from .properties import ALL_PROPERTIES, property_by_id
+from .testbed import registry, run_attack
+
+TRACE_COLUMNS = ("turn", "ue_state", "chan_dl", "chan_ul", "dl_sqn_rel",
+                 "dl_count_rel", "dl_mac_valid", "dl_plain", "dl_replayed",
+                 "dl_injected")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    report = ProChecker(args.implementation).analyze()
+    print(report.format_table())
+    print("\nDetected attacks:")
+    for attack in sorted(report.detected_attacks()):
+        print(f"  {attack}")
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    fsm = ProChecker(args.implementation).extract()
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(to_dot(fsm))
+        print(f"wrote {len(fsm.transitions)}-transition model to "
+              f"{args.dot}")
+        return 0
+    print(f"{fsm.name}: {len(fsm.states)} states, "
+          f"{len(fsm.transitions)} transitions")
+    for transition in sorted(fsm.transitions):
+        print(f"  {transition.describe()}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    try:
+        prop = property_by_id(args.property_id)
+    except KeyError:
+        print(f"unknown property {args.property_id!r}; known ids:",
+              file=sys.stderr)
+        for known in ALL_PROPERTIES:
+            print(f"  {known.identifier}: {known.description[:60]}",
+                  file=sys.stderr)
+        return 2
+    checker = ProChecker(args.implementation)
+    result = checker.verify_property(prop)
+    print(f"{prop.identifier} ({prop.category}): {prop.description}")
+    print(f"verdict: {result.verdict} "
+          f"({result.iterations} CEGAR iterations, "
+          f"{result.elapsed_seconds:.2f}s)")
+    if result.evidence:
+        print(f"evidence: {result.evidence}")
+    if result.counterexample is not None and not args.quiet:
+        print("\ncounterexample:")
+        print(result.counterexample.format(TRACE_COLUMNS))
+    return 0 if result.verdict == "verified" else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    if args.attack_id not in registry():
+        print(f"unknown attack {args.attack_id!r}; known:",
+              file=sys.stderr)
+        for known in sorted(registry()):
+            print(f"  {known}", file=sys.stderr)
+        return 2
+    result = run_attack(args.attack_id, args.implementation)
+    status = "SUCCEEDED" if result.succeeded else "failed"
+    print(f"{args.attack_id} on {args.implementation}: {status}")
+    print(f"evidence: {result.evidence}")
+    for key, value in result.details.items():
+        print(f"  {key}: {value}")
+    return 1 if result.succeeded else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Full analysis rendered as a disclosure-style findings document."""
+    from .core import build_dossier, render_markdown
+
+    report = ProChecker(args.implementation).analyze()
+    dossier = build_dossier(report,
+                            validate_on_testbed=not args.no_testbed)
+    text = render_markdown(dossier)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote findings for {len(dossier.findings)} attacks to "
+              f"{args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_smv(args: argparse.Namespace) -> int:
+    """Export the threat-instrumented model (+ property) as NuXmv input."""
+    from .baselines import lteinspector_mme
+    from .mc import parse_ltl, to_smv
+    from .properties import EXTRACTED_VOCAB
+    from .threat import ThreatInstrumentor
+
+    try:
+        prop = property_by_id(args.property_id)
+    except KeyError:
+        print(f"unknown property {args.property_id!r}", file=sys.stderr)
+        return 2
+    if prop.kind != "ltl":
+        print(f"{prop.identifier} is a testbed/CPV property; only LTL "
+              f"properties export to SMV", file=sys.stderr)
+        return 2
+    ue_model = ProChecker(args.implementation).extract()
+    model = ThreatInstrumentor(ue_model, lteinspector_mme(),
+                               prop.threat).build(prop.identifier)
+    formula = parse_ltl(prop.formula_for(EXTRACTED_VOCAB),
+                        model.variable_names)
+    text = to_smv(model, [(prop.identifier, formula)])
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_gaps(args: argparse.Namespace) -> int:
+    fsm = ProChecker(args.implementation).extract()
+    gaps = missing_stimuli(fsm, alphabet=set(c.DOWNLINK_MESSAGES))
+    print(f"{len(gaps)} (state, stimulus) pairs with no observed "
+          f"behaviour — candidate missing test cases:")
+    for gap in gaps[:args.limit]:
+        print(f"  {gap.suggested_test_case()}")
+    if len(gaps) > args.limit:
+        print(f"  ... and {len(gaps) - args.limit} more "
+              f"(raise --limit to see them)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ProChecker: security and privacy analysis of 4G LTE "
+                    "protocol implementations (ICDCS 2021 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="run the full 62-property pipeline")
+    analyze.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    extract = commands.add_parser(
+        "extract", help="extract the implementation FSM (Algorithm 1)")
+    extract.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    extract.add_argument("--dot", metavar="FILE",
+                         help="write the Graphviz-like model to FILE")
+    extract.set_defaults(handler=_cmd_extract)
+
+    verify = commands.add_parser(
+        "verify", help="verify one property through the CEGAR loop")
+    verify.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    verify.add_argument("property_id", metavar="PROPERTY",
+                        help="e.g. SEC-01 or PRIV-08")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress the counterexample trace")
+    verify.set_defaults(handler=_cmd_verify)
+
+    attack = commands.add_parser(
+        "attack", help="run one testbed attack script")
+    attack.add_argument("attack_id", metavar="ATTACK",
+                        help="e.g. P1, I3 or PRIOR-numb")
+    attack.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    attack.set_defaults(handler=_cmd_attack)
+
+    report = commands.add_parser(
+        "report", help="write a findings dossier (markdown)")
+    report.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    report.add_argument("-o", "--output", metavar="FILE")
+    report.add_argument("--no-testbed", action="store_true",
+                        help="skip end-to-end testbed validation")
+    report.set_defaults(handler=_cmd_report)
+
+    smv = commands.add_parser(
+        "smv", help="export the threat model as NuXmv input")
+    smv.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    smv.add_argument("property_id", metavar="PROPERTY")
+    smv.add_argument("-o", "--output", metavar="FILE")
+    smv.set_defaults(handler=_cmd_smv)
+
+    gaps = commands.add_parser(
+        "gaps", help="suggest missing conformance test cases")
+    gaps.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    gaps.add_argument("--limit", type=int, default=15)
+    gaps.set_defaults(handler=_cmd_gaps)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Functional conformance testing framework (the extraction workload).
+
+- :mod:`repro.conformance.testcase` — the test-case DSL and execution
+  context with network-side probe powers;
+- :mod:`repro.conformance.suite` — the standard suite, the paper's
+  additional open-source cases, and the scaling generator;
+- :mod:`repro.conformance.runner` — instrumented suite execution;
+- :mod:`repro.conformance.coverage` — NAS handler coverage measurement.
+"""
+
+from .testcase import ConformanceError, TestCase, TestContext
+from .suite import (additional_cases, full_suite, generated_suite,
+                    standard_suite)
+from .runner import (CaseOutcome, ConformanceRunner, SuiteResult,
+                     run_conformance)
+from .coverage import (CoverageReport, coverage_gain, handler_universe,
+                       measure_coverage)
+
+__all__ = [
+    "ConformanceError", "TestCase", "TestContext",
+    "additional_cases", "full_suite", "generated_suite", "standard_suite",
+    "CaseOutcome", "ConformanceRunner", "SuiteResult", "run_conformance",
+    "CoverageReport", "coverage_gain", "handler_universe",
+    "measure_coverage",
+]

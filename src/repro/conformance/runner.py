@@ -1,0 +1,107 @@
+"""Conformance suite runner with optional instrumentation.
+
+Executes each test case against a fresh :class:`TestContext` for the
+chosen implementation.  With ``instrument=True`` (the ProChecker mode) the
+whole run happens under the runtime instrumentor, producing one
+information-rich log for the model extractor; each case is bracketed with
+a TESTCASE marker for coverage accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..instrumentation.logfmt import LogWriter
+from ..instrumentation.runtime import RuntimeInstrumenter, TraceTargets
+from ..lte.implementations import REGISTRY
+from .testcase import TestCase, TestContext
+
+
+@dataclass
+class CaseOutcome:
+    """Execution record for one test case."""
+
+    identifier: str
+    procedure: str
+    ok: bool
+    error: str = ""
+    notes: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class SuiteResult:
+    """Result of one full conformance run."""
+
+    implementation: str
+    outcomes: List[CaseOutcome] = field(default_factory=list)
+    log_text: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> List[CaseOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def log_lines(self) -> int:
+        return self.log_text.count("\n")
+
+
+class ConformanceRunner:
+    """Runs a suite of test cases against one implementation."""
+
+    def __init__(self, implementation: str):
+        if implementation not in REGISTRY:
+            raise ValueError(f"unknown implementation {implementation!r}")
+        self.implementation = implementation
+        self.ue_class = REGISTRY[implementation]
+
+    def _make_context(self, index: int) -> TestContext:
+        msin = str(index + 1).zfill(9)
+        return TestContext(self.ue_class, msin=msin)
+
+    def run(self, cases: Sequence[TestCase],
+            instrument: bool = True) -> SuiteResult:
+        """Execute ``cases``; returns outcomes plus the combined log."""
+        result = SuiteResult(self.implementation)
+        writer = LogWriter()
+        targets = TraceTargets.for_implementation(self.ue_class)
+        started = time.perf_counter()
+
+        def execute_all() -> None:
+            for index, case in enumerate(cases):
+                if instrument:
+                    writer.testcase(case.identifier)
+                context = self._make_context(index)
+                case_started = time.perf_counter()
+                outcome = CaseOutcome(case.identifier, case.procedure,
+                                      ok=True)
+                try:
+                    case.run(context)
+                except Exception as exc:  # noqa: BLE001 - verdict, not crash
+                    outcome.ok = False
+                    outcome.error = f"{type(exc).__name__}: {exc}"
+                outcome.notes = list(context.notes)
+                outcome.elapsed_seconds = time.perf_counter() - case_started
+                result.outcomes.append(outcome)
+
+        if instrument:
+            with RuntimeInstrumenter(writer, targets):
+                execute_all()
+        else:
+            execute_all()
+
+        result.log_text = writer.getvalue()
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+
+def run_conformance(implementation: str, cases: Sequence[TestCase],
+                    instrument: bool = True) -> SuiteResult:
+    """Convenience wrapper used by the pipeline and the benchmarks."""
+    return ConformanceRunner(implementation).run(cases, instrument)

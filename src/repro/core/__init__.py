@@ -1,0 +1,18 @@
+"""ProChecker's core: the CEGAR loop and the end-to-end pipeline."""
+
+from .cegar import (CegarResult, CounterexampleValidator, StepVerdict,
+                    check_with_cegar, harvestable_messages, message_term)
+from .report import (AnalysisReport, PropertyResult, VERDICT_NOT_APPLICABLE,
+                     VERDICT_VERIFIED, VERDICT_VIOLATED)
+from .prochecker import ProChecker, ProCheckerError, analyze_implementation
+from .dossier import (AttackFinding, Dossier, build_dossier,
+                      render_markdown)
+
+__all__ = [
+    "CegarResult", "CounterexampleValidator", "StepVerdict",
+    "check_with_cegar", "harvestable_messages", "message_term",
+    "AnalysisReport", "PropertyResult", "VERDICT_NOT_APPLICABLE",
+    "VERDICT_VERIFIED", "VERDICT_VIOLATED",
+    "ProChecker", "ProCheckerError", "analyze_implementation",
+    "AttackFinding", "Dossier", "build_dossier", "render_markdown",
+]

@@ -1,0 +1,252 @@
+"""The CEGAR verification loop: MC counterexamples validated by the CPV.
+
+Section IV-B: the threat-instrumented model is checked by the symbolic
+model checker; a counterexample's adversarial steps are handed to the
+cryptographic protocol verifier; if some step is infeasible under the
+Dolev-Yao assumptions, the abstraction is refined so "the adversary does
+not exercise the offending action in the future iterations", and the
+check reruns — until the property verifies or a realizable counterexample
+is found.
+
+The CPV bridge maps model-level adversary commands onto DY questions:
+
+- ``adv_drop_* / adv_pass_*`` — always feasible (channel control);
+- ``adv_replay_dl_<m>`` — feasible per the message's replay scope: plain
+  messages always; ``authentication_request`` (AUTN under the permanent
+  key) if *harvestable* — derivable by driving the core network with
+  adversary-constructible messages, computed by searching the MME model
+  (the P1 capture phase as a reachability query); session-protected
+  messages only if the network genuinely sent them earlier in the trace;
+- ``adv_inject_dl_<m>`` — feasible iff the injected term is synthesisable
+  from adversary knowledge: plaintext always, a message claiming a valid
+  MAC only if the MAC key is derivable (it is not), so forged-MAC
+  injections are refuted and refined away;
+- ``adv_inject_ul_<m>`` — feasible only for plaintext uplink messages.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..cpv.deduction import Knowledge
+from ..cpv.terms import Mac, Pair, Term, const, secret_key
+from ..fsm import FiniteStateMachine, NULL_ACTION
+from ..lte import constants as c
+from ..mc import CheckResult, Trace, check_ltl, parse_ltl
+from ..threat import Refinement, ThreatConfig, ThreatInstrumentor
+
+#: Uplink messages an adversary can fabricate from public data.
+CONSTRUCTIBLE_UPLINK = frozenset({
+    c.ATTACH_REQUEST, c.IDENTITY_RESPONSE, c.AUTH_SYNC_FAILURE,
+    c.AUTH_MAC_FAILURE, c.DETACH_REQUEST, c.TAU_REQUEST,
+})
+
+_K_NAS = secret_key("k_nas_int")
+_K_SUBSCRIBER = secret_key("k_subscriber")
+
+
+def message_term(name: str, forged_mac: bool = False) -> Term:
+    """The DY term an adversary must synthesise to inject ``name``.
+
+    ``forged_mac=True`` models an injection claiming integrity validity:
+    the term then contains a MAC under the (secret) session or permanent
+    key, which the synthesis check will reject.
+    """
+    body = const(name)
+    if not forged_mac:
+        return body
+    key = _K_SUBSCRIBER if name == c.AUTHENTICATION_REQUEST else _K_NAS
+    return Pair(body, Mac(body, key))
+
+
+def harvestable_messages(mme_fsm: FiniteStateMachine) -> Set[str]:
+    """Messages the adversary can make the core network emit.
+
+    Reachability over the MME model restricted to adversary-constructible
+    stimuli — formalising the P1 capture phase: an ``attach_request``
+    claiming any IMSI makes the network mint a genuine (MAC-valid)
+    ``authentication_request``.
+    """
+    reachable = {mme_fsm.initial_state}
+    harvested: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for transition in mme_fsm.transitions:
+            if transition.source not in reachable:
+                continue
+            trigger = transition.trigger
+            # Only stimuli the adversary can fabricate count: the message
+            # *name* is public, but authenticated uplink messages (e.g.
+            # authentication_response, which embeds RES under K) are not
+            # synthesisable.
+            if not trigger.startswith("internal_") \
+                    and trigger not in CONSTRUCTIBLE_UPLINK:
+                continue
+            if transition.target not in reachable:
+                reachable.add(transition.target)
+                changed = True
+            for action in transition.actions:
+                if action != NULL_ACTION and action not in harvested:
+                    harvested.add(action)
+                    changed = True
+    return harvested
+
+
+@dataclass
+class StepVerdict:
+    """CPV feasibility verdict for one adversarial counterexample step."""
+
+    label: str
+    feasible: bool
+    reason: str
+    refinement: Optional[Refinement] = None
+
+
+@dataclass
+class CegarResult:
+    """Outcome of the full CEGAR loop for one property."""
+
+    property_name: str
+    verified: bool
+    attack: Optional[Trace] = None
+    iterations: int = 0
+    refinements: List[Refinement] = field(default_factory=list)
+    step_verdicts: List[StepVerdict] = field(default_factory=list)
+    states_explored: int = 0
+    elapsed_seconds: float = 0.0
+    mc_results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def is_attack(self) -> bool:
+        return not self.verified and self.attack is not None
+
+
+class CounterexampleValidator:
+    """The CPV side of the loop: per-step feasibility (Section IV-B)."""
+
+    def __init__(self, mme_fsm: FiniteStateMachine):
+        self.harvestable = harvestable_messages(mme_fsm)
+
+    def validate(self, trace: Trace) -> List[StepVerdict]:
+        verdicts: List[StepVerdict] = []
+        honest_sent: Set[str] = set()
+        knowledge = Knowledge({const(m) for m in CONSTRUCTIBLE_UPLINK})
+        for step in trace.steps:
+            label = step.label
+            if label.startswith(("mme_t", "ue_t")):
+                # Honest transmission: the adversary observes it.
+                message = step.state.get("chan_dl") \
+                    if label.startswith("mme_t") else \
+                    step.state.get("chan_ul")
+                if isinstance(message, str) and message != "none":
+                    honest_sent.add(message)
+                    knowledge.observe(const(message))
+                continue
+            if not label.startswith("adv_"):
+                continue
+            verdicts.append(self._judge(label, step.state, honest_sent,
+                                        knowledge))
+        return verdicts
+
+    def _judge(self, label: str, state: Dict, honest_sent: Set[str],
+               knowledge: Knowledge) -> StepVerdict:
+        if label.startswith(("adv_pass", "adv_drop")):
+            return StepVerdict(label, True, "channel control suffices")
+        if label.startswith("adv_replay_dl_"):
+            message = label[len("adv_replay_dl_"):]
+            scope = c.REPLAY_SCOPE.get(message, "session")
+            if scope == "plain":
+                return StepVerdict(label, True,
+                                   "plaintext message; replay trivial")
+            if scope == "global":
+                if message in self.harvestable or message in honest_sent:
+                    return StepVerdict(
+                        label, True,
+                        "verifiable across sessions (AUTN under the "
+                        "permanent key); harvestable via the capture "
+                        "phase")
+                return StepVerdict(
+                    label, False, "message never obtainable",
+                    Refinement("no_replay", message))
+            if message in honest_sent:
+                return StepVerdict(
+                    label, True,
+                    "captured in-session; MAC still verifies under the "
+                    "current NAS context")
+            return StepVerdict(
+                label, False,
+                "session-protected message never observed in this "
+                "security context; replay requires a prior capture",
+                Refinement("replay_needs_capture", message))
+        if label.startswith("adv_inject_dl_"):
+            message = label[len("adv_inject_dl_"):]
+            claims_mac = state.get("dl_mac_valid") == 1 \
+                and state.get("dl_plain") != 1
+            term = message_term(message, forged_mac=claims_mac)
+            if knowledge.can_construct(term):
+                return StepVerdict(label, True,
+                                   "term synthesisable from knowledge")
+            return StepVerdict(
+                label, False,
+                "MAC key underivable: the forged message cannot be "
+                "constructed",
+                Refinement("no_forge", message))
+        if label.startswith("adv_inject_ul_"):
+            message = label[len("adv_inject_ul_"):]
+            if message in CONSTRUCTIBLE_UPLINK:
+                return StepVerdict(label, True,
+                                   "plaintext uplink message constructible")
+            return StepVerdict(
+                label, False,
+                "protected uplink message cannot be constructed",
+                Refinement("no_inject_ul", message))
+        return StepVerdict(label, True, "no adversarial content")
+
+
+def check_with_cegar(
+    ue_fsm: FiniteStateMachine,
+    mme_fsm: FiniteStateMachine,
+    formula_text: str,
+    config: ThreatConfig,
+    name: str = "property",
+    max_iterations: int = 8,
+) -> CegarResult:
+    """Run the full MC↔CPV loop for one LTL property."""
+    started = time.perf_counter()
+    result = CegarResult(property_name=name, verified=False)
+    validator = CounterexampleValidator(mme_fsm)
+    current_config = config
+
+    while result.iterations < max_iterations:
+        result.iterations += 1
+        model = ThreatInstrumentor(ue_fsm, mme_fsm,
+                                   current_config).build(name)
+        formula = parse_ltl(formula_text, model.variable_names)
+        mc_result = check_ltl(model, formula, name)
+        result.mc_results.append(mc_result)
+        result.states_explored = max(result.states_explored,
+                                     mc_result.states_explored)
+        if mc_result.holds:
+            result.verified = True
+            break
+        verdicts = validator.validate(mc_result.counterexample)
+        result.step_verdicts = verdicts
+        infeasible = [v for v in verdicts if not v.feasible]
+        if not infeasible:
+            # Every adversarial step is realizable: a genuine attack.
+            result.attack = mc_result.counterexample
+            break
+        refinement = infeasible[0].refinement
+        if refinement is None or refinement in current_config.refinements:
+            # Cannot refine further; report the counterexample as-is but
+            # flag it unvalidated.
+            result.attack = mc_result.counterexample
+            break
+        result.refinements.append(refinement)
+        current_config = current_config.refined(refinement)
+
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

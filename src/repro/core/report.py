@@ -1,0 +1,101 @@
+"""Analysis reports: per-property verdicts and the Table I detection view."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..mc import Trace
+from ..properties.spec import Property
+
+VERDICT_VERIFIED = "verified"
+VERDICT_VIOLATED = "violated"
+VERDICT_NOT_APPLICABLE = "not-applicable"
+
+
+@dataclass
+class PropertyResult:
+    """Outcome of verifying one property against one implementation."""
+
+    property: Property
+    verdict: str
+    counterexample: Optional[Trace] = None
+    evidence: str = ""
+    iterations: int = 0
+    refinements: int = 0
+    states_explored: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def violated(self) -> bool:
+        return self.verdict == VERDICT_VIOLATED
+
+    def summary(self) -> str:
+        extra = ""
+        if self.iterations > 1:
+            extra = f" ({self.iterations} CEGAR iterations)"
+        return (f"{self.property.identifier}: {self.verdict}{extra} "
+                f"[{self.elapsed_seconds:.2f}s]")
+
+
+@dataclass
+class AnalysisReport:
+    """The full ProChecker run for one implementation."""
+
+    implementation: str
+    fsm_summary: Dict[str, int] = field(default_factory=dict)
+    extraction_seconds: float = 0.0
+    coverage_percent: float = 0.0
+    conformance_cases: int = 0
+    log_lines: int = 0
+    results: List[PropertyResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def violated(self) -> List[PropertyResult]:
+        return [r for r in self.results if r.violated]
+
+    def verified(self) -> List[PropertyResult]:
+        return [r for r in self.results
+                if r.verdict == VERDICT_VERIFIED]
+
+    def detected_attacks(self) -> Set[str]:
+        """Table I view: attack ids whose property was violated."""
+        return {r.property.attack_id for r in self.violated()
+                if r.property.attack_id}
+
+    def result_for(self, property_id: str) -> PropertyResult:
+        for result in self.results:
+            if result.property.identifier == property_id:
+                return result
+        raise KeyError(property_id)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "properties": len(self.results),
+            "verified": len(self.verified()),
+            "violated": len(self.violated()),
+            "attacks": len(self.detected_attacks()),
+        }
+
+    def format_table(self) -> str:
+        """Human-readable per-property table (for examples/CLI output)."""
+        lines = [f"ProChecker analysis of {self.implementation!r}: "
+                 f"{self.fsm_summary.get('states', '?')} states, "
+                 f"{self.fsm_summary.get('transitions', '?')} transitions, "
+                 f"coverage {self.coverage_percent:.1f}%"]
+        lines.append(f"{'property':<10} {'category':<9} {'verdict':<10} "
+                     f"{'attack':<28} time")
+        for result in self.results:
+            lines.append(
+                f"{result.property.identifier:<10} "
+                f"{result.property.category:<9} "
+                f"{result.verdict:<10} "
+                f"{(result.property.attack_id or '-'):<28} "
+                f"{result.elapsed_seconds:.2f}s")
+        counts = self.counts()
+        lines.append(
+            f"total: {counts['properties']} properties, "
+            f"{counts['verified']} verified, {counts['violated']} violated, "
+            f"{counts['attacks']} distinct attacks")
+        return "\n".join(lines)

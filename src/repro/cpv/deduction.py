@@ -1,0 +1,132 @@
+"""Dolev-Yao deduction: what can the adversary derive?
+
+The adversary (Section III-A threat model) controls the public channels:
+it records every transmitted term and may construct new terms from its
+knowledge, but "adheres to cryptographic assumptions, i.e., it can decrypt
+a packet only if it has the keys".
+
+:func:`saturate` computes the analysis closure of a knowledge set
+(projecting pairs, decrypting when the key is derivable) and
+:func:`can_derive` then answers synthesis queries recursively (build a
+pair/encryption/MAC from derivable parts).  The two-phase decomposition/
+composition algorithm is the standard decision procedure for the DY
+intruder with this constructor set and is sound and complete for ground
+terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Set
+
+from .terms import Atom, Hash, KDF, Mac, Pair, SEnc, Term
+
+
+def saturate(knowledge: Iterable[Term]) -> Set[Term]:
+    """Analysis closure: decompose everything decomposable.
+
+    Pairs always split.  ``SEnc(p, k)`` yields ``p`` only once ``k`` is
+    derivable from the current closure (fixpoint iteration handles keys
+    that themselves come out of decrypted payloads).  MACs, hashes and
+    KDFs are one-way and never decompose.
+    """
+    closure: Set[Term] = set(knowledge)
+    changed = True
+    while changed:
+        changed = False
+        for term in list(closure):
+            if isinstance(term, Pair):
+                for part in (term.left, term.right):
+                    if part not in closure:
+                        closure.add(part)
+                        changed = True
+            elif isinstance(term, SEnc):
+                if (term.plaintext not in closure
+                        and _synthesize(term.key, closure, set())):
+                    closure.add(term.plaintext)
+                    changed = True
+    return closure
+
+
+def _synthesize(goal: Term, closure: Set[Term],
+                pending: Set[Term]) -> bool:
+    """Can ``goal`` be composed from the (already saturated) closure?"""
+    if goal in closure:
+        return True
+    if goal in pending:  # cycle guard (cannot build a term from itself)
+        return False
+    pending = pending | {goal}
+    if isinstance(goal, Atom):
+        return goal.public
+    if isinstance(goal, Pair):
+        return (_synthesize(goal.left, closure, pending)
+                and _synthesize(goal.right, closure, pending))
+    if isinstance(goal, SEnc):
+        return (_synthesize(goal.plaintext, closure, pending)
+                and _synthesize(goal.key, closure, pending))
+    if isinstance(goal, Mac):
+        return (_synthesize(goal.message, closure, pending)
+                and _synthesize(goal.key, closure, pending))
+    if isinstance(goal, Hash):
+        return _synthesize(goal.body, closure, pending)
+    if isinstance(goal, KDF):
+        return (_synthesize(goal.base_key, closure, pending)
+                and _synthesize(goal.context, closure, pending))
+    return False
+
+
+def can_derive(knowledge: Iterable[Term], goal: Term) -> bool:
+    """Full DY derivability: analysis closure then goal-directed synthesis."""
+    return _synthesize(goal, saturate(knowledge), set())
+
+
+@dataclass
+class Knowledge:
+    """The adversary's evolving knowledge along a protocol trace.
+
+    Incremental wrapper over :func:`saturate`/:func:`can_derive` used by
+    the CEGAR feasibility checks: every message the model sends over a
+    public channel is :meth:`observe`-d, and each adversarial injection in
+    a counterexample becomes a :meth:`can_construct` query.
+    """
+
+    initial: Set[Term] = field(default_factory=set)
+
+    def __post_init__(self):
+        self._raw: Set[Term] = set(self.initial)
+        self._closure: Optional[Set[Term]] = None
+
+    def observe(self, term: Term) -> None:
+        """Record a term transmitted on a public channel."""
+        self._raw.add(term)
+        self._closure = None
+
+    def observe_all(self, terms: Iterable[Term]) -> None:
+        for term in terms:
+            self.observe(term)
+
+    @property
+    def closure(self) -> Set[Term]:
+        if self._closure is None:
+            self._closure = saturate(self._raw)
+        return self._closure
+
+    def can_construct(self, goal: Term) -> bool:
+        return _synthesize(goal, self.closure, set())
+
+    def knows_atom(self, atom: Atom) -> bool:
+        """Secrecy check: has the raw secret leaked?"""
+        return atom.public or atom in self.closure
+
+    def observed(self) -> FrozenSet[Term]:
+        return frozenset(self._raw)
+
+    def copy(self) -> "Knowledge":
+        duplicate = Knowledge(set(self._raw))
+        return duplicate
+
+    def __contains__(self, term: Term) -> bool:
+        return self.can_construct(term)
+
+    def __len__(self) -> int:
+        return len(self._raw)

@@ -1,0 +1,101 @@
+"""Protocol traces and events for the verifier's queries.
+
+A :class:`ProtocolTrace` is a linear record of what happened on the public
+channels: sends, receives, and *claim events* (e.g. "UE completed
+authentication with nonce N") used by correspondence queries.  The CEGAR
+bridge replays model-checker counterexamples into traces of this form, and
+the query layer (:mod:`repro.cpv.queries`) interrogates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from .deduction import Knowledge
+from .terms import Term
+
+EVENT_SEND = "send"
+EVENT_RECV = "recv"
+EVENT_CLAIM = "claim"
+_EVENT_KINDS = (EVENT_SEND, EVENT_RECV, EVENT_CLAIM)
+
+
+class ProtocolError(Exception):
+    """Raised for malformed protocol traces."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One trace entry.
+
+    ``label`` names the protocol step (e.g. ``authentication_request``);
+    ``principal`` is the acting party (``ue``, ``mme``, ``adversary``);
+    ``term`` is the message (or claim payload) as a DY term.
+    """
+
+    kind: str
+    principal: str
+    label: str
+    term: Optional[Term] = None
+
+    def __post_init__(self):
+        if self.kind not in _EVENT_KINDS:
+            raise ProtocolError(f"unknown event kind {self.kind!r}")
+        if self.kind in (EVENT_SEND, EVENT_RECV) and self.term is None:
+            raise ProtocolError(f"{self.kind} event requires a term")
+
+
+@dataclass
+class ProtocolTrace:
+    """A linear protocol execution as seen on the public channels."""
+
+    events: List[Event] = field(default_factory=list)
+
+    def send(self, principal: str, label: str, term: Term) -> Event:
+        event = Event(EVENT_SEND, principal, label, term)
+        self.events.append(event)
+        return event
+
+    def recv(self, principal: str, label: str, term: Term) -> Event:
+        event = Event(EVENT_RECV, principal, label, term)
+        self.events.append(event)
+        return event
+
+    def claim(self, principal: str, label: str,
+              term: Optional[Term] = None) -> Event:
+        event = Event(EVENT_CLAIM, principal, label, term)
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def adversary_knowledge(self, initial: Sequence[Term] = ()) -> Knowledge:
+        """Everything the adversary saw on the channel up to trace end."""
+        knowledge = Knowledge(set(initial))
+        for event in self.events:
+            if event.kind == EVENT_SEND and event.term is not None:
+                knowledge.observe(event.term)
+        return knowledge
+
+    def knowledge_before(self, index: int,
+                         initial: Sequence[Term] = ()) -> Knowledge:
+        """Adversary knowledge strictly before ``events[index]``."""
+        knowledge = Knowledge(set(initial))
+        for event in self.events[:index]:
+            if event.kind == EVENT_SEND and event.term is not None:
+                knowledge.observe(event.term)
+        return knowledge
+
+    def find(self, predicate: Callable[[Event], bool]) -> Iterator[int]:
+        for index, event in enumerate(self.events):
+            if predicate(event):
+                yield index
+
+    def labels(self) -> List[str]:
+        return [event.label for event in self.events]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

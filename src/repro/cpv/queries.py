@@ -1,0 +1,172 @@
+"""Verifier queries: secrecy, correspondence and adversarial feasibility.
+
+These are the three query shapes ProChecker poses to the CPV:
+
+- **Secrecy** (``query attacker(x)`` in ProVerif): after the trace, can the
+  adversary derive a secret term?  Used by the privacy properties (IMSI
+  leakage, key secrecy).
+- **Correspondence** (``event(e2) ==> event(e1)``): every occurrence of a
+  claim event is preceded by its matching cause.  Used by authenticity
+  properties.
+- **Feasibility** — the CEGAR question: *"for each adversary action in the
+  model checker's counterexample, is the action cryptographically
+  feasible?"* (Section IV-B).  Dropping is always feasible; replaying
+  needs the exact term to have been observed; injecting/modifying needs
+  the adversary to synthesise the term from its knowledge at that point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .deduction import Knowledge
+from .protocol import EVENT_CLAIM, ProtocolTrace
+from .terms import Term
+
+#: Adversary action verbs recognised by the feasibility check.
+ACTION_DROP = "drop"
+ACTION_PASS = "pass"
+ACTION_REPLAY = "replay"
+ACTION_INJECT = "inject"
+ACTION_MODIFY = "modify"
+ACTION_SNIFF = "sniff"
+
+
+@dataclass
+class QueryResult:
+    """Outcome of any CPV query."""
+
+    query: str
+    satisfied: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+def check_secrecy(trace: ProtocolTrace, secret: Term,
+                  initial_knowledge: Sequence[Term] = ()) -> QueryResult:
+    """Does the secret stay out of the adversary's derivable knowledge?"""
+    knowledge = trace.adversary_knowledge(initial_knowledge)
+    leaked = knowledge.can_construct(secret)
+    return QueryResult(
+        query=f"secrecy({secret})",
+        satisfied=not leaked,
+        reason="adversary derives the term" if leaked
+        else "term underivable from observed traffic",
+    )
+
+
+def check_correspondence(trace: ProtocolTrace, consequent_label: str,
+                         antecedent_label: str,
+                         injective: bool = False) -> QueryResult:
+    """``event(consequent) ==> event(antecedent)`` over the trace.
+
+    With ``injective=True`` each consequent needs its *own* earlier
+    antecedent (no reuse) — the stock formulation of replay freedom.
+    """
+    used: List[int] = []
+    for index, event in enumerate(trace.events):
+        if event.label != consequent_label or event.kind != EVENT_CLAIM:
+            continue
+        candidates = [
+            i for i in range(index)
+            if trace.events[i].label == antecedent_label
+            and (not injective or i not in used)
+            and (event.term is None or trace.events[i].term == event.term)
+        ]
+        if not candidates:
+            kind = "injective " if injective else ""
+            return QueryResult(
+                query=f"{consequent_label} ==> {antecedent_label}",
+                satisfied=False,
+                reason=f"{kind}correspondence broken at event {index}",
+            )
+        used.append(candidates[-1])
+    return QueryResult(
+        query=f"{consequent_label} ==> {antecedent_label}",
+        satisfied=True,
+        reason="every claim has a preceding matching cause",
+    )
+
+
+@dataclass
+class AdversaryAction:
+    """One adversarial step lifted from a model-checker counterexample."""
+
+    verb: str
+    message_label: str
+    term: Optional[Term] = None
+
+    def describe(self) -> str:
+        return f"{self.verb}({self.message_label})"
+
+
+@dataclass
+class FeasibilityVerdict:
+    """Per-action feasibility decisions for one counterexample."""
+
+    actions: List[AdversaryAction] = field(default_factory=list)
+    verdicts: List[QueryResult] = field(default_factory=list)
+
+    @property
+    def all_feasible(self) -> bool:
+        return all(v.satisfied for v in self.verdicts)
+
+    def first_infeasible(self) -> Optional[AdversaryAction]:
+        for action, verdict in zip(self.actions, self.verdicts):
+            if not verdict.satisfied:
+                return action
+        return None
+
+
+def check_action_feasible(action: AdversaryAction,
+                          knowledge: Knowledge) -> QueryResult:
+    """Is a single adversary action consistent with the DY assumptions?"""
+    query = f"feasible({action.describe()})"
+    if action.verb in (ACTION_DROP, ACTION_PASS, ACTION_SNIFF):
+        return QueryResult(query, True, "channel control suffices")
+    if action.verb == ACTION_REPLAY:
+        if action.term is None:
+            return QueryResult(query, False, "nothing captured to replay")
+        if action.term in knowledge.observed():
+            return QueryResult(query, True, "term previously captured")
+        return QueryResult(query, False, "term never observed on channel")
+    if action.verb in (ACTION_INJECT, ACTION_MODIFY):
+        if action.term is None:
+            return QueryResult(query, False, "no target term")
+        if knowledge.can_construct(action.term):
+            return QueryResult(query, True,
+                               "term synthesisable from knowledge")
+        return QueryResult(
+            query, False,
+            "term requires keys/nonces the adversary cannot derive")
+    return QueryResult(query, False, f"unknown verb {action.verb!r}")
+
+
+def check_counterexample_feasibility(
+    actions: Sequence[AdversaryAction],
+    trace: ProtocolTrace,
+    initial_knowledge: Sequence[Term] = (),
+) -> FeasibilityVerdict:
+    """Validate every adversarial step of a counterexample (CEGAR step 4).
+
+    ``trace`` must interleave the honest sends with the adversary actions;
+    each action is judged against the knowledge accumulated *before* it.
+    The trace convention: adversary actions appear as claim events labelled
+    ``adv:<verb>:<message>`` emitted by the CEGAR bridge, so knowledge is
+    cut at each such marker.
+    """
+    verdict = FeasibilityVerdict()
+    markers = [i for i, e in enumerate(trace.events)
+               if e.kind == EVENT_CLAIM and e.label.startswith("adv:")]
+    for position, action in enumerate(actions):
+        if position < len(markers):
+            knowledge = trace.knowledge_before(markers[position],
+                                               initial_knowledge)
+        else:
+            knowledge = trace.adversary_knowledge(initial_knowledge)
+        verdict.actions.append(action)
+        verdict.verdicts.append(check_action_feasible(action, knowledge))
+    return verdict

@@ -1,0 +1,186 @@
+"""Symbolic term algebra for the Dolev-Yao protocol verifier.
+
+This is the data layer of our ProVerif stand-in: protocol messages are
+ground terms built from atoms (keys, nonces, identities, constants) with
+the usual cryptographic constructors — pairing, symmetric encryption,
+message authentication codes and hashing.  The adversary's reasoning over
+these terms lives in :mod:`repro.cpv.deduction`.
+
+Terms are immutable and hashable so knowledge sets are plain ``set``s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Set, Tuple
+
+#: Atom kinds; ``public`` atoms are assumed derivable by everyone.
+KIND_KEY = "key"
+KIND_NONCE = "nonce"
+KIND_IDENTITY = "identity"
+KIND_CONST = "const"
+KIND_DATA = "data"
+_KINDS = (KIND_KEY, KIND_NONCE, KIND_IDENTITY, KIND_CONST, KIND_DATA)
+
+
+class TermError(Exception):
+    """Raised for structurally invalid terms."""
+
+
+class Term:
+    """Base class of all terms."""
+
+    def subterms(self) -> Iterator["Term"]:
+        """Yield this term and every (transitive) subterm."""
+        raise NotImplementedError
+
+    def atoms(self) -> Set["Atom"]:
+        return {t for t in self.subterms() if isinstance(t, Atom)}
+
+    def size(self) -> int:
+        return sum(1 for _ in self.subterms())
+
+
+@dataclass(frozen=True)
+class Atom(Term):
+    """An atomic value: key, nonce, identity, constant or data payload.
+
+    ``public=True`` marks values known a priori to the adversary (message
+    type tags, protocol constants, broadcast identities).
+    """
+
+    name: str
+    kind: str = KIND_CONST
+    public: bool = False
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise TermError(f"unknown atom kind {self.kind!r}")
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Pair(Term):
+    """Concatenation/pairing of two terms (invertible by anyone)."""
+
+    left: Term
+    right: Term
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+        yield from self.left.subterms()
+        yield from self.right.subterms()
+
+    def __str__(self) -> str:
+        return f"<{self.left}, {self.right}>"
+
+
+@dataclass(frozen=True)
+class SEnc(Term):
+    """Symmetric encryption: invertible only with the key."""
+
+    plaintext: Term
+    key: Term
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+        yield from self.plaintext.subterms()
+        yield from self.key.subterms()
+
+    def __str__(self) -> str:
+        return f"senc({self.plaintext}, {self.key})"
+
+
+@dataclass(frozen=True)
+class Mac(Term):
+    """Message authentication code: one-way, verifiable with the key."""
+
+    message: Term
+    key: Term
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+        yield from self.message.subterms()
+        yield from self.key.subterms()
+
+    def __str__(self) -> str:
+        return f"mac({self.message}, {self.key})"
+
+
+@dataclass(frozen=True)
+class Hash(Term):
+    """One-way hash."""
+
+    body: Term
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+        yield from self.body.subterms()
+
+    def __str__(self) -> str:
+        return f"h({self.body})"
+
+
+@dataclass(frozen=True)
+class KDF(Term):
+    """Key derivation: ``kdf(base_key, context)`` — one-way in both args.
+
+    Models KASME → K_NASenc / K_NASint derivation: knowing derived keys
+    does not reveal the base key, and deriving requires the base key.
+    """
+
+    base_key: Term
+    context: Term
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+        yield from self.base_key.subterms()
+        yield from self.context.subterms()
+
+    def __str__(self) -> str:
+        return f"kdf({self.base_key}, {self.context})"
+
+
+def pair(*parts: Term) -> Term:
+    """Right-nested pairing of two or more terms."""
+    if not parts:
+        raise TermError("pair() needs at least one term")
+    if len(parts) == 1:
+        return parts[0]
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = Pair(part, result)
+    return result
+
+
+def unpair(term: Term) -> Tuple[Term, ...]:
+    """Flatten right-nested pairs back into a tuple."""
+    parts = []
+    cursor = term
+    while isinstance(cursor, Pair):
+        parts.append(cursor.left)
+        cursor = cursor.right
+    parts.append(cursor)
+    return tuple(parts)
+
+
+def const(name: str) -> Atom:
+    """A public protocol constant (message tags, field labels)."""
+    return Atom(name, KIND_CONST, public=True)
+
+
+def secret_key(name: str) -> Atom:
+    return Atom(name, KIND_KEY, public=False)
+
+
+def nonce(name: str) -> Atom:
+    return Atom(name, KIND_NONCE, public=False)
+
+
+def identity(name: str, public: bool = False) -> Atom:
+    return Atom(name, KIND_IDENTITY, public=public)

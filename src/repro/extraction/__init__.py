@@ -1,0 +1,19 @@
+"""FSM extraction from instrumented execution logs (Algorithm 1).
+
+- :mod:`repro.extraction.signatures` — the standards/implementation
+  signature tables (state names, handler prefixes, condition variables);
+- :mod:`repro.extraction.extractor` — block division and transition
+  reconstruction.
+"""
+
+from .signatures import (DEFAULT_CONDITION_VARIABLES, INTERNAL_TRIGGERS,
+                         SignatureTable, mme_table,
+                         table_for_implementation)
+from .extractor import (ExtractionStats, ModelExtractor, divide_blocks,
+                        extract_model)
+
+__all__ = [
+    "DEFAULT_CONDITION_VARIABLES", "INTERNAL_TRIGGERS", "SignatureTable",
+    "mme_table", "table_for_implementation",
+    "ExtractionStats", "ModelExtractor", "divide_blocks", "extract_model",
+]

@@ -1,0 +1,103 @@
+"""Signature tables: the standards-to-implementation mapping (Section IV-A.4).
+
+The extractor needs three signature sets: protocol *state* names (used
+verbatim by implementations, per the paper's interoperability insight),
+*incoming*-message handler signatures and *outgoing*-message handler
+signatures (the ``send_``/``parse_``/``emm_recv_`` prefix conventions).
+:func:`table_for_implementation` derives the whole table from an
+implementation class — the "one-time manual intervention" the paper
+describes, automated here because our implementations declare their
+prefix style.
+
+Internal (non-message) events — power-on, UE-initiated detach/TAU — map to
+``internal_*`` conditions so UE-originated transitions are extractable too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..lte import constants as c
+
+#: Local variables lifted from the log into transition guard predicates
+#: ("the condition variables used in the sanity checking are local
+#: variables; we obtain their values from the information-rich log").
+DEFAULT_CONDITION_VARIABLES = (
+    "mac_valid", "replay_ok", "plain_hdr",
+    "count_higher", "count_last",
+    "sqn_fresh", "sqn_in_window", "sqn_equal", "algo_ok",
+    "paging_match", "accept",
+)
+
+#: UE-internal triggers: method name -> canonical condition.
+INTERNAL_TRIGGERS = {
+    "power_on": "internal_power_on",
+    "initiate_detach": "internal_detach",
+    "initiate_tau": "internal_tau",
+    "send_nas_payload": "internal_uplink_data",
+}
+
+
+@dataclass(frozen=True)
+class SignatureTable:
+    """Everything Algorithm 1 needs to interpret a log."""
+
+    #: exact state values recognised in GLOBAL <state_variable>=... lines
+    state_signatures: Tuple[str, ...]
+    #: the global variable holding the protocol state
+    state_variable: str
+    #: function-entrance name -> canonical incoming condition
+    incoming_signatures: Dict[str, str]
+    #: function-entrance name -> canonical outgoing action
+    outgoing_signatures: Dict[str, str]
+    #: LOCAL variable names lifted into guard predicates
+    condition_variables: Tuple[str, ...] = DEFAULT_CONDITION_VARIABLES
+    #: the machine's initial state
+    initial_state: str = c.EMM_DEREGISTERED
+
+    def incoming_condition(self, function_name: str) -> str:
+        return self.incoming_signatures.get(function_name, "")
+
+    def outgoing_action(self, function_name: str) -> str:
+        return self.outgoing_signatures.get(function_name, "")
+
+
+def table_for_implementation(ue_class) -> SignatureTable:
+    """Build the signature table from an implementation's naming style."""
+    incoming: Dict[str, str] = {}
+    for message in c.DOWNLINK_MESSAGES:
+        incoming[ue_class.RECV_PREFIX + message] = message
+    incoming.update(INTERNAL_TRIGGERS)
+
+    outgoing: Dict[str, str] = {}
+    for message in c.UPLINK_MESSAGES:
+        outgoing[ue_class.SEND_PREFIX + message] = message
+
+    return SignatureTable(
+        state_signatures=tuple(c.UE_STATES),
+        state_variable="emm_state",
+        incoming_signatures=incoming,
+        outgoing_signatures=outgoing,
+    )
+
+
+def mme_table() -> SignatureTable:
+    """Signature table for extracting the MME side (testbed MME)."""
+    incoming = {("recv_" + message): message
+                for message in c.UPLINK_MESSAGES}
+    incoming.update({
+        "initiate_guti_reallocation": "internal_guti_reallocation",
+        "initiate_paging": "internal_paging",
+        "initiate_detach": "internal_detach",
+    })
+    outgoing = {("send_" + message): message
+                for message in c.DOWNLINK_MESSAGES}
+    return SignatureTable(
+        state_signatures=tuple(c.MME_STATES),
+        state_variable="emm_state",
+        incoming_signatures=incoming,
+        outgoing_signatures=outgoing,
+        condition_variables=(),
+        initial_state=c.MME_DEREGISTERED,
+    )

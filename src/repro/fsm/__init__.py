@@ -1,0 +1,26 @@
+"""Protocol finite-state machines: the paper's Section III-B model.
+
+Public surface:
+
+- :class:`FiniteStateMachine`, :class:`Transition`, :data:`NULL_ACTION` —
+  the 5-tuple machine the extractor produces and the verifier consumes;
+- :func:`to_dot` / :func:`from_dot` — the Graphviz-like model language;
+- :func:`check_refinement` — the RQ2 refinement relation;
+- analyses: :func:`missing_stimuli`, :func:`dead_states`, :func:`diff`.
+"""
+
+from .machine import NULL_ACTION, FiniteStateMachine, FSMError, Transition
+from .dot import from_dot, parse_label, to_dot, transition_label
+from .refinement import (DIRECT, SPLIT, STRICTER_CONDITION, UNMAPPED,
+                         RefinementReport, TransitionMapping, check_refinement)
+from .analysis import (CoverageGap, FSMDiff, condition_histogram, dead_states,
+                       diff, guard_strictness, missing_stimuli)
+
+__all__ = [
+    "NULL_ACTION", "FiniteStateMachine", "FSMError", "Transition",
+    "to_dot", "from_dot", "transition_label", "parse_label",
+    "check_refinement", "RefinementReport", "TransitionMapping",
+    "DIRECT", "STRICTER_CONDITION", "SPLIT", "UNMAPPED",
+    "CoverageGap", "FSMDiff", "missing_stimuli", "dead_states", "diff",
+    "condition_histogram", "guard_strictness",
+]

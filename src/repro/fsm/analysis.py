@@ -1,0 +1,105 @@
+"""Structural analyses over extracted FSMs.
+
+Beyond verification, the paper notes the extracted FSM "can also be used to
+enhance testing by detecting missing test cases".  The helpers here support
+that use: they find states with no outgoing transition for some message of
+the alphabet (untested stimuli), dead states, and compute simple structural
+diffs between two machines extracted from different implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .machine import FiniteStateMachine, Transition
+
+
+@dataclass
+class CoverageGap:
+    """A (state, trigger) pair for which the extracted FSM has no behaviour.
+
+    Each gap corresponds to a stimulus that no conformance test case ever
+    delivered in that state — i.e. a candidate missing test case.
+    """
+
+    state: str
+    trigger: str
+
+    def suggested_test_case(self) -> str:
+        return (f"drive the implementation to state {self.state!r} and "
+                f"deliver {self.trigger!r}")
+
+
+def missing_stimuli(fsm: FiniteStateMachine,
+                    alphabet: Set[str] = None) -> List[CoverageGap]:
+    """(state, message) pairs with no observed transition.
+
+    ``alphabet`` defaults to the machine's own trigger set; pass the full
+    standards message list to also flag messages never seen anywhere.
+    """
+    alphabet = set(alphabet) if alphabet else fsm.triggers
+    gaps = []
+    for state in sorted(fsm.reachable_states()):
+        observed = {t.trigger for t in fsm.transitions_from(state)}
+        for trigger in sorted(alphabet - observed):
+            gaps.append(CoverageGap(state, trigger))
+    return gaps
+
+
+def dead_states(fsm: FiniteStateMachine) -> Set[str]:
+    """Reachable states with no outgoing transition (protocol sinks)."""
+    return {state for state in fsm.reachable_states()
+            if not fsm.transitions_from(state)}
+
+
+@dataclass
+class FSMDiff:
+    """Structural difference between two machines (e.g. srsUE vs OAI)."""
+
+    only_in_first: List[Transition] = field(default_factory=list)
+    only_in_second: List[Transition] = field(default_factory=list)
+    common: List[Transition] = field(default_factory=list)
+    states_only_in_first: Set[str] = field(default_factory=set)
+    states_only_in_second: Set[str] = field(default_factory=set)
+
+    @property
+    def identical(self) -> bool:
+        return (not self.only_in_first and not self.only_in_second
+                and not self.states_only_in_first
+                and not self.states_only_in_second)
+
+
+def diff(first: FiniteStateMachine, second: FiniteStateMachine) -> FSMDiff:
+    """Compare two machines transition-by-transition."""
+    first_set = set(first.transitions)
+    second_set = set(second.transitions)
+    return FSMDiff(
+        only_in_first=sorted(first_set - second_set),
+        only_in_second=sorted(second_set - first_set),
+        common=sorted(first_set & second_set),
+        states_only_in_first=first.states - second.states,
+        states_only_in_second=second.states - first.states,
+    )
+
+
+def condition_histogram(fsm: FiniteStateMachine) -> Dict[str, int]:
+    """How often each condition appears across transitions."""
+    histogram: Dict[str, int] = {}
+    for transition in fsm.transitions:
+        for condition in transition.conditions:
+            histogram[condition] = histogram.get(condition, 0) + 1
+    return histogram
+
+
+def guard_strictness(fsm: FiniteStateMachine) -> Tuple[float, int]:
+    """(mean predicates per transition, max predicates) — RQ2 richness metric.
+
+    LTEInspector-style hand models carry few data predicates; ProChecker's
+    extracted models carry sequence numbers, MAC validity flags, etc.  This
+    metric quantifies that difference for the model-comparison benchmark.
+    """
+    if not fsm.transitions:
+        return 0.0, 0
+    counts = [len(t.predicates) for t in fsm.transitions]
+    return sum(counts) / len(counts), max(counts)

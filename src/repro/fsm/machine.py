@@ -1,0 +1,264 @@
+"""Protocol finite-state machines.
+
+The paper (Section III-B) models each 4G LTE protocol participant as a
+deterministic finite-state machine, a 5-tuple ``(Sigma, Gamma, S, s0, T)``
+where ``Sigma`` is the non-empty set of *conditions*, ``Gamma`` the set of
+*actions*, ``S`` the finite set of protocol states, ``s0`` the initial state
+and ``T`` the finite set of transitions.  A transition is a 4-tuple
+``(s_in, s_out, sigma, gamma)`` with ``sigma`` a subset of ``Sigma`` (the
+guard: incoming message plus predicate conditions) and ``gamma`` a subset of
+``Gamma`` (the responsive actions, possibly ``null_action``).
+
+This module provides the concrete data structures used everywhere else in
+the framework: the model extractor produces :class:`FiniteStateMachine`
+instances, the threat instrumentor consumes two of them, and the refinement
+analysis of RQ2 compares them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+#: The distinguished action recorded when an incoming message triggers no
+#: response at all (Algorithm 1, lines 20-21).
+NULL_ACTION = "null_action"
+
+
+class FSMError(Exception):
+    """Raised for structurally invalid machines or transitions."""
+
+
+@dataclass(frozen=True, order=True)
+class Transition:
+    """A single FSM transition ``(s_in, s_out, sigma, gamma)``.
+
+    ``conditions`` holds the incoming-message name first (by convention) and
+    any predicate conditions after it, e.g.
+    ``("authentication_request", "mac_valid=1", "sqn_in_range=1")``.
+    ``actions`` holds the outgoing-message names, or ``(NULL_ACTION,)``.
+    """
+
+    source: str
+    target: str
+    conditions: Tuple[str, ...]
+    actions: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise FSMError("transition requires non-empty source and target")
+        if not self.conditions:
+            raise FSMError("transition requires at least one condition")
+        if not self.actions:
+            raise FSMError("transition requires at least one action "
+                           f"(use {NULL_ACTION!r} for no response)")
+
+    @property
+    def trigger(self) -> str:
+        """The incoming message that fires this transition."""
+        return self.conditions[0]
+
+    @property
+    def predicates(self) -> Tuple[str, ...]:
+        """Guard conditions beyond the triggering message."""
+        return self.conditions[1:]
+
+    def with_extra_condition(self, predicate: str) -> "Transition":
+        """Return a stricter copy whose guard also requires ``predicate``."""
+        return Transition(self.source, self.target,
+                          self.conditions + (predicate,), self.actions)
+
+    def describe(self) -> str:
+        guard = " & ".join(self.conditions)
+        acts = ", ".join(self.actions)
+        return f"{self.source} --[{guard} / {acts}]--> {self.target}"
+
+
+@dataclass
+class FiniteStateMachine:
+    """A protocol FSM per the paper's Section III-B definition.
+
+    States, conditions and actions are plain strings; the sets ``Sigma``
+    (conditions) and ``Gamma`` (actions) are derived from the registered
+    transitions plus any explicitly added vocabulary.
+    """
+
+    name: str
+    initial_state: str
+    states: Set[str] = field(default_factory=set)
+    transitions: List[Transition] = field(default_factory=list)
+    extra_conditions: Set[str] = field(default_factory=set)
+    extra_actions: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.initial_state:
+            raise FSMError("FSM requires an initial state")
+        self.states.add(self.initial_state)
+        for transition in self.transitions:
+            self.states.add(transition.source)
+            self.states.add(transition.target)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_state(self, state: str) -> None:
+        """Register ``state`` in ``S`` (idempotent)."""
+        if not state:
+            raise FSMError("state name must be non-empty")
+        self.states.add(state)
+
+    def add_transition(
+        self,
+        source: str,
+        target: str,
+        conditions: Iterable[str],
+        actions: Iterable[str] = (NULL_ACTION,),
+    ) -> Transition:
+        """Create, register and return a transition.
+
+        Duplicate transitions (identical 4-tuples) are collapsed, matching
+        Algorithm 1 which appends each observed tuple once per log block but
+        whose output FSM is a *set* of transitions.
+        """
+        transition = Transition(source, target, tuple(conditions), tuple(actions))
+        if transition not in self.transitions:
+            self.transitions.append(transition)
+            self.states.add(source)
+            self.states.add(target)
+        return transition
+
+    # ------------------------------------------------------------------
+    # The 5-tuple views
+    # ------------------------------------------------------------------
+    @property
+    def conditions(self) -> Set[str]:
+        """``Sigma``: every condition that appears on some transition."""
+        sigma = set(self.extra_conditions)
+        for transition in self.transitions:
+            sigma.update(transition.conditions)
+        return sigma
+
+    @property
+    def actions(self) -> Set[str]:
+        """``Gamma``: every action that appears on some transition."""
+        gamma = set(self.extra_actions)
+        for transition in self.transitions:
+            gamma.update(transition.actions)
+        return gamma
+
+    @property
+    def triggers(self) -> Set[str]:
+        """The incoming-message alphabet (first condition of each guard)."""
+        return {t.trigger for t in self.transitions}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def transitions_from(self, state: str) -> List[Transition]:
+        return [t for t in self.transitions if t.source == state]
+
+    def transitions_to(self, state: str) -> List[Transition]:
+        return [t for t in self.transitions if t.target == state]
+
+    def transitions_on(self, trigger: str) -> List[Transition]:
+        return [t for t in self.transitions if t.trigger == trigger]
+
+    def successors(self, state: str) -> Set[str]:
+        return {t.target for t in self.transitions_from(state)}
+
+    def reachable_states(self) -> Set[str]:
+        """States reachable from ``s0`` over the transition relation."""
+        seen = {self.initial_state}
+        frontier = [self.initial_state]
+        while frontier:
+            state = frontier.pop()
+            for nxt in self.successors(state):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def unreachable_states(self) -> Set[str]:
+        return self.states - self.reachable_states()
+
+    def is_deterministic(self) -> bool:
+        """True when no state has two transitions with the same full guard."""
+        seen: Set[Tuple[str, FrozenSet[str]]] = set()
+        for transition in self.transitions:
+            key = (transition.source, frozenset(transition.conditions))
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    def nondeterministic_pairs(self) -> List[Tuple[Transition, Transition]]:
+        """All pairs of same-source transitions with identical guards."""
+        pairs = []
+        by_key: Dict[Tuple[str, FrozenSet[str]], List[Transition]] = {}
+        for transition in self.transitions:
+            key = (transition.source, frozenset(transition.conditions))
+            by_key.setdefault(key, []).append(transition)
+        for group in by_key.values():
+            pairs.extend(itertools.combinations(group, 2))
+        return pairs
+
+    def paths(self, source: str, target: str,
+              max_length: int = 8) -> Iterator[List[Transition]]:
+        """Yield simple transition paths from ``source`` to ``target``."""
+        def walk(state: str, path: List[Transition], visited: Set[str]):
+            if len(path) > max_length:
+                return
+            if state == target and path:
+                yield list(path)
+                return
+            for transition in self.transitions_from(state):
+                if transition.target in visited and transition.target != target:
+                    continue
+                path.append(transition)
+                yield from walk(transition.target,
+                                path, visited | {transition.target})
+                path.pop()
+
+        yield from walk(source, [], {source})
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def merge(self, other: "FiniteStateMachine") -> None:
+        """Union ``other``'s states and transitions into this machine.
+
+        Used when combining the FSM fragments extracted from several
+        conformance-log blocks into one machine for the implementation.
+        """
+        self.states.update(other.states)
+        for transition in other.transitions:
+            if transition not in self.transitions:
+                self.transitions.append(transition)
+        self.extra_conditions.update(other.extra_conditions)
+        self.extra_actions.update(other.extra_actions)
+
+    def copy(self, name: Optional[str] = None) -> "FiniteStateMachine":
+        return FiniteStateMachine(
+            name=name or self.name,
+            initial_state=self.initial_state,
+            states=set(self.states),
+            transitions=list(self.transitions),
+            extra_conditions=set(self.extra_conditions),
+            extra_actions=set(self.extra_actions),
+        )
+
+    def summary(self) -> Dict[str, int]:
+        """Size metrics used in the RQ2 model comparison."""
+        return {
+            "states": len(self.states),
+            "transitions": len(self.transitions),
+            "conditions": len(self.conditions),
+            "actions": len(self.actions),
+        }
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(self.transitions)

@@ -1,0 +1,23 @@
+"""Code instrumentation: information-rich log generation (Section IV-A).
+
+- :mod:`repro.instrumentation.logfmt` — the common log schema;
+- :mod:`repro.instrumentation.clike` — the paper's source-level
+  instrumentor for C-like code (Fig. 3);
+- :mod:`repro.instrumentation.runtime` — the equivalent for our Python
+  implementations, via ``sys.settrace`` (no source modification needed).
+"""
+
+from .logfmt import (ENTER, EXIT, GLOBAL, LOCAL, TESTCASE, LogFormatError,
+                     LogRecord, LogWriter, iter_testcases, parse_log,
+                     render_value)
+from .clike import (CLikeInstrumenter, FunctionInfo, InstrumentationError,
+                    parse_globals)
+from .runtime import RuntimeInstrumenter, TraceTargets, trace_run
+
+__all__ = [
+    "ENTER", "EXIT", "GLOBAL", "LOCAL", "TESTCASE", "LogFormatError",
+    "LogRecord", "LogWriter", "iter_testcases", "parse_log", "render_value",
+    "CLikeInstrumenter", "FunctionInfo", "InstrumentationError",
+    "parse_globals",
+    "RuntimeInstrumenter", "TraceTargets", "trace_run",
+]

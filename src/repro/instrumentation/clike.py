@@ -1,0 +1,185 @@
+"""Source-level instrumentor for C-like code (the paper's Fig. 3 tool).
+
+"Our code instrumentation prints only the values of global variables,
+local variables and function entrance/entry points in the log for each
+function" — using two standard-coding-practice insights: global variables
+are declared in separate header (``.h``) files, and local variables are
+declared in the first basic block of each function.
+
+:class:`CLikeInstrumenter` implements exactly that over a simplified C
+subset sufficient for NAS-layer handler code: it parses function
+definitions, global declarations from header text, and first-block local
+declarations; it then inserts ``printf`` statements (a) after the opening
+brace of every function (ENTER + GLOBAL dumps) and (b) before every
+``return`` and before the closing brace (LOCAL + GLOBAL dumps).  The
+emitted statements print in the :mod:`repro.instrumentation.logfmt`
+schema, so a compiled-and-run instrumented program would produce logs the
+extractor consumes directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+_FUNC_RE = re.compile(
+    r"^(?P<indent>\s*)(?P<ret>[\w*]+)\s+(?P<name>\w+)\s*"
+    r"\((?P<args>[^)]*)\)\s*\{\s*$")
+_DECL_RE = re.compile(
+    r"^\s*(?P<type>(?:unsigned\s+|signed\s+|struct\s+)?[\w]+)\s*"
+    r"(?P<ptr>\**)\s*(?P<name>\w+)\s*(=\s*[^;]+)?;\s*$")
+_GLOBAL_DECL_RE = re.compile(
+    r"^\s*(?:extern\s+)?(?P<type>(?:unsigned\s+|signed\s+|struct\s+)?[\w]+)"
+    r"\s*(?P<ptr>\**)\s*(?P<name>\w+)\s*(=\s*[^;]+)?;\s*$")
+_RETURN_RE = re.compile(r"^(?P<indent>\s*)return\b")
+
+_C_KEYWORDS = frozenset({
+    "if", "else", "while", "for", "return", "switch", "case", "break",
+    "typedef", "void",
+})
+
+#: C types printed with %d; everything else is printed with %s.
+_INT_TYPES = frozenset({
+    "int", "bool", "char", "short", "long", "unsigned", "signed",
+    "uint8_t", "uint16_t", "uint32_t", "int8_t", "int16_t", "int32_t",
+    "size_t",
+})
+
+
+class InstrumentationError(Exception):
+    """Raised when the source cannot be parsed for instrumentation."""
+
+
+@dataclass
+class FunctionInfo:
+    """One discovered function and its instrumentation points."""
+
+    name: str
+    start_line: int           # index of the "type name(...) {" line
+    end_line: int             # index of the closing brace line
+    locals: List[Tuple[str, str]] = field(default_factory=list)
+    return_lines: List[int] = field(default_factory=list)
+
+
+def parse_globals(header_source: str) -> List[Tuple[str, str]]:
+    """Extract global declarations ``(type, name)`` from header text."""
+    found = []
+    for line in header_source.splitlines():
+        stripped = line.strip()
+        if (not stripped or stripped.startswith(("/", "#", "*"))
+                or "(" in stripped):
+            continue
+        match = _GLOBAL_DECL_RE.match(line)
+        if match and match.group("name") not in _C_KEYWORDS:
+            var_type = match.group("type") + match.group("ptr")
+            found.append((var_type, match.group("name")))
+    return found
+
+
+def _printf_for(kind: str, var_type: str, name: str, indent: str) -> str:
+    base = var_type.split()[0]
+    if base in _INT_TYPES and not var_type.endswith("*"):
+        return (f'{indent}printf("{kind} {name}=%d\\n", {name});')
+    return f'{indent}printf("{kind} {name}=%s\\n", {name});'
+
+
+class CLikeInstrumenter:
+    """Instrument a C-like source file given its globals."""
+
+    def __init__(self, globals_decls: Sequence[Tuple[str, str]] = ()):
+        self.globals_decls = list(globals_decls)
+
+    # ------------------------------------------------------------------
+    def discover_functions(self, source: str) -> List[FunctionInfo]:
+        lines = source.splitlines()
+        functions: List[FunctionInfo] = []
+        index = 0
+        while index < len(lines):
+            match = _FUNC_RE.match(lines[index])
+            if not match or match.group("name") in _C_KEYWORDS:
+                index += 1
+                continue
+            info = FunctionInfo(name=match.group("name"),
+                                start_line=index, end_line=-1)
+            depth = 1
+            cursor = index + 1
+            in_first_block = True
+            while cursor < len(lines) and depth > 0:
+                line = lines[cursor]
+                depth += line.count("{") - line.count("}")
+                if depth == 0:
+                    info.end_line = cursor
+                    break
+                if _RETURN_RE.match(line):
+                    info.return_lines.append(cursor)
+                if in_first_block:
+                    decl = _DECL_RE.match(line)
+                    if decl and decl.group("type") not in _C_KEYWORDS \
+                            and decl.group("name") not in _C_KEYWORDS:
+                        local_type = decl.group("type") + decl.group("ptr")
+                        info.locals.append((local_type,
+                                            decl.group("name")))
+                    elif line.strip() and not decl:
+                        first_word = line.strip().split("(")[0].split()[0] \
+                            if line.strip() else ""
+                        if first_word in _C_KEYWORDS or "{" in line:
+                            in_first_block = False
+                cursor += 1
+            if info.end_line < 0:
+                raise InstrumentationError(
+                    f"unbalanced braces in function {info.name!r}")
+            functions.append(info)
+            index = info.end_line + 1
+        return functions
+
+    # ------------------------------------------------------------------
+    def instrument(self, source: str) -> str:
+        """Return the source with the print statements inserted."""
+        lines = source.splitlines()
+        functions = self.discover_functions(source)
+        insertions: Dict[int, List[str]] = {}
+
+        def insert_after(line_index: int, new_lines: List[str]) -> None:
+            insertions.setdefault(line_index + 1, []).extend(new_lines)
+
+        def insert_before(line_index: int, new_lines: List[str]) -> None:
+            insertions.setdefault(line_index, []).extend(new_lines)
+
+        for info in functions:
+            indent = "    "
+            entry = [f'{indent}printf("ENTER {info.name}\\n");']
+            for var_type, name in self.globals_decls:
+                entry.append(_printf_for("GLOBAL", var_type, name, indent))
+            insert_after(info.start_line, entry)
+
+            exit_dump = []
+            for var_type, name in info.locals:
+                exit_dump.append(_printf_for("LOCAL", var_type, name,
+                                             indent))
+            for var_type, name in self.globals_decls:
+                exit_dump.append(_printf_for("GLOBAL", var_type, name,
+                                             indent))
+            exit_dump.append(f'{indent}printf("EXIT {info.name}\\n");')
+            for return_line in info.return_lines:
+                return_indent = _RETURN_RE.match(
+                    lines[return_line]).group("indent")
+                insert_before(return_line,
+                              [line.replace(indent, return_indent, 1)
+                               for line in exit_dump])
+            # falls-off-the-end exit point
+            if not lines[info.end_line - 1].strip().startswith("return"):
+                insert_before(info.end_line, exit_dump)
+
+        output: List[str] = []
+        for index, line in enumerate(lines):
+            output.extend(insertions.get(index, []))
+            output.append(line)
+        output.extend(insertions.get(len(lines), []))
+        return "\n".join(output) + "\n"
+
+    def instrumented_line_count(self, source: str) -> int:
+        """How many print statements instrumentation would add."""
+        before = source.count("\n")
+        after = self.instrument(source).count("\n")
+        return after - before

@@ -1,0 +1,137 @@
+"""The information-rich execution log format (Fig. 3(d)).
+
+Both instrumentors — the C-like textual one and the Python runtime tracer
+— emit this line-oriented schema, and the model extractor consumes it:
+
+- ``ENTER <function>``          function entrance indication
+- ``GLOBAL <name>=<value>``     a global state variable's current value
+- ``LOCAL <name>=<value>``      a local variable's last value before exit
+- ``EXIT <function>``           function return
+- ``TESTCASE <name>``           conformance test-case boundary marker
+
+Values are rendered compactly: ints/bools as decimal, strings verbatim,
+bytes as a short hex prefix.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, Union
+
+ENTER = "ENTER"
+EXIT = "EXIT"
+GLOBAL = "GLOBAL"
+LOCAL = "LOCAL"
+TESTCASE = "TESTCASE"
+
+_RECORD_KINDS = (ENTER, EXIT, GLOBAL, LOCAL, TESTCASE)
+
+
+class LogFormatError(Exception):
+    """Raised on unparseable log lines."""
+
+
+def render_value(value: object) -> str:
+    """Render a variable value for the log (stable and compact)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (bytes, bytearray)):
+        return "0x" + bytes(value[:8]).hex()
+    return str(value)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One parsed log line."""
+
+    kind: str
+    name: str
+    value: Optional[str] = None
+
+    def render(self) -> str:
+        if self.kind in (GLOBAL, LOCAL):
+            return f"{self.kind} {self.name}={self.value}"
+        return f"{self.kind} {self.name}"
+
+    @classmethod
+    def parse(cls, line: str) -> Optional["LogRecord"]:
+        """Parse a log line; returns ``None`` for non-record lines.
+
+        Real conformance logs interleave unrelated output; anything that
+        does not match the schema is ignored, as the extractor only keys
+        on signature-bearing lines.
+        """
+        stripped = line.strip()
+        if not stripped:
+            return None
+        parts = stripped.split(None, 1)
+        if parts[0] not in _RECORD_KINDS or len(parts) < 2:
+            return None
+        kind, rest = parts[0], parts[1]
+        if kind in (GLOBAL, LOCAL):
+            if "=" not in rest:
+                raise LogFormatError(f"malformed {kind} line: {line!r}")
+            name, _, value = rest.partition("=")
+            return cls(kind, name.strip(), value.strip())
+        return cls(kind, rest.strip())
+
+
+class LogWriter:
+    """Streaming writer used by the instrumentors."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.stream = stream if stream is not None else io.StringIO()
+        self.lines_written = 0
+
+    def _write(self, record: LogRecord) -> None:
+        self.stream.write(record.render() + "\n")
+        self.lines_written += 1
+
+    def enter(self, function: str) -> None:
+        self._write(LogRecord(ENTER, function))
+
+    def exit(self, function: str) -> None:
+        self._write(LogRecord(EXIT, function))
+
+    def global_var(self, name: str, value: object) -> None:
+        self._write(LogRecord(GLOBAL, name, render_value(value)))
+
+    def local_var(self, name: str, value: object) -> None:
+        self._write(LogRecord(LOCAL, name, render_value(value)))
+
+    def testcase(self, name: str) -> None:
+        self._write(LogRecord(TESTCASE, name))
+
+    def getvalue(self) -> str:
+        if isinstance(self.stream, io.StringIO):
+            return self.stream.getvalue()
+        raise LogFormatError("writer is not backed by a StringIO")
+
+
+def parse_log(text: Union[str, Iterable[str]]) -> List[LogRecord]:
+    """Parse a full log into records, skipping non-record lines."""
+    lines = text.splitlines() if isinstance(text, str) else text
+    records = []
+    for line in lines:
+        record = LogRecord.parse(line)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+def iter_testcases(records: Iterable[LogRecord]
+                   ) -> Iterator[Tuple[str, List[LogRecord]]]:
+    """Split a parsed log at TESTCASE markers."""
+    current_name = "(preamble)"
+    bucket: List[LogRecord] = []
+    for record in records:
+        if record.kind == TESTCASE:
+            if bucket:
+                yield current_name, bucket
+            current_name = record.name
+            bucket = []
+        else:
+            bucket.append(record)
+    if bucket:
+        yield current_name, bucket

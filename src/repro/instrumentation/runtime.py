@@ -1,0 +1,159 @@
+"""Runtime instrumentation of the Python NAS implementations.
+
+The paper instruments C/C++ sources with print statements; the faithful
+equivalent for a Python implementation is a ``sys.settrace`` hook that —
+with *no modification or knowledge of the implementation code* — logs:
+
+- function entrance for every message handler (names matching the
+  implementation's ``recv``/``send`` signature prefixes),
+- the values of the "global" protocol state variables (the attributes the
+  implementation keeps on its NAS object, per the paper's observation
+  that state lives in globals) at entry and exit,
+- the values of all simple-typed locals right before the function returns.
+
+The output is the :mod:`repro.instrumentation.logfmt` schema, identical to
+what the C-like instrumentor produces, so the extractor is agnostic to
+which instrumentor generated the log.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .logfmt import LogWriter
+
+#: Local variable types worth logging (condition flags, causes, counters).
+_LOGGABLE_TYPES = (bool, int, str)
+
+#: Locals never worth logging (bindings of the message object itself etc.).
+_SKIPPED_LOCALS = frozenset({
+    "self", "msg", "fields", "frame", "handler", "namespace", "request",
+    "protected", "body", "checks", "ctx", "new_ctx", "verdict", "vector",
+})
+
+
+def _is_loggable(name: str, value: object) -> bool:
+    if name.startswith("_") or name in _SKIPPED_LOCALS:
+        return False
+    return isinstance(value, _LOGGABLE_TYPES)
+
+
+@dataclass
+class TraceTargets:
+    """What the tracer should instrument.
+
+    ``prefixes`` are the handler-name signatures (e.g. ``("parse_",
+    "send_")`` for srsLTE); ``state_attributes`` are the global state
+    variables to dump; ``module_fragment`` restricts tracing to the
+    implementation's source tree (the paper likewise instruments only the
+    NAS-layer directory).
+    """
+
+    prefixes: Tuple[str, ...]
+    state_attributes: Tuple[str, ...]
+    module_fragment: str = "repro/lte"
+    #: Helper frames whose locals belong to the enclosing handler.  In the
+    #: C originals the sanity checks are part of the handler body; in our
+    #: Python stack they live in ``_recv_*_impl``/``_gate_*`` helpers, so
+    #: the tracer logs their locals without an ENTER of their own.
+    local_only_prefixes: Tuple[str, ...] = (
+        "_recv_", "_gate_", "_check_", "_verify_")
+    #: When set, only frames whose ``self`` is an instance of this class
+    #: are traced — the moral equivalent of instrumenting only the UE's
+    #: source directory and not the core network's.
+    instance_class: Optional[type] = None
+
+    @classmethod
+    def for_implementation(cls, ue_class) -> "TraceTargets":
+        """Derive targets from a UE class's declared signature style."""
+        prefixes = (ue_class.RECV_PREFIX, ue_class.SEND_PREFIX,
+                    "power_on", "initiate_", "air_msg_handler")
+        return cls(prefixes=tuple(prefixes),
+                   state_attributes=tuple(ue_class.STATE_VARIABLES),
+                   instance_class=ue_class)
+
+
+class RuntimeInstrumenter:
+    """``sys.settrace``-based log generator (context manager).
+
+    Usage::
+
+        writer = LogWriter()
+        with RuntimeInstrumenter(writer, TraceTargets.for_implementation(cls)):
+            run_conformance_suite(...)
+    """
+
+    def __init__(self, writer: LogWriter, targets: TraceTargets):
+        self.writer = writer
+        self.targets = targets
+        self._previous_trace = None
+        self.functions_traced = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "RuntimeInstrumenter":
+        self._previous_trace = sys.gettrace()
+        sys.settrace(self._global_trace)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        sys.settrace(self._previous_trace)
+
+    # ------------------------------------------------------------------
+    def _tier(self, frame) -> Optional[str]:
+        """``"full"`` for signature handlers, ``"locals"`` for helpers."""
+        code = frame.f_code
+        if self.targets.module_fragment not in code.co_filename.replace(
+                "\\", "/"):
+            return None
+        if self.targets.instance_class is not None and not isinstance(
+                frame.f_locals.get("self"), self.targets.instance_class):
+            return None
+        if any(code.co_name.startswith(prefix)
+               for prefix in self.targets.prefixes):
+            return "full"
+        if any(code.co_name.startswith(prefix)
+               for prefix in self.targets.local_only_prefixes):
+            return "locals"
+        return None
+
+    def _dump_state(self, frame) -> None:
+        instance = frame.f_locals.get("self")
+        if instance is None:
+            return
+        for attribute in self.targets.state_attributes:
+            if hasattr(instance, attribute):
+                self.writer.global_var(attribute,
+                                       getattr(instance, attribute))
+
+    def _global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        tier = self._tier(frame)
+        if tier is None:
+            return None
+        self.functions_traced += 1
+        name = frame.f_code.co_name
+        if tier == "full":
+            self.writer.enter(name)
+            self._dump_state(frame)
+
+        def local_trace(inner_frame, inner_event, inner_arg):
+            if inner_event == "return":
+                for local_name, value in sorted(
+                        inner_frame.f_locals.items()):
+                    if _is_loggable(local_name, value):
+                        self.writer.local_var(local_name, value)
+                if tier == "full":
+                    self._dump_state(inner_frame)
+                    self.writer.exit(name)
+            return local_trace
+
+        return local_trace
+
+
+def trace_run(ue_class, writer: LogWriter):
+    """Convenience: an armed instrumenter for one implementation class."""
+    return RuntimeInstrumenter(writer,
+                               TraceTargets.for_implementation(ue_class))

@@ -1,0 +1,40 @@
+"""4G LTE NAS-layer substrate: messages, security, identities, UE and MME.
+
+This package is the "implementation under analysis" side of the
+reproduction: a complete NAS control-plane stack whose behaviour matches
+the standards where they are explicit and matches the paper's reported
+deviations where the open-source stacks deviate
+(:mod:`repro.lte.implementations`).
+"""
+
+from . import constants
+from .channel import DIR_DOWNLINK, DIR_UPLINK, RadioLink
+from .hss import Hss, HssError
+from .identifiers import (Guti, GutiAllocator, Imsi, Subscriber,
+                          make_subscriber)
+from .messages import MessageError, NasMessage
+from .mme import MmeNas
+from .security import (AuthVector, SecurityContext, derive_kasme,
+                       derive_nas_keys, f1_mac, f2_res,
+                       generate_auth_vector, nas_cipher, nas_mac)
+from .sqn import Sqn, SqnGenerator, SqnVerdict, UsimSqnArray
+from .timers import SimClock, Timer, TimerError
+from .ue import UeNas, UePolicy
+from .implementations import (IMPLEMENTATION_NAMES, OaiLikeUe, REGISTRY,
+                              ReferenceUe, SrsueLikeUe, create_ue)
+
+__all__ = [
+    "constants",
+    "DIR_DOWNLINK", "DIR_UPLINK", "RadioLink",
+    "Hss", "HssError",
+    "Guti", "GutiAllocator", "Imsi", "Subscriber", "make_subscriber",
+    "MessageError", "NasMessage",
+    "MmeNas",
+    "AuthVector", "SecurityContext", "derive_kasme", "derive_nas_keys",
+    "f1_mac", "f2_res", "generate_auth_vector", "nas_cipher", "nas_mac",
+    "Sqn", "SqnGenerator", "SqnVerdict", "UsimSqnArray",
+    "SimClock", "Timer", "TimerError",
+    "UeNas", "UePolicy",
+    "IMPLEMENTATION_NAMES", "OaiLikeUe", "REGISTRY", "ReferenceUe",
+    "SrsueLikeUe", "create_ue",
+]

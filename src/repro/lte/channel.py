@@ -1,0 +1,153 @@
+"""The radio link between UE and MME as two unidirectional channels.
+
+Mirrors the paper's modelling choice: "we model each communication between
+two FSMs ... with two unidirectional channels", each of which may be
+adversary controlled.  An :class:`Interceptor` installed on a direction
+sees every frame *as bytes* and may pass, drop, modify or substitute it —
+the same capabilities the Dolev-Yao adversary has in the formal model, so
+testbed attack scripts line up one-to-one with counterexample steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol
+
+from .messages import NasMessage
+
+DIR_UPLINK = "uplink"      # UE -> MME
+DIR_DOWNLINK = "downlink"  # MME -> UE
+
+
+class Interceptor(Protocol):
+    """In-path adversary hook for one channel direction."""
+
+    def intercept(self, direction: str,
+                  frame: bytes) -> Optional[bytes]:
+        """Return the frame to deliver (possibly modified), or ``None`` to
+        drop it silently."""
+
+
+@dataclass
+class ChannelRecord:
+    """One frame observed on the link (the channel's pcap)."""
+
+    direction: str
+    frame: bytes
+    delivered: bool
+    injected: bool = False
+
+
+class RadioLink:
+    """Connects a UE and an MME; delivery is queued and in-order.
+
+    Deliveries are *queued* and pumped after the sending handler returns
+    (the event-driven architecture of Section II-D): a handler always runs
+    to completion before the next message is dispatched, so instrumented
+    logs nest correctly per stimulus.  The pump starts automatically on
+    the first top-level send, so callers still see a synchronous API —
+    ``ue.power_on()`` returns once the whole exchange has settled.
+    """
+
+    def __init__(self):
+        self._ue_handler: Optional[Callable[[bytes], None]] = None
+        self._mme_handler: Optional[Callable[[bytes], None]] = None
+        self.interceptor: Optional[Interceptor] = None
+        self.history: List[ChannelRecord] = []
+        self._queue: List = []
+        self._pumping = False
+
+    # -- endpoint registration ------------------------------------------
+    def attach_ue(self, handler: Callable[[bytes], None]) -> None:
+        self._ue_handler = handler
+
+    def attach_mme(self, handler: Callable[[bytes], None]) -> None:
+        self._mme_handler = handler
+
+    def detach_mme(self) -> Optional[Callable[[bytes], None]]:
+        """Unplug the MME (test harness takes over the network side)."""
+        handler, self._mme_handler = self._mme_handler, None
+        return handler
+
+    def detach_ue(self) -> Optional[Callable[[bytes], None]]:
+        handler, self._ue_handler = self._ue_handler, None
+        return handler
+
+    # -- transmission ----------------------------------------------------
+    def send_uplink(self, frame: bytes) -> bool:
+        """UE -> MME. Returns whether the frame was delivered."""
+        return self._transmit(DIR_UPLINK, frame, self._mme_handler)
+
+    def send_downlink(self, frame: bytes) -> bool:
+        """MME -> UE."""
+        return self._transmit(DIR_DOWNLINK, frame, self._ue_handler)
+
+    def _transmit(self, direction: str, frame: bytes,
+                  handler: Optional[Callable[[bytes], None]]) -> bool:
+        delivered_frame: Optional[bytes] = frame
+        if self.interceptor is not None:
+            delivered_frame = self.interceptor.intercept(direction, frame)
+        handler_present = (self._ue_handler if direction == DIR_DOWNLINK
+                           else self._mme_handler) is not None
+        delivered = delivered_frame is not None and handler_present
+        record = ChannelRecord(direction, frame, delivered=delivered)
+        self.history.append(record)
+        if not delivered:
+            return False
+        self._enqueue(direction, delivered_frame)
+        return True
+
+    def _enqueue(self, direction: str, frame: bytes) -> None:
+        self._queue.append((direction, frame))
+        self._pump()
+
+    def _pump(self) -> None:
+        """Drain the delivery queue unless a delivery is already running."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            while self._queue:
+                direction, frame = self._queue.pop(0)
+                handler = (self._ue_handler if direction == DIR_DOWNLINK
+                           else self._mme_handler)
+                if handler is not None:
+                    handler(frame)
+        finally:
+            self._pumping = False
+
+    # -- adversary-originated traffic ------------------------------------
+    def inject_downlink(self, frame: bytes) -> bool:
+        """Deliver an adversary-crafted frame to the UE (no interception)."""
+        self.history.append(ChannelRecord(DIR_DOWNLINK, frame,
+                                          delivered=True, injected=True))
+        if self._ue_handler is None:
+            return False
+        self._enqueue(DIR_DOWNLINK, frame)
+        return True
+
+    def inject_uplink(self, frame: bytes) -> bool:
+        """Deliver an adversary-crafted frame to the MME."""
+        self.history.append(ChannelRecord(DIR_UPLINK, frame,
+                                          delivered=True, injected=True))
+        if self._mme_handler is None:
+            return False
+        self._enqueue(DIR_UPLINK, frame)
+        return True
+
+    # -- observation -------------------------------------------------------
+    def captured(self, direction: Optional[str] = None) -> List[bytes]:
+        """All frames that crossed the link (sniffing is always possible)."""
+        return [record.frame for record in self.history
+                if direction is None or record.direction == direction]
+
+    def captured_messages(self, direction: Optional[str] = None
+                          ) -> List[NasMessage]:
+        frames = self.captured(direction)
+        messages = []
+        for frame in frames:
+            try:
+                messages.append(NasMessage.from_wire(frame))
+            except Exception:  # noqa: BLE001 - malformed frames are skipped
+                continue
+        return messages

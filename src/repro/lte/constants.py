@@ -1,0 +1,183 @@
+"""Protocol vocabulary from the standards (TS 24.301 / TS 33.102).
+
+The paper's key extraction insight is that "4G LTE state names defined in
+the standards are directly used in the implementations to ensure
+interoperability" and message names appear inside function signatures.
+This module is the single source of those standard names: the UE/MME
+implementations use them, the instrumentation logs them, and the model
+extractor's signature tables are built from them.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# EMM states — UE side (TS 24.301 Section 5.1.3.2)
+# ---------------------------------------------------------------------------
+EMM_NULL = "EMM_NULL"
+EMM_DEREGISTERED = "EMM_DEREGISTERED"
+EMM_REGISTERED_INITIATED = "EMM_REGISTERED_INITIATED"
+EMM_REGISTERED = "EMM_REGISTERED"
+EMM_DEREGISTERED_INITIATED = "EMM_DEREGISTERED_INITIATED"
+EMM_TRACKING_AREA_UPDATING_INITIATED = "EMM_TRACKING_AREA_UPDATING_INITIATED"
+EMM_SERVICE_REQUEST_INITIATED = "EMM_SERVICE_REQUEST_INITIATED"
+
+#: Sub-states the automated extraction surfaces (RQ2: ProChecker extracts
+#: sub-states of several procedures that hand-built models collapse).
+EMM_REGISTERED_INITIATED_AUTHENTICATED = "EMM_REGISTERED_INITIATED_AUTHENTICATED"
+EMM_REGISTERED_INITIATED_SECURE = "EMM_REGISTERED_INITIATED_SECURE"
+EMM_REGISTERED_NORMAL_SERVICE = "EMM_REGISTERED_NORMAL_SERVICE"
+EMM_DEREGISTERED_ATTACH_NEEDED = "EMM_DEREGISTERED_ATTACH_NEEDED"
+
+UE_STATES = (
+    EMM_NULL,
+    EMM_DEREGISTERED,
+    EMM_REGISTERED_INITIATED,
+    EMM_REGISTERED_INITIATED_AUTHENTICATED,
+    EMM_REGISTERED_INITIATED_SECURE,
+    EMM_REGISTERED,
+    EMM_REGISTERED_NORMAL_SERVICE,
+    EMM_DEREGISTERED_INITIATED,
+    EMM_DEREGISTERED_ATTACH_NEEDED,
+    EMM_TRACKING_AREA_UPDATING_INITIATED,
+    EMM_SERVICE_REQUEST_INITIATED,
+)
+
+# ---------------------------------------------------------------------------
+# EMM states — MME side (TS 24.301 Section 5.1.3.4)
+# ---------------------------------------------------------------------------
+MME_DEREGISTERED = "MME_EMM_DEREGISTERED"
+MME_COMMON_PROCEDURE_INITIATED = "MME_EMM_COMMON_PROCEDURE_INITIATED"
+MME_REGISTERED = "MME_EMM_REGISTERED"
+MME_DEREGISTERED_INITIATED = "MME_EMM_DEREGISTERED_INITIATED"
+
+MME_STATES = (
+    MME_DEREGISTERED,
+    MME_COMMON_PROCEDURE_INITIATED,
+    MME_REGISTERED,
+    MME_DEREGISTERED_INITIATED,
+)
+
+# ---------------------------------------------------------------------------
+# NAS message names (TS 24.301 Section 8.2)
+# ---------------------------------------------------------------------------
+ATTACH_REQUEST = "attach_request"
+ATTACH_ACCEPT = "attach_accept"
+ATTACH_COMPLETE = "attach_complete"
+ATTACH_REJECT = "attach_reject"
+IDENTITY_REQUEST = "identity_request"
+IDENTITY_RESPONSE = "identity_response"
+AUTHENTICATION_REQUEST = "authentication_request"
+AUTHENTICATION_RESPONSE = "authentication_response"
+AUTHENTICATION_REJECT = "authentication_reject"
+AUTH_MAC_FAILURE = "auth_mac_failure"
+AUTH_SYNC_FAILURE = "auth_sync_failure"
+SECURITY_MODE_COMMAND = "security_mode_command"
+SECURITY_MODE_COMPLETE = "security_mode_complete"
+SECURITY_MODE_REJECT = "security_mode_reject"
+EMM_INFORMATION = "emm_information"
+GUTI_REALLOCATION_COMMAND = "guti_reallocation_command"
+GUTI_REALLOCATION_COMPLETE = "guti_reallocation_complete"
+TAU_REQUEST = "tracking_area_update_request"
+TAU_ACCEPT = "tracking_area_update_accept"
+TAU_COMPLETE = "tracking_area_update_complete"
+TAU_REJECT = "tracking_area_update_reject"
+SERVICE_REQUEST = "service_request"
+SERVICE_REJECT = "service_reject"
+PAGING = "paging"
+DETACH_REQUEST = "detach_request"
+DETACH_ACCEPT = "detach_accept"
+DOWNLINK_NAS_TRANSPORT = "downlink_nas_transport"
+UPLINK_NAS_TRANSPORT = "uplink_nas_transport"
+#: 5G Configuration Update procedure (TS 24.501) — the paper's "Impact on
+#: 5G": supervised by T3555 with the same five-expiry abort discipline,
+#: hence vulnerable to the same P3 selective denial.
+CONFIGURATION_UPDATE_COMMAND = "configuration_update_command"
+CONFIGURATION_UPDATE_COMPLETE = "configuration_update_complete"
+
+#: Messages the network (MME) sends to the UE.
+DOWNLINK_MESSAGES = (
+    ATTACH_ACCEPT, ATTACH_REJECT, IDENTITY_REQUEST, AUTHENTICATION_REQUEST,
+    AUTHENTICATION_REJECT, SECURITY_MODE_COMMAND, EMM_INFORMATION,
+    GUTI_REALLOCATION_COMMAND, TAU_ACCEPT, TAU_REJECT, SERVICE_REJECT,
+    PAGING, DETACH_REQUEST, DETACH_ACCEPT, DOWNLINK_NAS_TRANSPORT,
+    CONFIGURATION_UPDATE_COMMAND,
+)
+
+#: Messages the UE sends to the network.
+UPLINK_MESSAGES = (
+    ATTACH_REQUEST, ATTACH_COMPLETE, IDENTITY_RESPONSE,
+    AUTHENTICATION_RESPONSE, AUTH_MAC_FAILURE, AUTH_SYNC_FAILURE,
+    SECURITY_MODE_COMPLETE, SECURITY_MODE_REJECT,
+    GUTI_REALLOCATION_COMPLETE, TAU_REQUEST, TAU_COMPLETE, SERVICE_REQUEST,
+    DETACH_REQUEST, DETACH_ACCEPT, UPLINK_NAS_TRANSPORT,
+    CONFIGURATION_UPDATE_COMPLETE,
+)
+
+ALL_MESSAGES = tuple(dict.fromkeys(DOWNLINK_MESSAGES + UPLINK_MESSAGES))
+
+# ---------------------------------------------------------------------------
+# Security header types (TS 24.301 Section 9.3.1)
+# ---------------------------------------------------------------------------
+SEC_HDR_PLAIN = 0x0
+SEC_HDR_INTEGRITY = 0x1
+SEC_HDR_INTEGRITY_CIPHERED = 0x2
+SEC_HDR_INTEGRITY_NEW_CTX = 0x3
+SEC_HDR_INTEGRITY_CIPHERED_NEW_CTX = 0x4
+
+SEC_HDR_TYPES = (
+    SEC_HDR_PLAIN, SEC_HDR_INTEGRITY, SEC_HDR_INTEGRITY_CIPHERED,
+    SEC_HDR_INTEGRITY_NEW_CTX, SEC_HDR_INTEGRITY_CIPHERED_NEW_CTX,
+)
+
+#: Downlink messages that must be integrity protected with the NAS security
+#: context once it is established.  ``authentication_request`` is *not*
+#: here: its integrity comes from AUTN under the permanent key K, which is
+#: why stale ones still verify (the P1 root cause).
+PROTECTED_DOWNLINK = (
+    ATTACH_ACCEPT, SECURITY_MODE_COMMAND, EMM_INFORMATION,
+    GUTI_REALLOCATION_COMMAND, TAU_ACCEPT, DETACH_REQUEST,
+    DOWNLINK_NAS_TRANSPORT, CONFIGURATION_UPDATE_COMMAND,
+)
+
+#: Downlink messages legitimately sent before any NAS security context.
+PLAIN_DOWNLINK = (
+    IDENTITY_REQUEST, AUTHENTICATION_REQUEST, AUTHENTICATION_REJECT,
+    ATTACH_REJECT, TAU_REJECT, SERVICE_REJECT, PAGING,
+)
+
+#: Replay scope per downlink message (used by the CPV feasibility bridge):
+#: - ``global``: verifies across sessions (AUTN under permanent K) — an
+#:   adversary may harvest it days in advance (the P1 capture phase);
+#: - ``session``: MAC'd under the current NAS context — replay only works
+#:   within the context (and only if the receiver's COUNT check is broken);
+#: - ``plain``: no cryptographic binding at all.
+REPLAY_SCOPE = {}
+for _name in PLAIN_DOWNLINK:
+    REPLAY_SCOPE[_name] = "plain"
+for _name in PROTECTED_DOWNLINK:
+    REPLAY_SCOPE[_name] = "session"
+REPLAY_SCOPE[AUTHENTICATION_REQUEST] = "global"
+
+# ---------------------------------------------------------------------------
+# Timers (TS 24.301 Section 10.2) — (name, retransmission limit)
+# ---------------------------------------------------------------------------
+T3410 = "T3410"  # attach (UE)
+T3450 = "T3450"  # GUTI reallocation / attach accept (MME)
+T3460 = "T3460"  # authentication / SMC (MME)
+T3470 = "T3470"  # identity (MME)
+T3555 = "T3555"  # 5G configuration update (AMF, TS 24.501)
+
+#: "on the fifth expiry of timer T3450, the network shall abort the
+#: reallocation procedure" — i.e. 4 retransmissions after the first send.
+TIMER_MAX_RETRANSMISSIONS = {T3410: 4, T3450: 4, T3460: 4, T3470: 4,
+                             T3555: 4}
+
+# EMM cause values used by reject messages (TS 24.301 Annex A, subset)
+CAUSE_IMSI_UNKNOWN = 2
+CAUSE_ILLEGAL_UE = 3
+CAUSE_EPS_NOT_ALLOWED = 7
+CAUSE_PLMN_NOT_ALLOWED = 11
+CAUSE_TA_NOT_ALLOWED = 12
+CAUSE_CONGESTION = 22
+CAUSE_MAC_FAILURE = 20
+CAUSE_SYNCH_FAILURE = 21

@@ -1,0 +1,98 @@
+"""Subscriber and temporary identifiers (IMSI, GUTI, TMSI).
+
+The privacy properties revolve around these: the IMSI must only be exposed
+when strictly necessary (I5), the GUTI must be reallocated frequently
+enough to prevent tracking (P3's impact), and reuse of either across
+observations is a linkability signal the CPV equivalence check detects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Imsi:
+    """International Mobile Subscriber Identity: MCC+MNC+MSIN."""
+
+    mcc: str
+    mnc: str
+    msin: str
+
+    def __post_init__(self):
+        if not (self.mcc.isdigit() and len(self.mcc) == 3):
+            raise ValueError("MCC must be 3 digits")
+        if not (self.mnc.isdigit() and len(self.mnc) in (2, 3)):
+            raise ValueError("MNC must be 2-3 digits")
+        if not (self.msin.isdigit() and 9 <= len(self.msin) <= 10):
+            raise ValueError("MSIN must be 9-10 digits")
+
+    def __str__(self) -> str:
+        return f"{self.mcc}{self.mnc}{self.msin}"
+
+
+@dataclass(frozen=True)
+class Guti:
+    """Globally Unique Temporary Identifier: PLMN + MME group/code + M-TMSI."""
+
+    plmn: str
+    mme_group: int
+    mme_code: int
+    m_tmsi: int
+
+    def __post_init__(self):
+        if not 0 <= self.m_tmsi < (1 << 32):
+            raise ValueError("M-TMSI must fit in 32 bits")
+        if not 0 <= self.mme_group < (1 << 16):
+            raise ValueError("MME group must fit in 16 bits")
+        if not 0 <= self.mme_code < (1 << 8):
+            raise ValueError("MME code must fit in 8 bits")
+
+    def __str__(self) -> str:
+        return (f"{self.plmn}-{self.mme_group:04x}-{self.mme_code:02x}-"
+                f"{self.m_tmsi:08x}")
+
+
+class GutiAllocator:
+    """MME-side deterministic GUTI allocation.
+
+    Deterministic (seeded) so tests and the testbed replay identically;
+    allocation order is still unique per subscriber/epoch.
+    """
+
+    def __init__(self, plmn: str = "00101", mme_group: int = 1,
+                 mme_code: int = 1, seed: int = 0):
+        self.plmn = plmn
+        self.mme_group = mme_group
+        self.mme_code = mme_code
+        self._counter = seed
+
+    def allocate(self, imsi: Imsi) -> Guti:
+        self._counter += 1
+        digest = hashlib.sha256(
+            f"{imsi}:{self._counter}".encode()).digest()
+        m_tmsi = int.from_bytes(digest[:4], "big")
+        return Guti(self.plmn, self.mme_group, self.mme_code, m_tmsi)
+
+
+@dataclass
+class Subscriber:
+    """A provisioned subscriber: identity + permanent key (SIM contents)."""
+
+    imsi: Imsi
+    permanent_key: bytes
+    guti: Optional[Guti] = None
+
+    def __post_init__(self):
+        if len(self.permanent_key) < 16:
+            raise ValueError("permanent key must be at least 128 bits")
+
+
+def make_subscriber(msin: str = "000000001",
+                    key_seed: bytes = b"k") -> Subscriber:
+    """Convenience factory used by examples and tests."""
+    imsi = Imsi("001", "01", msin.zfill(9))
+    key = hashlib.sha256(b"permanent:" + key_seed + str(imsi).encode()).digest()
+    return Subscriber(imsi=imsi, permanent_key=key[:16])

@@ -1,0 +1,46 @@
+"""The three 4G LTE UE implementations under analysis.
+
+Mirrors the paper's evaluation targets:
+
+- :mod:`reference` — the closed-source commercial stack stand-in: fully
+  compliant implementation behaviour (which still carries the
+  standards-level P1-P3 flaws, since those are mandated behaviour);
+- :mod:`srsue_like` — srsLTE's srsUE with its reported issues (I1: no
+  downlink-COUNT replay check with counter reset, I3: equal-SQN
+  acceptance, I4: context survival across rejects) and srsLTE's
+  ``send_``/``parse_`` handler signature;
+- :mod:`oai_like` — OpenAirInterface with its reported issues (I1:
+  last-message replay, I2: plain-header acceptance after context, I5:
+  IMSI on demand) and OAI's ``emm_send_``/``emm_recv_`` signature.
+
+:data:`REGISTRY` maps the implementation name to its class and the
+signature configuration the model extractor needs.
+"""
+
+from .reference import ReferenceUe
+from .srsue_like import SrsueLikeUe
+from .oai_like import OaiLikeUe
+
+#: name -> UE class
+REGISTRY = {
+    "reference": ReferenceUe,
+    "srsue": SrsueLikeUe,
+    "oai": OaiLikeUe,
+}
+
+IMPLEMENTATION_NAMES = tuple(REGISTRY)
+
+
+def create_ue(name, subscriber, link, clock=None, policy=None):
+    """Instantiate an implementation by registry name."""
+    try:
+        cls = REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown implementation {name!r}; "
+            f"choose from {IMPLEMENTATION_NAMES}") from None
+    return cls(subscriber, link, clock=clock, policy=policy)
+
+
+__all__ = ["ReferenceUe", "SrsueLikeUe", "OaiLikeUe", "REGISTRY",
+           "IMPLEMENTATION_NAMES", "create_ue"]

@@ -1,0 +1,53 @@
+"""OpenAirInterface-like implementation: OAI's reported issues seeded.
+
+Table I rows reproduced here:
+
+- **I1** broken replay protection — "OAI accepts only the last message
+  when replayed" (``replay_accept_last_only=True``);
+- **I2** broken integrity/confidentiality — "the OAI implementation
+  accepts all security-protected messages in plain-text and un-cyphered
+  after establishing the security context"
+  (``accept_plain_after_ctx=True``);
+- **I5** privacy leakage with identity request — the UE answers plaintext
+  ``identity_request`` with the IMSI regardless of protocol state
+  (``respond_identity_always=True``);
+- **I6** linkability with ``security_mode_command`` follows from I1's
+  last-message replay acceptance.
+
+OAI uses the ``emm_send_``/``emm_recv_`` signature convention
+(Section IX), exposed here as the concrete handler names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..channel import RadioLink
+from ..identifiers import Subscriber
+from ..timers import SimClock
+from ..ue import UeNas, UePolicy, synthesize_handlers
+
+
+def oai_policy() -> UePolicy:
+    """The deviation set the paper reports for OAI."""
+    return UePolicy(
+        replay_accept_last_only=True,   # I1 (OAI variant)
+        accept_plain_after_ctx=True,    # I2
+        respond_identity_always=True,   # I5
+    )
+
+
+class OaiLikeUe(UeNas):
+    """OAI-like UE with OAI's handler signature."""
+
+    RECV_PREFIX = "emm_recv_"
+    SEND_PREFIX = "emm_send_"
+
+    def __init__(self, subscriber: Subscriber, link: RadioLink,
+                 clock: Optional[SimClock] = None,
+                 policy: Optional[UePolicy] = None):
+        super().__init__(subscriber, link, clock=clock,
+                         policy=policy or oai_policy())
+
+
+synthesize_handlers(OaiLikeUe)

@@ -1,0 +1,33 @@
+"""The closed-source commercial UE stand-in.
+
+Compliant with TS 24.301/33.102 wherever the standard is explicit.  The
+standards-level vulnerabilities (P1-P3) are necessarily present: the SQN
+array accepts out-of-order values because Annex C mandates it and the
+freshness limit L is optional (and disabled, matching every vendor the
+paper examined).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..channel import RadioLink
+from ..identifiers import Subscriber
+from ..timers import SimClock
+from ..ue import UeNas, UePolicy, synthesize_handlers
+
+
+class ReferenceUe(UeNas):
+    """Reference (compliant) implementation; canonical recv_/send_ names."""
+
+    RECV_PREFIX = "recv_"
+    SEND_PREFIX = "send_"
+
+    def __init__(self, subscriber: Subscriber, link: RadioLink,
+                 clock: Optional[SimClock] = None,
+                 policy: Optional[UePolicy] = None):
+        super().__init__(subscriber, link, clock=clock,
+                         policy=policy or UePolicy())
+
+
+synthesize_handlers(ReferenceUe)

@@ -1,0 +1,55 @@
+"""srsUE-like implementation: srsLTE's reported issues seeded.
+
+Table I rows reproduced here:
+
+- **I1** broken replay protection — "srsUE accepts any replayed messages
+  and resets the downlink counter with the counter value given in the
+  replayed packet" (``enforce_dl_count=False``);
+- **I3** counter reset with replayed ``authentication_request`` — srsUE
+  accepts the *same* SQN again (``accept_equal_sqn=True``);
+- **I4** security bypass with reject messages — the security context is
+  not deleted on reject, so the UE can move deregistered → registered
+  without re-running authentication and SMC
+  (``require_auth_after_reject=False``);
+- **I6** linkability with ``security_mode_command`` follows from I1: a
+  replayed SMC elicits ``security_mode_complete`` from the victim but a
+  MAC failure (silence) from every other UE.
+
+srsLTE "uses the consistent signature of ``send_``/``parse_`` followed by
+the actual protocol message name" (Section IX), which is the handler
+naming this class exposes to the tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..channel import RadioLink
+from ..identifiers import Subscriber
+from ..timers import SimClock
+from ..ue import UeNas, UePolicy, synthesize_handlers
+
+
+def srsue_policy() -> UePolicy:
+    """The deviation set the paper reports for srsUE."""
+    return UePolicy(
+        enforce_dl_count=False,          # I1
+        accept_equal_sqn=True,           # I3
+        require_auth_after_reject=False, # I4
+    )
+
+
+class SrsueLikeUe(UeNas):
+    """srsUE-like UE with srsLTE's handler signature."""
+
+    RECV_PREFIX = "parse_"
+    SEND_PREFIX = "send_"
+
+    def __init__(self, subscriber: Subscriber, link: RadioLink,
+                 clock: Optional[SimClock] = None,
+                 policy: Optional[UePolicy] = None):
+        super().__init__(subscriber, link, clock=clock,
+                         policy=policy or srsue_policy())
+
+
+synthesize_handlers(SrsueLikeUe)

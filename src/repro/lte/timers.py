@@ -1,0 +1,99 @@
+"""Simulated protocol timers on a logical clock.
+
+The conformance runner and the testbed drive the implementations on a
+discrete event clock: procedures arm timers (T3450, T3460, ...), the clock
+advances, expiries fire callbacks.  TS 24.301 retransmission discipline —
+"on the fifth expiry of timer T3450, the network shall abort the
+reallocation procedure" — is enforced by the owners of the timers (the MME
+procedures) via :data:`repro.lte.constants.TIMER_MAX_RETRANSMISSIONS`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class TimerError(Exception):
+    """Raised on invalid timer operations."""
+
+
+@dataclass
+class Timer:
+    """One armed timer instance."""
+
+    name: str
+    deadline: float
+    callback: Callable[[], None]
+    cancelled: bool = False
+
+
+class SimClock:
+    """A discrete-event logical clock with a timer wheel."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._sequence = itertools.count()
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._active: Dict[str, Timer] = {}
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def start(self, name: str, duration: float,
+              callback: Callable[[], None]) -> Timer:
+        """Arm (or re-arm) the named timer."""
+        if duration < 0:
+            raise TimerError("duration must be non-negative")
+        self.stop(name)
+        timer = Timer(name, self._now + duration, callback)
+        self._active[name] = timer
+        heapq.heappush(self._heap, (timer.deadline, next(self._sequence),
+                                    timer))
+        return timer
+
+    def stop(self, name: str) -> bool:
+        """Cancel the named timer if armed; returns whether it was."""
+        timer = self._active.pop(name, None)
+        if timer is None:
+            return False
+        timer.cancelled = True
+        return True
+
+    def is_running(self, name: str) -> bool:
+        return name in self._active
+
+    def advance(self, duration: float) -> int:
+        """Move time forward, firing due timers in order; returns count."""
+        if duration < 0:
+            raise TimerError("cannot advance time backwards")
+        target = self._now + duration
+        fired = 0
+        while self._heap and self._heap[0][0] <= target:
+            deadline, _, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = deadline
+            self._active.pop(timer.name, None)
+            timer.callback()
+            fired += 1
+        self._now = target
+        return fired
+
+    def fire_next(self) -> Optional[str]:
+        """Jump to and fire the next pending expiry (for test drivers)."""
+        while self._heap:
+            deadline, _, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = deadline
+            self._active.pop(timer.name, None)
+            timer.callback()
+            return timer.name
+        return None
+
+    def pending(self) -> List[str]:
+        return sorted(self._active)

@@ -1,0 +1,612 @@
+"""UE-side NAS layer implementation.
+
+A complete, event-driven, stateful NAS state machine for the UE covering
+every procedure the paper exercises: attach, identity, EPS-AKA
+authentication (with the TS 33.102 Annex C SQN array), security mode
+control, GUTI reallocation, tracking area update, paging/service request,
+detach, and the reject family.
+
+Three deliberate levers reproduce the paper's implementation landscape:
+
+- The *standards-level* behaviours (P1-P3) are present in every variant
+  because the standard mandates them: the SQN array accepts out-of-order
+  values (no freshness limit L by default), and there is no detection of
+  surreptitiously dropped packets.
+- :class:`UePolicy` flags seed the *implementation* bugs of Table I
+  (I1-I6) so the ``srsue_like`` and ``oai_like`` variants deviate exactly
+  where the paper reports srsUE and OAI deviating.
+- Handler methods are synthesised with each implementation's own naming
+  signature (``recv_``/``send_``, ``parse_``/``send_``,
+  ``emm_recv_``/``emm_send_``) so the runtime instrumentation observes
+  realistic, implementation-specific function signatures — the mapping
+  problem ProChecker's extractor solves.
+
+The attributes in :data:`UeNas.STATE_VARIABLES` are the "global state
+variables" the instrumentor dumps at function entry/exit; handler locals
+deliberately use the standard condition-variable names (``mac_valid``,
+``sqn_fresh``, ``replay_ok``, ...) that the extractor lifts into FSM guard
+predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import constants as c
+from .channel import RadioLink
+from .identifiers import Guti, Subscriber
+from .messages import MessageError, NasMessage
+from .security import (DIR_DOWNLINK, DIR_UPLINK, SecurityContext,
+                       derive_kasme, f1_mac, f2_res)
+from .sqn import Sqn, SqnError, UsimSqnArray
+from .timers import SimClock
+
+
+@dataclass
+class UePolicy:
+    """Behavioural switches that seed the Table I implementation issues.
+
+    The defaults are the *compliant* behaviour (as compliant as the
+    standard allows — the standards-level flaws cannot be switched off
+    without deviating from TS 33.102/24.301, which is the paper's point).
+    """
+
+    #: TS 33.102 Annex C 2.2 optional limit L; ``None`` (operator default)
+    #: leaves the stale-SQN window open (P1/P2 root cause).
+    freshness_limit: Optional[int] = None
+    #: I3 (srsUE): accept an authentication_request whose SQN equals the
+    #: stored value, resetting the counter.
+    accept_equal_sqn: bool = False
+    #: I1 (srsUE): no downlink NAS COUNT check at all — any replayed
+    #: protected message is accepted and the counter reset to its COUNT.
+    enforce_dl_count: bool = True
+    #: I1 (OAI): the last protected message is accepted again on replay.
+    replay_accept_last_only: bool = False
+    #: I2 (OAI): accept plain-header (0x0) messages after the security
+    #: context is established.
+    accept_plain_after_ctx: bool = False
+    #: I4 (srsUE): keep the security context after a reject/release, so a
+    #: later attach skips authentication and SMC entirely.
+    require_auth_after_reject: bool = True
+    #: I5 (OAI): answer any plaintext identity_request with the IMSI, even
+    #: after the security context is established.
+    respond_identity_always: bool = False
+
+
+@dataclass
+class UeEvent:
+    """Application-visible event record (what a modem log would show)."""
+
+    kind: str
+    detail: str = ""
+
+
+class UeNas:
+    """Base UE NAS implementation (the 'reference'/closed-source stand-in).
+
+    Subclasses define the handler-name signature via ``RECV_PREFIX`` and
+    ``SEND_PREFIX``; concrete named handlers are synthesised at class
+    creation by :func:`synthesize_handlers` so the runtime tracer observes
+    the implementation's own function names.
+    """
+
+    #: canonical signature style of the closed-source reference codebase
+    RECV_PREFIX = "recv_"
+    SEND_PREFIX = "send_"
+
+    #: the "global variables" the source instrumentor dumps (Section IV-A)
+    STATE_VARIABLES = (
+        "emm_state", "has_security_ctx", "guti_assigned", "ul_count",
+        "dl_count", "attach_attempts",
+    )
+
+    def __init__(self, subscriber: Subscriber, link: RadioLink,
+                 clock: Optional[SimClock] = None,
+                 policy: Optional[UePolicy] = None):
+        self.subscriber = subscriber
+        self.link = link
+        self.clock = clock or SimClock()
+        self.policy = policy or UePolicy()
+
+        # -- protocol globals (instrumented) -----------------------------
+        self.emm_state = c.EMM_DEREGISTERED
+        self.has_security_ctx = 0
+        self.guti_assigned = 0
+        self.ul_count = 0
+        self.dl_count = 0
+        self.attach_attempts = 0
+
+        # -- internal protocol data --------------------------------------
+        self.usim = UsimSqnArray(freshness_limit=self.policy.freshness_limit)
+        self.security_ctx: Optional[SecurityContext] = None
+        self.pending_kasme: Optional[bytes] = None
+        self.current_guti: Optional[Guti] = None
+        self.events: List[UeEvent] = []
+        self._last_accepted_dl_count = -1
+        self._t3410_retx = 0
+
+        link.attach_ue(self.air_msg_handler)
+
+    # ------------------------------------------------------------------
+    # Ingress: parse, decipher, sanity-check, dispatch (Section II-D)
+    # ------------------------------------------------------------------
+    def air_msg_handler(self, frame: bytes) -> None:
+        """Entry point for every downlink frame."""
+        try:
+            msg = NasMessage.from_wire(frame)
+        except MessageError as exc:
+            self._note("malformed_frame", str(exc))
+            return
+        if msg.ciphertext is not None:
+            msg = self._decipher(msg)
+            if msg is None:
+                return
+        handler = getattr(self, self.RECV_PREFIX + msg.name, None)
+        if handler is None:
+            self._note("unhandled_message", msg.name)
+            return
+        handler(msg)
+
+    def _decipher(self, msg: NasMessage) -> Optional[NasMessage]:
+        if self.security_ctx is None:
+            self._note("ciphered_without_ctx", "dropping frame")
+            return None
+        plaintext = self.security_ctx.unprotect(
+            msg.ciphertext, msg.count or 0, DIR_DOWNLINK)
+        try:
+            name, fields = NasMessage.parse_payload(plaintext)
+        except MessageError as exc:
+            self._note("decipher_failed", str(exc))
+            return None
+        return NasMessage(name=name, fields=fields,
+                          sec_header=msg.sec_header, count=msg.count,
+                          mac=msg.mac)
+
+    # ------------------------------------------------------------------
+    # Security gate shared by all protected downlink messages
+    # ------------------------------------------------------------------
+    def _gate_protected(self, msg: NasMessage,
+                        context: Optional[SecurityContext] = None
+                        ) -> Dict[str, int]:
+        """Run the well-formedness/MAC/replay checks; returns check flags.
+
+        Returns a dict with keys ``plain_hdr``, ``mac_valid``, ``replay_ok``
+        and ``accept`` (all 0/1).  The policy switches reproduce I1/I2.
+        """
+        ctx = context or self.security_ctx
+        plain_hdr = 1 if msg.sec_header == c.SEC_HDR_PLAIN else 0
+
+        if plain_hdr:
+            # Protected-type messages must never arrive with a plain header;
+            # the only implementation that accepts them is OAI after the
+            # context exists (I2).
+            accept = 1 if (self.has_security_ctx
+                           and self.policy.accept_plain_after_ctx) else 0
+            return {"plain_hdr": 1, "mac_valid": 0, "replay_ok": accept,
+                    "accept": accept}
+
+        if ctx is None:
+            return {"plain_hdr": 0, "mac_valid": 0, "replay_ok": 0,
+                    "accept": 0}
+
+        body = msg.payload_bytes()
+        mac_valid = 1 if (msg.mac is not None and msg.count is not None
+                          and ctx.verify(body, msg.mac, msg.count,
+                                         DIR_DOWNLINK)) else 0
+        if not mac_valid:
+            return {"plain_hdr": 0, "mac_valid": 0, "replay_ok": 0,
+                    "accept": 0}
+
+        replay_ok = self._check_dl_count(ctx, msg.count)
+        accept = 1 if replay_ok else 0
+        return {"plain_hdr": 0, "mac_valid": mac_valid,
+                "replay_ok": replay_ok, "accept": accept}
+
+    def _check_dl_count(self, ctx: SecurityContext, count: int) -> int:
+        # The check *inputs* are logged (count_higher/count_last locals) so
+        # the extractor can expose which relation each implementation
+        # actually gates on — the I1 variants differ exactly here.
+        count_higher = 1 if count >= ctx.dl_count else 0
+        count_last = 1 if count == self._last_accepted_dl_count else 0
+        if not self.policy.enforce_dl_count:
+            # I1 (srsUE): accept anything and *reset* the counter.
+            ctx.dl_count = count + 1
+            self.dl_count = ctx.dl_count
+            self._last_accepted_dl_count = count
+            return 1
+        if self.policy.replay_accept_last_only and count_last:
+            # I1 (OAI): the most recent message replays successfully.
+            return 1
+        if not count_higher:
+            return 0
+        ctx.dl_count = count + 1
+        self.dl_count = ctx.dl_count
+        self._last_accepted_dl_count = count
+        return 1
+
+    # ------------------------------------------------------------------
+    # UE-initiated procedures
+    # ------------------------------------------------------------------
+    def power_on(self) -> None:
+        """Boot: initiate the attach procedure (Fig. 1).
+
+        The attach request is supervised by T3410: it is retransmitted on
+        each expiry up to the TS 24.301 limit, after which the UE gives
+        up and waits for a new attach trigger.
+        """
+        self.attach_attempts += 1
+        skip_auth = (self.pending_kasme is not None
+                     or self.security_ctx is not None)
+        self.emm_state = c.EMM_REGISTERED_INITIATED
+        fields: Dict[str, object] = {"capabilities": "eea0,eea1,eia1"}
+        if self.current_guti is not None:
+            fields["guti"] = str(self.current_guti)
+        else:
+            fields["imsi"] = str(self.subscriber.imsi)
+        # I4: when the context survived a reject, the UE will accept a
+        # protected attach_accept without re-running auth/SMC.
+        fields["reuse_ctx"] = 1 if skip_auth else 0
+        self._t3410_retx = 0
+        self._arm_t3410(fields)
+        self._send(c.ATTACH_REQUEST, fields)
+
+    def _arm_t3410(self, fields: Dict[str, object]) -> None:
+        def on_expiry():
+            if self.emm_state != c.EMM_REGISTERED_INITIATED:
+                return   # the procedure moved on; nothing to retransmit
+            limit = c.TIMER_MAX_RETRANSMISSIONS[c.T3410]
+            if self._t3410_retx < limit:
+                self._t3410_retx += 1
+                self._arm_t3410(fields)
+                self._send(c.ATTACH_REQUEST, fields)
+            else:
+                self._note("attach_timeout", "T3410 exhausted")
+                self.emm_state = c.EMM_DEREGISTERED_ATTACH_NEEDED
+
+        self.clock.start(c.T3410, 15.0, on_expiry)
+
+    def initiate_detach(self) -> None:
+        self.emm_state = c.EMM_DEREGISTERED_INITIATED
+        self._send(c.DETACH_REQUEST, {"switch_off": 0}, protected=True)
+
+    def initiate_tau(self, tracking_area: int = 1) -> None:
+        self.emm_state = c.EMM_TRACKING_AREA_UPDATING_INITIATED
+        self._send(c.TAU_REQUEST, {"tracking_area": tracking_area},
+                   protected=True)
+
+    def send_nas_payload(self, payload: str) -> None:
+        """Application-originated NAS transport (e.g. an SMS)."""
+        self._send(c.UPLINK_NAS_TRANSPORT, {"payload": payload},
+                   protected=True)
+
+    # ------------------------------------------------------------------
+    # Incoming message handlers (implementation bodies)
+    # ------------------------------------------------------------------
+    def _recv_identity_request_impl(self, msg: NasMessage) -> None:
+        requested_type = msg.get_str("identity_type", "imsi")
+        allowed = 0
+        if self.policy.respond_identity_always:
+            allowed = 1  # I5 (OAI): IMSI on demand, any state, plaintext
+        elif (self.emm_state == c.EMM_REGISTERED_INITIATED
+              and not self.has_security_ctx):
+            allowed = 1  # compliant: only during initial attach, pre-ctx
+        if allowed and requested_type == "imsi":
+            self._send(c.IDENTITY_RESPONSE,
+                       {"imsi": str(self.subscriber.imsi)})
+        elif allowed:
+            self._send(c.IDENTITY_RESPONSE,
+                       {"guti": str(self.current_guti or "")})
+        else:
+            self._note("identity_request_ignored", requested_type)
+
+    def _recv_authentication_request_impl(self, msg: NasMessage) -> None:
+        rand = msg.get_bytes("rand")
+        autn_mac = msg.get_bytes("autn_mac")
+        try:
+            sqn = Sqn(msg.get_int("sqn_seq"), msg.get_int("sqn_ind"))
+        except SqnError:
+            # malformed SQN: indistinguishable from a corrupted AUTN
+            self._send(c.AUTH_MAC_FAILURE, {"cause": c.CAUSE_MAC_FAILURE})
+            return
+
+        mac_valid = 1 if autn_mac == f1_mac(
+            self.subscriber.permanent_key, rand, sqn) else 0
+        if not mac_valid:
+            self._send(c.AUTH_MAC_FAILURE, {"cause": c.CAUSE_MAC_FAILURE})
+            return
+
+        verdict = self.usim.peek(sqn)
+        sqn_fresh = 1 if self.usim.is_globally_fresh(sqn) else 0
+        sqn_in_window = 1 if verdict.accepted else 0
+        sqn_equal = 1 if sqn.seq == self.usim.slots[sqn.ind] else 0
+
+        accepted = verdict.accepted
+        if not accepted and sqn_equal and self.policy.accept_equal_sqn:
+            accepted = True  # I3 (srsUE): same SQN re-accepted
+        if not accepted:
+            self._send(c.AUTH_SYNC_FAILURE,
+                       {"cause": c.CAUSE_SYNCH_FAILURE,
+                        "resync_seq": verdict.resync_seq})
+            return
+
+        self.usim.verify(sqn)  # commit the slot update
+        self.pending_kasme = derive_kasme(
+            self.subscriber.permanent_key, rand, sqn)
+        res = f2_res(self.subscriber.permanent_key, rand)
+        if self.emm_state == c.EMM_REGISTERED_INITIATED:
+            self.emm_state = c.EMM_REGISTERED_INITIATED_AUTHENTICATED
+        self._send(c.AUTHENTICATION_RESPONSE, {"res": res})
+
+    def _recv_security_mode_command_impl(self, msg: NasMessage) -> None:
+        # SMC is protected with the *new* (pending) context keys.
+        new_ctx = (SecurityContext(kasme=self.pending_kasme)
+                   if self.pending_kasme is not None else None)
+        if (msg.sec_header != c.SEC_HDR_PLAIN and new_ctx is None
+                and self.security_ctx is not None):
+            # Replayed SMC from the current context (I6 linkability probe).
+            checks = self._gate_protected(msg, self.security_ctx)
+        else:
+            checks = self._gate_protected(msg, new_ctx)
+        mac_valid = checks["mac_valid"]
+        replay_ok = checks["replay_ok"]
+        if not checks["accept"]:
+            # Failed MAC or replay: discard silently (TS 24.301 4.4.4.2).
+            self._note("smc_discarded", f"mac={mac_valid} replay={replay_ok}")
+            return
+        selected_eia = msg.get_str("selected_eia", "eia1")
+        algo_ok = 1 if selected_eia != "eia0" else 0
+        if not algo_ok:
+            # Null integrity is unacceptable: SECURITY MODE REJECT.
+            self._send(c.SECURITY_MODE_REJECT,
+                       {"cause": c.CAUSE_CONGESTION})
+            return
+        if new_ctx is not None:
+            self.security_ctx = new_ctx
+            self.security_ctx.dl_count = (msg.count or 0) + 1
+            self.dl_count = self.security_ctx.dl_count
+            self._last_accepted_dl_count = msg.count or 0
+            self.pending_kasme = None
+        self.has_security_ctx = 1
+        if self.emm_state == c.EMM_REGISTERED_INITIATED_AUTHENTICATED:
+            self.emm_state = c.EMM_REGISTERED_INITIATED_SECURE
+        self._send(c.SECURITY_MODE_COMPLETE, {}, protected=True)
+
+    def _recv_attach_accept_impl(self, msg: NasMessage) -> None:
+        checks = self._gate_protected(msg)
+        mac_valid = checks["mac_valid"]
+        replay_ok = checks["replay_ok"]
+        if not checks["accept"]:
+            self._note("attach_accept_rejected",
+                       f"mac={mac_valid} replay={replay_ok}")
+            return
+        guti_str = msg.get_str("guti")
+        if guti_str:
+            self._apply_guti(guti_str)
+        self.clock.stop(c.T3410)
+        self.emm_state = c.EMM_REGISTERED
+        self._send(c.ATTACH_COMPLETE, {}, protected=True)
+
+    def _recv_attach_reject_impl(self, msg: NasMessage) -> None:
+        emm_cause = msg.get_int("cause", c.CAUSE_EPS_NOT_ALLOWED)
+        if self.policy.require_auth_after_reject:
+            # Compliant: delete security context and identifiers.
+            self.security_ctx = None
+            self.pending_kasme = None
+            self.has_security_ctx = 0
+            self.current_guti = None
+            self.guti_assigned = 0
+        # I4 (srsUE): context retained; next attach skips auth/SMC.
+        self.clock.stop(c.T3410)
+        self.emm_state = c.EMM_DEREGISTERED_ATTACH_NEEDED
+        self._note("attach_rejected", f"cause={emm_cause}")
+
+    def _recv_authentication_reject_impl(self, msg: NasMessage) -> None:
+        # Accepted in plaintext by the standard: the numb-attack vector.
+        self.security_ctx = None
+        self.pending_kasme = None
+        self.has_security_ctx = 0
+        self.emm_state = c.EMM_DEREGISTERED
+        self._note("authentication_rejected", "entering deregistered")
+
+    def _recv_guti_reallocation_command_impl(self, msg: NasMessage) -> None:
+        checks = self._gate_protected(msg)
+        if not checks["accept"]:
+            self._note("guti_realloc_rejected",
+                       f"mac={checks['mac_valid']}")
+            return
+        guti_str = msg.get_str("guti")
+        if guti_str:
+            self._apply_guti(guti_str)
+        self._send(c.GUTI_REALLOCATION_COMPLETE, {}, protected=True)
+
+    def _recv_emm_information_impl(self, msg: NasMessage) -> None:
+        checks = self._gate_protected(msg)
+        if checks["accept"]:
+            self._note("emm_information", msg.get_str("network_name"))
+        # No response either way: null_action.
+
+    def _recv_paging_impl(self, msg: NasMessage) -> None:
+        paging_id = msg.get_str("paging_id")
+        if self.emm_state != c.EMM_REGISTERED:
+            self._note("paging_ignored", "not registered")
+            return
+        paging_match = 1 if paging_id in (str(self.current_guti or ""),
+                                          str(self.subscriber.imsi)) else 0
+        if not paging_match:
+            self._note("paging_ignored", "identity mismatch")
+            return
+        self.emm_state = c.EMM_SERVICE_REQUEST_INITIATED
+        self._send(c.SERVICE_REQUEST, {"ksi": 0}, protected=True)
+
+    def _recv_tau_accept_impl(self, msg: NasMessage) -> None:
+        checks = self._gate_protected(msg)
+        if not checks["accept"]:
+            self._note("tau_accept_rejected", "")
+            return
+        if self.emm_state == c.EMM_TRACKING_AREA_UPDATING_INITIATED:
+            self.emm_state = c.EMM_REGISTERED
+            self._send(c.TAU_COMPLETE, {}, protected=True)
+
+    def _recv_tau_reject_impl(self, msg: NasMessage) -> None:
+        emm_cause = msg.get_int("cause", c.CAUSE_TA_NOT_ALLOWED)
+        self.current_guti = None
+        self.guti_assigned = 0
+        self.emm_state = c.EMM_DEREGISTERED_ATTACH_NEEDED
+        self._note("tau_rejected", f"cause={emm_cause}")
+
+    def _recv_service_reject_impl(self, msg: NasMessage) -> None:
+        emm_cause = msg.get_int("cause", c.CAUSE_CONGESTION)
+        self.emm_state = c.EMM_DEREGISTERED_ATTACH_NEEDED
+        self._note("service_rejected", f"cause={emm_cause}")
+
+    def _recv_detach_request_impl(self, msg: NasMessage) -> None:
+        # TS 24.301 4.4.4.2 lists detach_request among the messages a UE
+        # processes without integrity protection before the secure
+        # exchange completes — the standards-level gap behind the
+        # kick-off/detach attacks.
+        preauth_plain = 1 if (msg.sec_header == c.SEC_HDR_PLAIN
+                              and not self.has_security_ctx) else 0
+        if not preauth_plain:
+            checks = self._gate_protected(msg)
+            if not checks["accept"]:
+                self._note("detach_request_rejected", "")
+                return
+        reattach = msg.get_int("reattach")
+        self._send(c.DETACH_ACCEPT, {},
+                   protected=not preauth_plain)
+        self.emm_state = (c.EMM_DEREGISTERED_ATTACH_NEEDED if reattach
+                          else c.EMM_DEREGISTERED)
+
+    def _recv_detach_accept_impl(self, msg: NasMessage) -> None:
+        if self.emm_state == c.EMM_DEREGISTERED_INITIATED:
+            self.emm_state = c.EMM_DEREGISTERED
+            self.security_ctx = None
+            self.has_security_ctx = 0
+
+    def _recv_configuration_update_command_impl(
+            self, msg: NasMessage) -> None:
+        # 5G Configuration Update (TS 24.501): same gate discipline, may
+        # deliver a fresh 5G-GUTI; acknowledged with ..._complete.
+        checks = self._gate_protected(msg)
+        if not checks["accept"]:
+            self._note("config_update_rejected",
+                       f"mac={checks['mac_valid']}")
+            return
+        guti_str = msg.get_str("guti")
+        if guti_str:
+            self._apply_guti(guti_str)
+        self._send(c.CONFIGURATION_UPDATE_COMPLETE, {}, protected=True)
+
+    def _recv_downlink_nas_transport_impl(self, msg: NasMessage) -> None:
+        checks = self._gate_protected(msg)
+        if checks["accept"]:
+            self._note("nas_transport", msg.get_str("payload"))
+
+    # ------------------------------------------------------------------
+    # Egress
+    # ------------------------------------------------------------------
+    def _send(self, name: str, fields: Dict[str, object],
+              protected: bool = False) -> None:
+        """Route through the named outgoing handler (for the tracer)."""
+        handler = getattr(self, self.SEND_PREFIX + name, None)
+        if handler is None:
+            self._transmit(name, fields, protected)
+        else:
+            handler(fields, protected)
+
+    def _send_impl(self, name: str, fields: Dict[str, object],
+                   protected: bool) -> None:
+        self._transmit(name, fields, protected)
+
+    def _transmit(self, name: str, fields: Dict[str, object],
+                  protected: bool) -> None:
+        msg = NasMessage(name=name, fields=dict(fields))
+        if protected and self.security_ctx is not None:
+            body = msg.payload_bytes()
+            _, tag, count = self.security_ctx.protect(
+                body, DIR_UPLINK, cipher=False)
+            msg.sec_header = c.SEC_HDR_INTEGRITY
+            msg.mac = tag
+            msg.count = count
+            self.ul_count = self.security_ctx.ul_count
+        self.link.send_uplink(msg.to_wire())
+
+    def _apply_guti(self, guti_str: str) -> None:
+        """Adopt a network-assigned GUTI, discarding malformed values."""
+        try:
+            self.current_guti = _parse_guti(guti_str)
+            self.guti_assigned = 1
+        except (ValueError, AttributeError):
+            self._note("malformed_guti", guti_str[:40])
+
+    def _note(self, kind: str, detail: str) -> None:
+        self.events.append(UeEvent(kind, detail))
+
+
+def _parse_guti(text: str) -> Guti:
+    plmn, group, code, m_tmsi = text.split("-")
+    return Guti(plmn, int(group, 16), int(code, 16), int(m_tmsi, 16))
+
+
+# ---------------------------------------------------------------------------
+# Handler-name synthesis
+# ---------------------------------------------------------------------------
+_RECV_IMPLS = {
+    c.IDENTITY_REQUEST: "_recv_identity_request_impl",
+    c.AUTHENTICATION_REQUEST: "_recv_authentication_request_impl",
+    c.AUTHENTICATION_REJECT: "_recv_authentication_reject_impl",
+    c.SECURITY_MODE_COMMAND: "_recv_security_mode_command_impl",
+    c.ATTACH_ACCEPT: "_recv_attach_accept_impl",
+    c.ATTACH_REJECT: "_recv_attach_reject_impl",
+    c.GUTI_REALLOCATION_COMMAND: "_recv_guti_reallocation_command_impl",
+    c.EMM_INFORMATION: "_recv_emm_information_impl",
+    c.PAGING: "_recv_paging_impl",
+    c.TAU_ACCEPT: "_recv_tau_accept_impl",
+    c.TAU_REJECT: "_recv_tau_reject_impl",
+    c.SERVICE_REJECT: "_recv_service_reject_impl",
+    c.DETACH_REQUEST: "_recv_detach_request_impl",
+    c.DETACH_ACCEPT: "_recv_detach_accept_impl",
+    c.DOWNLINK_NAS_TRANSPORT: "_recv_downlink_nas_transport_impl",
+    c.CONFIGURATION_UPDATE_COMMAND:
+        "_recv_configuration_update_command_impl",
+}
+
+
+def synthesize_handlers(cls) -> None:
+    """Create concretely-named recv/send handlers on ``cls``.
+
+    Real C/C++ stacks have one named function per message (e.g. srsLTE's
+    ``parse_attach_accept``, OAI's ``emm_recv_security_mode_command``);
+    ``exec`` gives each wrapper its own code object so the runtime tracer
+    observes those exact signatures, which is what the extractor's
+    signature tables must match against.
+    """
+    # Compile with the defining module's filename so the runtime tracer's
+    # source-directory filter sees these handlers as NAS-layer code.
+    import sys
+
+    filename = getattr(sys.modules.get(cls.__module__), "__file__",
+                       __file__)
+
+    def define(source: str, name: str) -> None:
+        namespace: Dict[str, object] = {}
+        exec(compile(source, filename, "exec"), namespace)  # noqa: S102
+        setattr(cls, name, namespace[name])
+
+    for message, impl_name in _RECV_IMPLS.items():
+        handler_name = cls.RECV_PREFIX + message
+        if handler_name in cls.__dict__:
+            continue
+        define(f"def {handler_name}(self, msg):\n"
+               f"    return self.{impl_name}(msg)\n", handler_name)
+    for message in c.UPLINK_MESSAGES:
+        handler_name = cls.SEND_PREFIX + message
+        if handler_name in cls.__dict__:
+            continue
+        define(f"def {handler_name}(self, fields, protected=False):\n"
+               f"    return self._send_impl({message!r}, fields, "
+               f"protected)\n", handler_name)
+
+
+synthesize_handlers(UeNas)

@@ -1,0 +1,37 @@
+"""Symbolic/explicit model-checking substrate (the paper's NuXmv role).
+
+Layers:
+
+- :mod:`repro.mc.expr` — finite-domain state predicates + guard parser;
+- :mod:`repro.mc.ltl` — LTL formulas (NNF by construction) + parser;
+- :mod:`repro.mc.buchi` — GPVW tableau LTL→Büchi translation;
+- :mod:`repro.mc.model` — guarded-command transition systems (SMV stand-in);
+- :mod:`repro.mc.checker` — invariant BFS and Büchi-product LTL checking;
+- :mod:`repro.mc.counterexample` — lasso traces consumed by the CEGAR loop.
+"""
+
+from .expr import (And, Compare, Const, Expr, ExprError, FALSE, Not, Or,
+                   TRUE, conjoin, parse_expr, var_equals)
+from .ltl import (Atom, F, Formula, G, Implies, LTLError, R, U, X, And_,
+                  Or_, Not_, LTL_FALSE, LTL_TRUE, atom, closure_size,
+                  parse_ltl)
+from .buchi import BuchiAutomaton, ltl_to_buchi
+from .model import (Choice, Command, Model, ModelError, Plus, Ref, Variable)
+from .checker import (CheckerError, as_invariant, check_invariant, check_ltl,
+                      formula_to_expr)
+from .counterexample import ADVERSARY_PREFIX, CheckResult, Step, Trace
+from .smv import SmvExportError, to_smv
+
+__all__ = [
+    "And", "Compare", "Const", "Expr", "ExprError", "FALSE", "Not", "Or",
+    "TRUE", "conjoin", "parse_expr", "var_equals",
+    "Atom", "F", "Formula", "G", "Implies", "LTLError", "R", "U", "X",
+    "And_", "Or_", "Not_", "LTL_FALSE", "LTL_TRUE", "atom", "closure_size",
+    "parse_ltl",
+    "BuchiAutomaton", "ltl_to_buchi",
+    "Choice", "Command", "Model", "ModelError", "Plus", "Ref", "Variable",
+    "CheckerError", "as_invariant", "check_invariant", "check_ltl",
+    "formula_to_expr",
+    "ADVERSARY_PREFIX", "CheckResult", "Step", "Trace",
+    "SmvExportError", "to_smv",
+]

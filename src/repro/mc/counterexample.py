@@ -1,0 +1,136 @@
+"""Counterexample traces produced by the model checker.
+
+A counterexample is a *lasso*: a finite prefix of states followed by a loop
+(for liveness violations), or a plain finite prefix (safety violations,
+where any infinite continuation stays violating).  Each step records the
+command label that produced it, which is what the CEGAR loop inspects: the
+labels of adversary commands (``adv_*``) are the "adversarial actions" whose
+cryptographic feasibility the protocol verifier must confirm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .expr import Value
+
+
+@dataclass(frozen=True)
+class Step:
+    """One step of a counterexample: the command fired and the state reached."""
+
+    label: str
+    state: Dict[str, Value]
+
+    def __post_init__(self):
+        object.__setattr__(self, "state", dict(self.state))
+
+
+#: Prefix that marks commands injected by the threat instrumentor.
+ADVERSARY_PREFIX = "adv_"
+
+
+@dataclass
+class Trace:
+    """A (possibly lassoing) execution fragment witnessing a violation."""
+
+    initial_state: Dict[str, Value]
+    steps: List[Step] = field(default_factory=list)
+    loop_start: Optional[int] = None
+
+    @property
+    def is_lasso(self) -> bool:
+        return self.loop_start is not None
+
+    @property
+    def states(self) -> List[Dict[str, Value]]:
+        return [self.initial_state] + [step.state for step in self.steps]
+
+    @property
+    def labels(self) -> List[str]:
+        return [step.label for step in self.steps]
+
+    def adversary_steps(self) -> List[Step]:
+        """The steps the Dolev-Yao adversary took — input to the CPV check."""
+        return [step for step in self.steps
+                if step.label.startswith(ADVERSARY_PREFIX)]
+
+    def adversary_actions(self) -> List[str]:
+        return [step.label for step in self.adversary_steps()]
+
+    def project(self, variables: Sequence[str]) -> List[Tuple[Value, ...]]:
+        """The trace restricted to the given variables (for reporting)."""
+        return [tuple(state[name] for name in variables)
+                for state in self.states]
+
+    _IDLE_PREFIXES = ("adv_pass", "stutter", "ue_skip", "mme_skip")
+
+    def format(self, variables: Optional[Sequence[str]] = None,
+               hide_idle: bool = False) -> str:
+        """Human-readable rendering used in attack reports.
+
+        ``hide_idle=True`` elides pass/skip/stutter steps outside the
+        loop region (step numbering is preserved, elisions are marked),
+        which keeps dossier counterexamples focused on the adversarial
+        and protocol actions.
+        """
+        lines = []
+        names = list(variables) if variables else sorted(self.initial_state)
+        header = "step  command" + " " * 25 + "  ".join(names)
+        lines.append(header)
+
+        def render(index: int, label: str, state: Dict[str, Value]) -> str:
+            marker = "*" if (self.loop_start is not None
+                             and index >= self.loop_start) else " "
+            values = "  ".join(str(state[name]) for name in names)
+            return f"{marker}{index:>4}  {label:<30}  {values}"
+
+        def idle(index: int, label: str) -> bool:
+            if not hide_idle:
+                return False
+            if self.loop_start is not None and index >= self.loop_start:
+                return False
+            return label.startswith(self._IDLE_PREFIXES)
+
+        lines.append(render(0, "(init)", self.initial_state))
+        elided = 0
+        for index, step in enumerate(self.steps, start=1):
+            if idle(index, step.label):
+                elided += 1
+                continue
+            if elided:
+                lines.append(f"      ... {elided} idle step(s) elided")
+                elided = 0
+            lines.append(render(index, step.label, step.state))
+        if elided:
+            lines.append(f"      ... {elided} idle step(s) elided")
+        if self.loop_start is not None:
+            lines.append(f"(loop back to step {self.loop_start})")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class CheckResult:
+    """Verdict of one model-checking run."""
+
+    property_name: str
+    holds: bool
+    counterexample: Optional[Trace] = None
+    states_explored: int = 0
+    product_states: int = 0
+    buchi_states: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def violated(self) -> bool:
+        return not self.holds
+
+    def summary(self) -> str:
+        verdict = "HOLDS" if self.holds else "VIOLATED"
+        return (f"{self.property_name}: {verdict} "
+                f"({self.states_explored} states, "
+                f"{self.elapsed_seconds:.3f}s)")

@@ -1,0 +1,223 @@
+"""Finite-state transition system description (our SMV-like language).
+
+The paper's model generator "outputs a SMV description of the model"; here
+the equivalent target is a guarded-command transition system: finite-domain
+variables, a set of initial assignments, and labelled commands
+``guard -> updates``.  Non-determinism comes from (a) several commands being
+enabled in the same state — this is how the Dolev-Yao adversary's
+drop/pass/modify choice is encoded — and (b) :class:`Choice` updates.
+
+Update right-hand sides may be literals, :class:`Ref` (copy a current
+variable value), :class:`Plus` (bounded increment, for counters such as the
+NAS sequence number), or :class:`Choice` over any of these.
+
+The explicit-state checker (:mod:`repro.mc.checker`) interprets these
+models; the deterministic stutter rule (a state with no enabled command
+loops to itself) keeps all executions infinite, as LTL semantics requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Dict, Iterator, List, Mapping, Optional, Tuple,
+                    Union)
+
+from .expr import Expr, Value
+
+
+class ModelError(Exception):
+    """Raised for ill-formed models (unknown variables, domain violations)."""
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A state variable with an explicit finite domain."""
+
+    name: str
+    domain: Tuple[Value, ...]
+
+    def __post_init__(self):
+        if not self.domain:
+            raise ModelError(f"variable {self.name!r} has empty domain")
+
+    def validate(self, value: Value) -> None:
+        if value not in self.domain:
+            raise ModelError(
+                f"value {value!r} outside domain of {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Update RHS: the *current* value of another variable."""
+
+    variable: str
+
+
+@dataclass(frozen=True)
+class Plus:
+    """Update RHS: ``min(current + amount, ceiling)`` of an int variable.
+
+    Saturating rather than wrapping: protocol counters in the extracted
+    models are abstracted to small saturating integers.
+    """
+
+    variable: str
+    amount: int = 1
+    ceiling: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Choice:
+    """Update RHS: a non-deterministic choice among alternatives."""
+
+    options: Tuple[Union[Value, Ref, Plus], ...]
+
+    def __init__(self, *options):
+        if not options:
+            raise ModelError("Choice requires at least one option")
+        object.__setattr__(self, "options", tuple(options))
+
+
+UpdateRHS = Union[Value, Ref, Plus, Choice]
+
+
+@dataclass(frozen=True)
+class Command:
+    """A labelled guarded command ``label: guard -> updates``."""
+
+    label: str
+    guard: Expr
+    updates: Mapping[str, UpdateRHS]
+
+    def __post_init__(self):
+        object.__setattr__(self, "updates", dict(self.updates))
+
+
+def _resolve(rhs: Union[Value, Ref, Plus], state: Mapping[str, Value]) -> Value:
+    if isinstance(rhs, Ref):
+        return state[rhs.variable]
+    if isinstance(rhs, Plus):
+        current = state[rhs.variable]
+        if not isinstance(current, int) or isinstance(current, bool):
+            raise ModelError(f"Plus on non-integer variable {rhs.variable!r}")
+        value = current + rhs.amount
+        if rhs.ceiling is not None:
+            value = min(value, rhs.ceiling)
+        return value
+    return rhs
+
+
+@dataclass
+class Model:
+    """A guarded-command transition system."""
+
+    name: str
+    variables: List[Variable]
+    init: Dict[str, Value]
+    commands: List[Command] = field(default_factory=list)
+    fairness: List[Expr] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._by_name = {v.name: v for v in self.variables}
+        if len(self._by_name) != len(self.variables):
+            raise ModelError("duplicate variable names")
+        for name, value in self.init.items():
+            self.variable(name).validate(value)
+        missing = set(self._by_name) - set(self.init)
+        if missing:
+            raise ModelError(f"variables without initial value: {missing}")
+        self._order = tuple(sorted(self._by_name))
+
+    # ------------------------------------------------------------------
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ModelError(f"unknown variable {name!r}") from None
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        return self._order
+
+    def add_command(self, label: str, guard: Expr,
+                    updates: Mapping[str, UpdateRHS]) -> Command:
+        for name in updates:
+            self.variable(name)  # existence check
+        command = Command(label, guard, updates)
+        self.commands.append(command)
+        return command
+
+    # ------------------------------------------------------------------
+    # Execution semantics
+    # ------------------------------------------------------------------
+    def key(self, state: Mapping[str, Value]) -> Tuple[Value, ...]:
+        """Hashable canonical form of a state dict."""
+        return tuple(state[name] for name in self._order)
+
+    def unkey(self, key: Tuple[Value, ...]) -> Dict[str, Value]:
+        return dict(zip(self._order, key))
+
+    def initial_state(self) -> Dict[str, Value]:
+        return dict(self.init)
+
+    def enabled_commands(self, state: Mapping[str, Value]) -> List[Command]:
+        return [c for c in self.commands if c.guard.evaluate(state)]
+
+    def apply(self, state: Mapping[str, Value],
+              command: Command) -> Iterator[Dict[str, Value]]:
+        """Yield every successor the command can produce from ``state``."""
+        choice_items = [(name, rhs) for name, rhs in command.updates.items()
+                        if isinstance(rhs, Choice)]
+        plain_items = [(name, rhs) for name, rhs in command.updates.items()
+                       if not isinstance(rhs, Choice)]
+
+        base = dict(state)
+        for name, rhs in plain_items:
+            value = _resolve(rhs, state)
+            self.variable(name).validate(value)
+            base[name] = value
+        if not choice_items:
+            yield base
+            return
+
+        def expand(index: int, partial: Dict[str, Value]):
+            if index == len(choice_items):
+                yield dict(partial)
+                return
+            name, choice = choice_items[index]
+            for option in choice.options:
+                value = _resolve(option, state)
+                self.variable(name).validate(value)
+                partial[name] = value
+                yield from expand(index + 1, partial)
+
+        yield from expand(0, base)
+
+    def successors(
+        self, state: Mapping[str, Value]
+    ) -> Iterator[Tuple[str, Dict[str, Value]]]:
+        """Yield ``(command label, successor state)`` pairs.
+
+        A deadlocked state stutters (self-loop labelled ``"stutter"``) so
+        that every maximal execution is infinite.
+        """
+        produced = False
+        for command in self.enabled_commands(state):
+            for successor in self.apply(state, command):
+                produced = True
+                yield command.label, successor
+        if not produced:
+            yield "stutter", dict(state)
+
+    def state_count_bound(self) -> int:
+        """Product of domain sizes — upper bound used in scalability stats."""
+        bound = 1
+        for variable in self.variables:
+            bound *= len(variable.domain)
+        return bound
+
+    def validate_expression(self, expr: Expr) -> None:
+        """Check that ``expr`` only mentions declared variables."""
+        unknown = expr.variables() - set(self._by_name)
+        if unknown:
+            raise ModelError(f"expression uses unknown variables: {unknown}")

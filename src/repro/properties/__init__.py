@@ -1,0 +1,16 @@
+"""The 62-property catalog (37 security + 25 privacy, Section VI)."""
+
+from .spec import (CATEGORY_PRIVACY, CATEGORY_SECURITY, EXTRACTED_VOCAB,
+                   KIND_LTL, KIND_TESTBED, LTEINSPECTOR_VOCAB, Property,
+                   PropertyError)
+from .catalog import (ALL_PROPERTIES, COMMON_PROPERTIES,
+                      PRIVACY_PROPERTIES, SECURITY_PROPERTIES,
+                      catalog_summary, property_by_id)
+
+__all__ = [
+    "CATEGORY_PRIVACY", "CATEGORY_SECURITY", "EXTRACTED_VOCAB",
+    "KIND_LTL", "KIND_TESTBED", "LTEINSPECTOR_VOCAB", "Property",
+    "PropertyError",
+    "ALL_PROPERTIES", "COMMON_PROPERTIES", "PRIVACY_PROPERTIES",
+    "SECURITY_PROPERTIES", "catalog_summary", "property_by_id",
+]

@@ -1,0 +1,454 @@
+"""The full property catalog: 62 properties (37 security, 25 privacy).
+
+"We extracted, formalized, and verified a total of 62 properties among
+them 25 are related to privacy and 37 related to security" (Section VI).
+Each property carries the threat configuration its verification needs
+(which messages the adversary must be able to replay/inject), keeping the
+per-property model small — the property-guided scoping that lets a COTS
+explicit-state checker handle every model.
+
+The catalog divides into:
+
+- attack-detecting properties, each mapped to its Table I attack id
+  (P1-P3, I1-I6, and the PRIOR-* rows);
+- conformance/verified properties that hold on compliant models (the
+  bulk of a 62-property suite: most properties of a sound implementation
+  verify);
+- the 13 properties shared with LTEInspector (``common=True``, Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..lte import constants as c
+from ..threat import ThreatConfig
+from .spec import (CATEGORY_PRIVACY, CATEGORY_SECURITY, KIND_LTL,
+                   KIND_TESTBED, Property)
+
+# ---------------------------------------------------------------------------
+# Threat configurations (property-guided adversary scoping)
+# ---------------------------------------------------------------------------
+PASSIVE = ThreatConfig(allow_drop=False)
+DROP_ONLY = ThreatConfig()
+REPLAY_AUTH = ThreatConfig(replay_dl=(c.AUTHENTICATION_REQUEST,))
+REPLAY_ACCEPT = ThreatConfig(replay_dl=(c.ATTACH_ACCEPT,))
+REPLAY_SMC = ThreatConfig(replay_dl=(c.SECURITY_MODE_COMMAND,))
+REPLAY_GUTI = ThreatConfig(replay_dl=(c.GUTI_REALLOCATION_COMMAND,))
+INJECT_GUTI = ThreatConfig(inject_dl=(c.GUTI_REALLOCATION_COMMAND,))
+INJECT_SMC = ThreatConfig(inject_dl=(c.SECURITY_MODE_COMMAND,))
+INJECT_ACCEPT = ThreatConfig(inject_dl=(c.ATTACH_ACCEPT,))
+INJECT_AUTH = ThreatConfig(inject_dl=(c.AUTHENTICATION_REQUEST,))
+INJECT_PAGING = ThreatConfig(inject_dl=(c.PAGING,))
+INJECT_AUTH_REJECT = ThreatConfig(inject_dl=(c.AUTHENTICATION_REJECT,))
+INJECT_ATTACH_REJECT = ThreatConfig(inject_dl=(c.ATTACH_REJECT,))
+INJECT_SERVICE_REJECT = ThreatConfig(
+    inject_dl=(c.SERVICE_REJECT, c.PAGING))
+INJECT_DETACH = ThreatConfig(inject_dl=(c.DETACH_REQUEST,))
+INJECT_IDENTITY = ThreatConfig(inject_dl=(c.IDENTITY_REQUEST,))
+INJECT_UL_DETACH = ThreatConfig(inject_ul=(c.DETACH_REQUEST,))
+INJECT_UL_COMPLETE = ThreatConfig(inject_ul=(c.ATTACH_COMPLETE,))
+BYPASS = ThreatConfig(
+    inject_dl=(c.ATTACH_REJECT,),
+    replay_dl=(c.ATTACH_ACCEPT,))
+PASSIVE_DETACH = ThreatConfig(
+    allow_drop=False,
+    internal_triggers=("internal_power_on", "internal_detach"))
+PASSIVE_TAU = ThreatConfig(
+    allow_drop=False,
+    internal_triggers=("internal_power_on", "internal_tau"))
+INJECT_EMM_INFO = ThreatConfig(inject_dl=(c.EMM_INFORMATION,))
+
+
+def _sec(identifier: str, description: str, formula: str,
+         threat: ThreatConfig, attack_id: str = "",
+         common: bool = False) -> Property:
+    return Property(identifier, CATEGORY_SECURITY, KIND_LTL, description,
+                    formula=formula, threat=threat, attack_id=attack_id,
+                    common=common)
+
+
+def _priv(identifier: str, description: str, formula: str,
+          threat: ThreatConfig, attack_id: str = "",
+          common: bool = False) -> Property:
+    return Property(identifier, CATEGORY_PRIVACY, KIND_LTL, description,
+                    formula=formula, threat=threat, attack_id=attack_id,
+                    common=common)
+
+
+def _sec_tb(identifier: str, description: str, experiment: str,
+            attack_id: str = "") -> Property:
+    return Property(identifier, CATEGORY_SECURITY, KIND_TESTBED,
+                    description, testbed_attack=experiment,
+                    attack_id=attack_id)
+
+
+def _priv_tb(identifier: str, description: str, experiment: str,
+             attack_id: str = "") -> Property:
+    return Property(identifier, CATEGORY_PRIVACY, KIND_TESTBED,
+                    description, testbed_attack=experiment,
+                    attack_id=attack_id)
+
+
+# ---------------------------------------------------------------------------
+# Security properties (37)
+# ---------------------------------------------------------------------------
+SECURITY_PROPERTIES: List[Property] = [
+    # -- authentication freshness / replay (P1, I3) ------------------------
+    _sec("SEC-01", "If the UE gets authenticated, the authentication SQN "
+         "is greater than the previously accepted SQN (P1 property)",
+         "G (turn = ue & chan_dl = authentication_request & "
+         "dl_mac_valid = 1 & dl_sqn_rel != fresh "
+         "-> X (chan_ul != authentication_response))",
+         REPLAY_AUTH, attack_id="P1"),
+    _sec("SEC-02", "The UE never re-accepts the identical authentication "
+         "SQN (counter reset, I3)",
+         "G (turn = ue & chan_dl = authentication_request & "
+         "dl_mac_valid = 1 & dl_sqn_rel = equal "
+         "-> X (chan_ul != authentication_response))",
+         REPLAY_AUTH, attack_id="I3"),
+    _sec("SEC-03", "An authentication_request with an invalid MAC is "
+         "never answered with authentication_response",
+         "G (turn = ue & chan_dl = authentication_request & "
+         "dl_mac_valid = 0 -> X (chan_ul != authentication_response))",
+         INJECT_AUTH),
+    _sec("SEC-04", "An invalid-MAC authentication_request elicits "
+         "auth_mac_failure during attach",
+         "G (turn = ue & ue_state = $ue_registered_initiated & "
+         "chan_dl = authentication_request & dl_mac_valid = 0 "
+         "-> X (chan_ul = auth_mac_failure))",
+         INJECT_AUTH),
+    _sec("SEC-05", "Replayed authentication_requests cannot drive the "
+         "USIM into synchronisation failure (DoS amplification)",
+         "G (turn = ue & chan_dl = authentication_request & "
+         "dl_replayed = 1 -> X (chan_ul != auth_sync_failure))",
+         REPLAY_AUTH, attack_id="PRIOR-auth-sync-failure"),
+    # -- NAS replay protection (I1) ----------------------------------------
+    _sec("SEC-06", "A protected attach_accept with a stale NAS COUNT is "
+         "never accepted (replay protection, I1)",
+         "G (turn = ue & chan_dl = attach_accept & "
+         "dl_count_rel != fresh -> X (chan_ul != attach_complete))",
+         REPLAY_ACCEPT, attack_id="I1"),
+    _sec("SEC-07", "A replayed security_mode_command with a stale COUNT "
+         "is never completed",
+         "G (turn = ue & chan_dl = security_mode_command & "
+         "dl_replayed = 1 & dl_count_rel != fresh "
+         "-> X (chan_ul != security_mode_complete))",
+         REPLAY_SMC, attack_id="I1"),
+    _sec("SEC-08", "A replayed GUTI_reallocation_command with a stale "
+         "COUNT is never completed",
+         "G (turn = ue & chan_dl = guti_reallocation_command & "
+         "dl_count_rel != fresh "
+         "-> X (chan_ul != guti_reallocation_complete))",
+         REPLAY_GUTI, attack_id="I1"),
+    # -- integrity (I2) -----------------------------------------------------
+    _sec("SEC-09", "Protected-type messages with a plain (0x0) header are "
+         "never accepted after context establishment (I2)",
+         "G (turn = ue & chan_dl = guti_reallocation_command & "
+         "dl_plain = 1 -> X (chan_ul != guti_reallocation_complete))",
+         INJECT_GUTI, attack_id="I2"),
+    _sec("SEC-10", "A security_mode_command with an invalid MAC is never "
+         "completed",
+         "G (turn = ue & chan_dl = security_mode_command & "
+         "dl_mac_valid = 0 -> X (chan_ul != security_mode_complete))",
+         INJECT_SMC),
+    _sec("SEC-11", "An attach_accept with an invalid MAC is never "
+         "completed",
+         "G (turn = ue & chan_dl = attach_accept & dl_mac_valid = 0 & "
+         "dl_plain = 0 -> X (chan_ul != attach_complete))",
+         INJECT_ACCEPT),
+    _sec("SEC-12", "A plain security_mode_command is never completed",
+         "G (turn = ue & chan_dl = security_mode_command & dl_plain = 1 "
+         "-> X (chan_ul != security_mode_complete))",
+         INJECT_SMC),
+    # -- authentication before registration (I4) ---------------------------
+    _sec("SEC-13", "After a reject, the UE completes authentication "
+         "before re-entering the registered state (I4)",
+         "G (ue_state = $ue_attach_needed -> "
+         "(((ue_state != $ue_registered) U "
+         "(chan_ul = authentication_response)) | "
+         "G (ue_state != $ue_registered)))",
+         BYPASS, attack_id="I4"),
+    _sec("SEC-14", "On initial attach the UE completes authentication "
+         "before registering",
+         "G (ue_state = $ue_deregistered -> "
+         "(((ue_state != $ue_registered) U "
+         "(chan_ul = authentication_response)) | "
+         "G (ue_state != $ue_registered)))",
+         INJECT_ACCEPT, common=True),
+    # -- procedure completion / availability (P3, prior DoS) ---------------
+    _sec("SEC-15", "A network-initiated GUTI reallocation completes "
+         "(selective denial, P3)",
+         "G (chan_dl = guti_reallocation_command & dl_injected = 0 & "
+         "dl_replayed = 0 -> F (chan_ul = guti_reallocation_complete))",
+         DROP_ONLY, attack_id="P3", common=True),
+    _sec("SEC-16", "A network-initiated security mode procedure completes "
+         "(selective denial, P3)",
+         "G (chan_dl = security_mode_command & dl_injected = 0 & "
+         "dl_replayed = 0 -> F (chan_ul = security_mode_complete))",
+         DROP_ONLY, attack_id="P3", common=True),
+    _sec("SEC-17", "The attach procedure completes in the absence of an "
+         "active adversary",
+         "G (chan_ul = attach_request -> F (ue_state = $ue_registered))",
+         PASSIVE, common=True),
+    _sec("SEC-18", "UE-initiated detach completes in the absence of an "
+         "active adversary",
+         "G (chan_ul = detach_request -> "
+         "F (ue_state = $ue_deregistered))",
+         PASSIVE_DETACH, common=True),
+    _sec("SEC-19", "Tracking area update completes in the absence of an "
+         "active adversary",
+         "G (chan_ul = tracking_area_update_request -> "
+         "F (ue_state = $ue_registered))",
+         PASSIVE_TAU, common=True),
+    # -- spoofed reject / release messages (prior attacks) ------------------
+    _sec("SEC-20", "An injected authentication_reject cannot deregister "
+         "the UE (numb attack)",
+         "G (ue_state = $ue_registered_initiated & "
+         "chan_dl = authentication_reject & dl_injected = 1 & turn = ue "
+         "-> X (ue_state != $ue_deregistered))",
+         INJECT_AUTH_REJECT, attack_id="PRIOR-numb", common=True),
+    _sec("SEC-21", "An injected attach_reject cannot abort the attach "
+         "procedure (service denial)",
+         "G (ue_state = $ue_registered_initiated & "
+         "chan_dl = attach_reject & dl_injected = 1 & turn = ue "
+         "-> X (ue_state = $ue_registered_initiated))",
+         INJECT_ATTACH_REJECT, attack_id="PRIOR-service-denial",
+         common=True),
+    _sec("SEC-22", "An injected service_reject cannot push the UE out of "
+         "service (denial of all services)",
+         "G (ue_state = $ue_service_initiated & "
+         "chan_dl = service_reject & dl_injected = 1 & turn = ue "
+         "-> X (ue_state != $ue_attach_needed))",
+         INJECT_SERVICE_REJECT, attack_id="PRIOR-denial-all-services"),
+    _sec("SEC-23", "An injected plaintext detach_request cannot detach "
+         "the UE during attach (detach/downgrade)",
+         "G (ue_state = $ue_registered_initiated & "
+         "chan_dl = detach_request & dl_injected = 1 & turn = ue "
+         "-> X (ue_state != $ue_deregistered))",
+         INJECT_DETACH, attack_id="PRIOR-detach-downgrade"),
+    _sec("SEC-24", "A spoofed uplink detach_request cannot deregister the "
+         "session at the MME (stealthy kicking-off)",
+         "G (mme_state = $mme_registered & chan_ul = detach_request & "
+         "ul_injected = 1 & turn = mme "
+         "-> X (mme_state != $mme_deregistered))",
+         INJECT_UL_DETACH, attack_id="PRIOR-stealthy-kickoff",
+         common=True),
+    _sec("SEC-25", "Injected paging cannot trigger a service request "
+         "(paging hijacking)",
+         "G (chan_dl = paging & dl_injected = 1 & turn = ue "
+         "-> X (chan_ul != service_request))",
+         INJECT_PAGING, attack_id="PRIOR-paging-hijack", common=True),
+    _sec("SEC-26", "Injected paging cannot move a registered UE off "
+         "normal service (panic attack)",
+         "G (ue_state = $ue_registered & chan_dl = paging & "
+         "dl_injected = 1 & turn = ue "
+         "-> X (ue_state = $ue_registered))",
+         INJECT_PAGING, attack_id="PRIOR-panic"),
+    # -- MME-side progression ------------------------------------------------
+    _sec("SEC-27", "The MME authenticates before sending attach_accept",
+         "G (mme_state = $mme_deregistered -> "
+         "(((chan_dl != attach_accept) U "
+         "(chan_ul = authentication_response)) | "
+         "G (chan_dl != attach_accept)))",
+         PASSIVE, common=True),
+    _sec("SEC-28", "A forged attach_complete cannot register the session "
+         "at the MME",
+         "G (mme_state = $mme_common & chan_ul = attach_complete & "
+         "ul_injected = 1 -> X (mme_state != $mme_registered))",
+         INJECT_UL_COMPLETE),
+    _sec("SEC-29", "The MME answers a synchronisation failure with a "
+         "fresh authentication_request",
+         "G (mme_state = $mme_common & chan_ul = auth_sync_failure & "
+         "ul_injected = 0 & turn = mme "
+         "-> X (chan_dl = authentication_request))",
+         PASSIVE),
+    # -- responsiveness (verified behaviour) --------------------------------
+    _sec("SEC-30", "A valid SMC in the authenticated state is completed",
+         "G (turn = ue & ue_state = $ue_authenticated & "
+         "chan_dl = security_mode_command & dl_mac_valid = 1 & "
+         "dl_count_rel = fresh "
+         "-> X (chan_ul = security_mode_complete))",
+         PASSIVE),
+    _sec("SEC-31", "A valid attach_accept in the secure state is "
+         "completed",
+         "G (turn = ue & ue_state = $ue_secure & "
+         "chan_dl = attach_accept & dl_mac_valid = 1 & "
+         "dl_count_rel = fresh -> X (chan_ul = attach_complete))",
+         PASSIVE),
+    _sec("SEC-32", "A genuine network detach is acknowledged",
+         "G (turn = ue & ue_state = $ue_registered & "
+         "chan_dl = detach_request & dl_injected = 0 & dl_replayed = 0 & "
+         "dl_mac_valid = 1 -> X (chan_ul = detach_accept))",
+         PASSIVE_DETACH, common=True),
+    _sec("SEC-33", "A genuine paging occasion is answered while "
+         "registered",
+         "G (turn = ue & ue_state = $ue_registered & chan_dl = paging & "
+         "dl_injected = 0 -> X (chan_ul = service_request))",
+         PASSIVE, common=True),
+    # -- state-machine sanity (verified structure) ---------------------------
+    _sec("SEC-34", "A deregistered UE never answers paging with a "
+         "service request",
+         "G (turn = ue & ue_state = $ue_deregistered & chan_dl = paging "
+         "-> X (chan_ul != service_request))",
+         INJECT_PAGING),
+    _sec("SEC-35", "No security_mode_complete before authentication",
+         "G (turn = ue & ue_state = $ue_registered_initiated & "
+         "chan_dl = security_mode_command "
+         "-> X (chan_ul != security_mode_complete))",
+         INJECT_SMC),
+    _sec("SEC-36", "The detach acknowledgement terminates the session",
+         "G (turn = ue & ue_state = $ue_dereg_initiated & "
+         "chan_dl = detach_accept "
+         "-> X (ue_state = $ue_deregistered))",
+         PASSIVE_DETACH),
+    _sec("SEC-37", "The scheduler is deadlock-free: the UE acts "
+         "infinitely often",
+         "G (F (turn = ue))",
+         DROP_ONLY),
+]
+
+# ---------------------------------------------------------------------------
+# Privacy properties (25)
+# ---------------------------------------------------------------------------
+PRIVACY_PROPERTIES: List[Property] = [
+    # -- linkability experiments (CPV observational equivalence) -----------
+    _priv_tb("PRIV-01", "Two UEs are indistinguishable by their response "
+             "to a replayed authentication_request (P2)",
+             "P2", attack_id="P2"),
+    _priv_tb("PRIV-02", "Two UEs are indistinguishable by their response "
+             "to a replayed security_mode_command (I6)",
+             "I6", attack_id="I6"),
+    _priv_tb("PRIV-03", "Paging with IMSI does not single out the paged "
+             "subscriber",
+             "PRIOR-linkability-imsi-paging",
+             attack_id="PRIOR-linkability-imsi-paging"),
+    _priv_tb("PRIV-04", "Failure-message types do not distinguish UEs "
+             "(auth_sync_failure vs auth_mac_failure)",
+             "PRIOR-linkability-auth-sync",
+             attack_id="PRIOR-linkability-auth-sync"),
+    _priv_tb("PRIV-05", "A relayed session is distinguishable from a "
+             "direct one (authentication relay)",
+             "PRIOR-auth-relay", attack_id="PRIOR-auth-relay"),
+    _priv_tb("PRIV-06", "The GUTI changes across observation windows "
+             "(GUTI/TMSI linkability)",
+             "PRIOR-linkability-guti",
+             attack_id="PRIOR-linkability-guti"),
+    _priv_tb("PRIV-07", "TMSI reallocation is unlinkable (3G procedure; "
+             "'-' in Table I)",
+             "PRIOR-linkability-tmsi-realloc",
+             attack_id="PRIOR-linkability-tmsi-realloc"),
+    _priv_tb("PRIV-08", "The IMSI is never disclosed to an "
+             "unauthenticated identity_request after attach (I5)",
+             "I5", attack_id="I5"),
+    # -- identity exposure (model checking) ---------------------------------
+    _priv("PRIV-09", "A registered UE never answers identity_request "
+          "with an identity_response (I5 model-level)",
+          "G (turn = ue & ue_state = $ue_registered & "
+          "chan_dl = identity_request "
+          "-> X (chan_ul != identity_response))",
+          INJECT_IDENTITY, attack_id="I5"),
+    _priv("PRIV-10", "The GUTI cannot be (re)set by a plaintext message "
+          "(attacker-chosen tracking identifier, I2 privacy side)",
+          "G (turn = ue & chan_dl = guti_reallocation_command & "
+          "dl_plain = 1 -> X (chan_ul != guti_reallocation_complete))",
+          INJECT_GUTI, attack_id="I2"),
+    _priv("PRIV-11", "GUTI reallocation eventually refreshes the "
+          "temporary identity (P3 privacy impact)",
+          "G (chan_dl = guti_reallocation_command & dl_injected = 0 & "
+          "dl_replayed = 0 -> F (chan_ul = guti_reallocation_complete))",
+          DROP_ONLY, attack_id="P3"),
+    _priv("PRIV-12", "An identity_response is only ever sent after an "
+          "identity_request",
+          "G (ue_state = $ue_deregistered -> "
+          "(((chan_ul != identity_response) U "
+          "(chan_dl = identity_request)) | "
+          "G (chan_ul != identity_response)))",
+          PASSIVE),
+    _priv("PRIV-13", "During initial attach the UE answers the "
+          "network's identity request (but only then)",
+          "G (turn = ue & ue_state = $ue_registered_initiated & "
+          "chan_dl = identity_request & dl_injected = 0 "
+          "-> X (chan_ul = identity_response))",
+          PASSIVE),
+    _priv("PRIV-14", "A secure-state UE never volunteers an identity "
+          "response",
+          "G (turn = ue & ue_state = $ue_secure & "
+          "chan_dl = identity_request "
+          "-> X (chan_ul != identity_response))",
+          INJECT_IDENTITY),
+    _priv("PRIV-15", "An authenticated-state UE never volunteers an "
+          "identity response",
+          "G (turn = ue & ue_state = $ue_authenticated & "
+          "chan_dl = identity_request "
+          "-> X (chan_ul != identity_response))",
+          INJECT_IDENTITY),
+    # -- testbed/CPV secrecy experiments -------------------------------------
+    _priv_tb("PRIV-16", "The permanent key never leaks to the channel "
+             "(secrecy of K)",
+             "SECRECY-permanent-key"),
+    _priv_tb("PRIV-17", "The session keys never leak to the channel "
+             "(secrecy of KASME/NAS keys)",
+             "SECRECY-session-keys"),
+    _priv_tb("PRIV-18", "The IMSI is underivable from a GUTI-based "
+             "attach exchange",
+             "SECRECY-imsi-guti-attach"),
+    _priv_tb("PRIV-19", "Re-attach uses the GUTI rather than the IMSI "
+             "when one is assigned",
+             "GUTI-reattach"),
+    _priv_tb("PRIV-20", "Replaying an attach_request to the network does "
+             "not distinguish subscribers",
+             "ATTACH-replay-indistinguishable"),
+    # -- model-level privacy hygiene -----------------------------------------
+    _priv("PRIV-21", "Honest paging never uses the IMSI once a GUTI is "
+          "assigned (MME-side hygiene)",
+          "G (mme_state = $mme_registered & chan_dl = paging & "
+          "dl_injected = 0 -> F (turn = ue))",
+          PASSIVE),
+    _priv("PRIV-22", "The UE never responds to foreign-identity paging",
+          "G (turn = ue & ue_state = $ue_deregistered & "
+          "chan_dl = paging -> X (chan_ul != service_request))",
+          INJECT_PAGING),
+    _priv("PRIV-23", "auth_mac_failure responses carry no "
+          "subscriber-distinguishing state (always available)",
+          "G (turn = ue & ue_state = $ue_registered_initiated & "
+          "chan_dl = authentication_request & dl_mac_valid = 0 "
+          "-> X (chan_ul != auth_sync_failure))",
+          INJECT_AUTH),
+    _priv("PRIV-24", "GUTI reallocation completion follows a genuine "
+          "command only",
+          "G (ue_state = $ue_deregistered -> "
+          "(((chan_ul != guti_reallocation_complete) U "
+          "(chan_dl = guti_reallocation_command)) | "
+          "G (chan_ul != guti_reallocation_complete)))",
+          PASSIVE),
+    _priv("PRIV-25", "The UE does not emit uplink traffic before "
+          "initiating attach (no tracking before registration)",
+          "G (ue_state = $ue_deregistered & turn = ue & "
+          "chan_dl = none -> X (chan_ul != identity_response))",
+          PASSIVE),
+]
+
+ALL_PROPERTIES: List[Property] = SECURITY_PROPERTIES + PRIVACY_PROPERTIES
+
+#: The Table II set: properties shared with LTEInspector.
+COMMON_PROPERTIES: List[Property] = [p for p in ALL_PROPERTIES if p.common]
+
+
+def property_by_id(identifier: str) -> Property:
+    for prop in ALL_PROPERTIES:
+        if prop.identifier == identifier:
+            return prop
+    raise KeyError(identifier)
+
+
+def catalog_summary() -> Dict[str, int]:
+    return {
+        "total": len(ALL_PROPERTIES),
+        "security": len(SECURITY_PROPERTIES),
+        "privacy": len(PRIVACY_PROPERTIES),
+        "common": len(COMMON_PROPERTIES),
+        "ltl": sum(1 for p in ALL_PROPERTIES if p.kind == KIND_LTL),
+        "testbed": sum(1 for p in ALL_PROPERTIES
+                       if p.kind == KIND_TESTBED),
+    }

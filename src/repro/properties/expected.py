@@ -1,0 +1,70 @@
+"""The paper's Table I as data: expected verdicts per implementation.
+
+Single source of truth for the detection matrix — the regression tests
+(`tests/core/test_prochecker.py`, `tests/testbed/test_attacks.py`) and
+the Table I benchmark all assert against these tables, so a behavioural
+regression in any layer surfaces as a matrix mismatch.
+
+Encoding: the paper's filled circle (attack applies) is ``True``, the
+empty circle ``False``; our ``reference`` column is the closed-source
+stand-in (the paper prints no circles for it — the expectation follows
+from the attack classes: standards-level rows apply, implementation rows
+do not).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+IMPLEMENTATIONS: Tuple[str, ...] = ("reference", "srsue", "oai")
+
+#: New attacks (Table I top): attack id -> {implementation: detected?}
+NEW_ATTACKS: Dict[str, Dict[str, bool]] = {
+    "P1": {"reference": True, "srsue": True, "oai": True},
+    "P2": {"reference": True, "srsue": True, "oai": True},
+    "P3": {"reference": True, "srsue": True, "oai": True},
+    "I1": {"reference": False, "srsue": True, "oai": True},
+    "I2": {"reference": False, "srsue": False, "oai": True},
+    "I3": {"reference": False, "srsue": True, "oai": False},
+    "I4": {"reference": False, "srsue": True, "oai": False},
+    "I5": {"reference": False, "srsue": False, "oai": True},
+    "I6": {"reference": False, "srsue": True, "oai": True},
+}
+
+#: Prior attacks detected on every implementation (12 rows).
+PRIOR_DETECTED: Tuple[str, ...] = (
+    "PRIOR-auth-sync-failure",
+    "PRIOR-stealthy-kickoff",
+    "PRIOR-panic",
+    "PRIOR-linkability-imsi-paging",
+    "PRIOR-linkability-auth-sync",
+    "PRIOR-auth-relay",
+    "PRIOR-numb",
+    "PRIOR-denial-all-services",
+    "PRIOR-paging-hijack",
+    "PRIOR-detach-downgrade",
+    "PRIOR-service-denial",
+    "PRIOR-linkability-guti",
+)
+
+#: The two rows the paper marks '-' (not evaluated / not applicable).
+PRIOR_NOT_APPLICABLE: Tuple[str, ...] = (
+    "PRIOR-linkability-tmsi-realloc",
+    "PRIOR-downgrade-tau-reject",
+)
+
+#: 5G forward-claims (beyond Table I; "Impact on 5G" paragraphs).
+FIVE_G_ATTACKS: Tuple[str, ...] = ("P3-5G",)
+
+
+def expected_detected(implementation: str) -> set:
+    """All attack ids the pipeline should detect for ``implementation``."""
+    detected = {attack for attack, row in NEW_ATTACKS.items()
+                if row[implementation]}
+    detected.update(PRIOR_DETECTED)
+    return detected
+
+
+def matrix_rows() -> Tuple[str, ...]:
+    """Table I row order (new attacks, then prior, then '-' rows)."""
+    return (tuple(NEW_ATTACKS) + PRIOR_DETECTED + PRIOR_NOT_APPLICABLE)

@@ -1,0 +1,98 @@
+"""Property specification: formal security and privacy goals (Section VI).
+
+A :class:`Property` is either an LTL obligation checked on the
+threat-instrumented model via the CEGAR loop (``kind="ltl"``), or a
+testbed/CPV experiment (``kind="testbed"``) for the observational
+(linkability/secrecy) goals that model checking alone cannot express.
+
+LTL formulas are written against a *vocabulary template*: state names
+appear as ``$placeholders`` so the same property text can be checked both
+on ProChecker's extracted models (TS 24.301 state names) and on the
+LTEInspector baseline (its own coarser names) — how the Fig. 8
+scalability comparison runs the common property set on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from string import Template
+from typing import Dict
+
+from ..lte import constants as c
+from ..threat import ThreatConfig
+
+CATEGORY_SECURITY = "security"
+CATEGORY_PRIVACY = "privacy"
+
+KIND_LTL = "ltl"
+KIND_TESTBED = "testbed"
+
+
+class PropertyError(Exception):
+    """Raised for malformed property specifications."""
+
+
+#: Vocabulary for models extracted by ProChecker (TS 24.301 names).
+EXTRACTED_VOCAB: Dict[str, str] = {
+    "ue_deregistered": c.EMM_DEREGISTERED,
+    "ue_registered_initiated": c.EMM_REGISTERED_INITIATED,
+    "ue_authenticated": c.EMM_REGISTERED_INITIATED_AUTHENTICATED,
+    "ue_secure": c.EMM_REGISTERED_INITIATED_SECURE,
+    "ue_registered": c.EMM_REGISTERED,
+    "ue_attach_needed": c.EMM_DEREGISTERED_ATTACH_NEEDED,
+    "ue_dereg_initiated": c.EMM_DEREGISTERED_INITIATED,
+    "ue_service_initiated": c.EMM_SERVICE_REQUEST_INITIATED,
+    "ue_tau_initiated": c.EMM_TRACKING_AREA_UPDATING_INITIATED,
+    "mme_deregistered": "mme_deregistered",
+    "mme_common": "mme_common_procedure_initiated",
+    "mme_registered": "mme_registered",
+}
+
+#: Vocabulary for the LTEInspector baseline model (coarser states).
+LTEINSPECTOR_VOCAB: Dict[str, str] = {
+    "ue_deregistered": "ue_deregistered",
+    "ue_registered_initiated": "ue_registered_initiated",
+    "ue_authenticated": "ue_registered_initiated",
+    "ue_secure": "ue_registered_initiated",
+    "ue_registered": "ue_registered",
+    "ue_attach_needed": "ue_deregistered",
+    "ue_dereg_initiated": "ue_dereg_initiated",
+    "ue_service_initiated": "ue_registered",
+    "ue_tau_initiated": "ue_registered",
+    "mme_deregistered": "mme_deregistered",
+    "mme_common": "mme_common_procedure_initiated",
+    "mme_registered": "mme_registered",
+}
+
+
+@dataclass(frozen=True)
+class Property:
+    """One formal security/privacy goal."""
+
+    identifier: str
+    category: str
+    kind: str
+    description: str
+    #: LTL template (``$placeholders`` from the vocabularies above)
+    formula: str = ""
+    threat: ThreatConfig = field(default_factory=ThreatConfig)
+    #: testbed experiment id (for ``kind="testbed"``)
+    testbed_attack: str = ""
+    #: Table I attack this property detects, if any ("P1", "I3", ...)
+    attack_id: str = ""
+    #: member of the 13-property set shared with LTEInspector (Table II)
+    common: bool = False
+
+    def __post_init__(self):
+        if self.category not in (CATEGORY_SECURITY, CATEGORY_PRIVACY):
+            raise PropertyError(f"bad category {self.category!r}")
+        if self.kind == KIND_LTL and not self.formula:
+            raise PropertyError(f"{self.identifier}: LTL property "
+                                "requires a formula")
+        if self.kind == KIND_TESTBED and not self.testbed_attack:
+            raise PropertyError(f"{self.identifier}: testbed property "
+                                "requires an experiment id")
+
+    def formula_for(self, vocabulary: Dict[str, str]) -> str:
+        """Instantiate the formula template for a concrete model."""
+        return Template(self.formula).substitute(vocabulary)

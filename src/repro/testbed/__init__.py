@@ -1,0 +1,25 @@
+"""Simulated SDR testbed: end-to-end attack validation (Section VI).
+
+- :mod:`repro.testbed.simulator` — multi-UE lab with a shared core;
+- :mod:`repro.testbed.attacker` — sniff/drop/replay/inject toolkit;
+- :mod:`repro.testbed.attacks` — the new attacks P1-P3 and I1-I6;
+- :mod:`repro.testbed.prior` — the 14 previously-known attacks;
+- :mod:`repro.testbed.traces` — synthetic operator traces (SQN ageing).
+"""
+
+from .simulator import Testbed, UeStation
+from .attacker import Attacker, DropFilter
+from .attacks import AttackResult, registry, run_attack
+from . import prior  # noqa: F401 - registers the prior attacks
+from . import experiments  # noqa: F401 - registers CPV experiments
+from .prior import PRIOR_ATTACK_IDS
+from .traces import (StalenessReport, simulate_operator_trace,
+                     stale_window_size)
+
+__all__ = [
+    "Testbed", "UeStation",
+    "Attacker", "DropFilter",
+    "AttackResult", "registry", "run_attack",
+    "PRIOR_ATTACK_IDS",
+    "StalenessReport", "simulate_operator_trace", "stale_window_size",
+]

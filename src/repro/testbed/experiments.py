@@ -1,0 +1,158 @@
+"""CPV secrecy/indistinguishability experiments (privacy verification).
+
+These complement the attack scripts: they run honest (or lightly probed)
+protocol exchanges on the testbed and pose Dolev-Yao queries about what
+the adversary learned.  ``succeeded=True`` means the property is
+VIOLATED (a leak or a distinguisher was found) — the same convention as
+the attack registry, which these experiments share.
+"""
+
+from __future__ import annotations
+
+from ..cpv.deduction import Knowledge
+from ..cpv.equivalence import Frame, distinguishable
+from ..cpv.terms import Atom, KIND_DATA, KIND_KEY
+from ..lte import constants as c
+from ..lte.messages import NasMessage
+from .attacker import Attacker, _message_term
+from .attacks import AttackResult, attack
+from .simulator import Testbed
+
+
+def _channel_knowledge(testbed: Testbed, station: str) -> Knowledge:
+    """Everything a passive adversary saw on the victim's link, as terms."""
+    knowledge = Knowledge()
+    for record in testbed.station(station).link.history:
+        try:
+            message = NasMessage.from_wire(record.frame)
+        except Exception:  # noqa: BLE001
+            continue
+        knowledge.observe(_message_term(message))
+    return knowledge
+
+
+@attack("SECRECY-permanent-key")
+def secrecy_permanent_key(implementation: str) -> AttackResult:
+    """The subscriber's permanent key K must never be channel-derivable."""
+    testbed = Testbed(implementation)
+    testbed.add_ue("victim")
+    testbed.attach_all()
+    victim = testbed.station("victim")
+    knowledge = _channel_knowledge(testbed, "victim")
+    key_term = Atom(f"K:{victim.subscriber.permanent_key.hex()}",
+                    KIND_KEY, public=False)
+    leaked = knowledge.can_construct(key_term)
+    return AttackResult(
+        "SECRECY-permanent-key", implementation, leaked,
+        "permanent key derivable from channel traffic" if leaked
+        else "permanent key underivable from observed traffic")
+
+
+@attack("SECRECY-session-keys")
+def secrecy_session_keys(implementation: str) -> AttackResult:
+    """KASME / NAS keys must never be channel-derivable."""
+    testbed = Testbed(implementation)
+    testbed.add_ue("victim")
+    testbed.attach_all()
+    victim = testbed.station("victim")
+    knowledge = _channel_knowledge(testbed, "victim")
+    context = victim.ue.security_ctx
+    if context is None:
+        return AttackResult("SECRECY-session-keys", implementation, False,
+                            "no context established")
+    leaked = any(
+        knowledge.can_construct(Atom(f"key:{key.hex()}", KIND_KEY))
+        for key in (context.kasme, context.k_nas_int, context.k_nas_enc))
+    return AttackResult(
+        "SECRECY-session-keys", implementation, leaked,
+        "session key derivable" if leaked
+        else "session keys underivable from observed traffic")
+
+
+@attack("SECRECY-imsi-guti-attach")
+def secrecy_imsi_guti_attach(implementation: str) -> AttackResult:
+    """A GUTI-based re-attach must not expose the IMSI on the channel."""
+    testbed = Testbed(implementation)
+    testbed.add_ue("victim")
+    testbed.attach_all()
+    victim = testbed.station("victim")
+    # Second session: the UE now holds a GUTI and should identify with it.
+    first_session_end = len(victim.link.history)
+    victim.ue.emm_state = c.EMM_DEREGISTERED
+    victim.mme.emm_state = "MME_EMM_DEREGISTERED"
+    victim.ue.power_on()
+    imsi = str(victim.subscriber.imsi)
+    knowledge = Knowledge()
+    for record in victim.link.history[first_session_end:]:
+        try:
+            message = NasMessage.from_wire(record.frame)
+        except Exception:  # noqa: BLE001
+            continue
+        knowledge.observe(_message_term(message))
+    imsi_atom = Atom(f"imsi:{imsi}", KIND_DATA, public=False)
+    leaked = knowledge.can_construct(imsi_atom)
+    return AttackResult(
+        "SECRECY-imsi-guti-attach", implementation, leaked,
+        "IMSI observable in the GUTI-based re-attach" if leaked
+        else "re-attach exchange reveals no IMSI")
+
+
+@attack("GUTI-reattach")
+def guti_reattach(implementation: str) -> AttackResult:
+    """After a GUTI is assigned, re-attach identifies with the GUTI."""
+    testbed = Testbed(implementation)
+    testbed.add_ue("victim")
+    testbed.attach_all()
+    victim = testbed.station("victim")
+    mark = len(victim.link.history)
+    victim.ue.emm_state = c.EMM_DEREGISTERED
+    victim.ue.power_on()
+    used_imsi = False
+    for record in victim.link.history[mark:]:
+        if record.direction != "uplink":
+            continue
+        try:
+            message = NasMessage.from_wire(record.frame)
+        except Exception:  # noqa: BLE001
+            continue
+        if message.name == c.ATTACH_REQUEST and "imsi" in message.fields:
+            used_imsi = True
+    return AttackResult(
+        "GUTI-reattach", implementation, used_imsi,
+        "re-attach exposed the IMSI despite an assigned GUTI"
+        if used_imsi else "re-attach used the GUTI")
+
+
+@attack("ATTACH-replay-indistinguishable")
+def attach_replay_indistinguishable(implementation: str) -> AttackResult:
+    """Replaying a captured attach_request yields the same *type* of
+    network response for every subscriber — no distinguisher."""
+    testbed = Testbed(implementation)
+    testbed.add_ue("a")
+    testbed.add_ue("b")
+    testbed.attach_all()
+    attacker = Attacker(testbed)
+    frames = {}
+    for name in ("a", "b"):
+        mark = attacker.mark(name)
+        imsi = str(testbed.station(name).subscriber.imsi)
+        attacker.inject_plain_to_mme(name, c.ATTACH_REQUEST,
+                                     {"imsi": imsi})
+        frame = Frame()
+        for record in testbed.station(name).link.history[mark:]:
+            if record.direction != "downlink":
+                continue
+            try:
+                message = NasMessage.from_wire(record.frame)
+            except Exception:  # noqa: BLE001
+                continue
+            # The distinguisher is the response *type*; payloads are
+            # subscriber-specific by construction.
+            frame.observe(message.name, Atom(message.name, KIND_DATA,
+                                             public=True))
+        frames[name] = frame
+    verdict = distinguishable(frames["a"], frames["b"])
+    return AttackResult(
+        "ATTACH-replay-indistinguishable", implementation, bool(verdict),
+        f"subscribers distinguishable: {verdict.test}" if verdict
+        else "response types identical across subscribers")

@@ -1,0 +1,15 @@
+"""Adversarial (Dolev-Yao) model instrumentation: UE^mu + MME^mu -> IMP^mu."""
+
+from .predicates import (MARKER, DROPPED, PredicateError, compile_predicate,
+                         split_guard)
+from .instrumentor import (NONE_MSG, Refinement, ThreatConfig,
+                           ThreatInstrumentor, TURN_ADV_DL, TURN_ADV_UL,
+                           TURN_MME, TURN_UE, build_threat_model)
+
+__all__ = [
+    "MARKER", "DROPPED", "PredicateError", "compile_predicate",
+    "split_guard",
+    "NONE_MSG", "Refinement", "ThreatConfig", "ThreatInstrumentor",
+    "TURN_ADV_DL", "TURN_ADV_UL", "TURN_MME", "TURN_UE",
+    "build_threat_model",
+]

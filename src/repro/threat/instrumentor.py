@@ -1,0 +1,397 @@
+"""Adversarial model instrumentor: UE^mu + MME^mu -> IMP^mu (Section IV-B).
+
+Takes the two protocol FSMs and produces a guarded-command model with:
+
+- two unidirectional channels (``chan_ul``, ``chan_dl``), each carrying at
+  most one in-flight message;
+- a round-robin turn scheduler ``mme -> adv_dl -> ue -> adv_ul -> mme``
+  (the adversary sits on each channel direction);
+- a Dolev-Yao adversary that at its turn non-deterministically passes,
+  drops, replays or injects messages ("the adversary non-deterministically
+  decides either to drop/pass/change the message");
+- *relational* data abstraction: rather than absolute counters, the model
+  tracks how a delivered message's authentication SQN and NAS COUNT relate
+  to the receiver's stored state (``dl_sqn_rel`` in {fresh, equal,
+  stale_in, stale_out}; ``dl_count_rel`` in {fresh, stale_last,
+  stale_old}).  Honest transmissions are fresh by construction; an
+  adversarial replay chooses its relation non-deterministically and the
+  CPV validates the choice.  This keeps the state space small and avoids
+  the saturation artifacts absolute bounded counters would introduce.
+
+The *initial* model is maximally abstract: an injected message may claim
+``mac_valid=1`` even for protected messages, and a session-protected
+message may be replayed before it was ever sent.  The CEGAR loop
+(:mod:`repro.core.cegar`) asks the protocol verifier whether each
+counterexample's adversarial steps are cryptographically feasible and, on
+a spurious one, adds a :class:`Refinement` that re-generates this model
+with the offending capability removed — "we refine ... to ensure that the
+adversary does not exercise the offending action in future iterations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..fsm import NULL_ACTION, FiniteStateMachine
+from ..lte import constants as c
+from ..mc.expr import And, Compare, Expr, Not, Or, TRUE, conjoin
+from ..mc.model import Choice, Model, Variable
+from .predicates import (VAR_DL_MAC, VAR_DL_PAGING_MATCH, VAR_DL_PLAIN,
+                         VAR_DL_REPLAYED, compile_predicate, split_guard)
+
+NONE_MSG = "none"
+
+TURN_MME = "mme"
+TURN_ADV_DL = "adv_dl"
+TURN_UE = "ue"
+TURN_ADV_UL = "adv_ul"
+_TURNS = (TURN_MME, TURN_ADV_DL, TURN_UE, TURN_ADV_UL)
+
+#: SQN relation of a delivered authentication_request to the USIM state.
+SQN_FRESH = "fresh"
+SQN_EQUAL = "equal"
+SQN_STALE_IN = "stale_in"       # stale but its IND slot still accepts
+SQN_STALE_OUT = "stale_out"     # stale and rejected by the array
+SQN_RELATIONS = (SQN_FRESH, SQN_EQUAL, SQN_STALE_IN, SQN_STALE_OUT)
+
+#: NAS COUNT relation of a delivered protected message.
+COUNT_FRESH = "fresh"
+COUNT_STALE_LAST = "stale_last"  # equals the last accepted COUNT
+COUNT_STALE_OLD = "stale_old"
+COUNT_RELATIONS = (COUNT_FRESH, COUNT_STALE_LAST, COUNT_STALE_OLD)
+
+
+@dataclass(frozen=True)
+class Refinement:
+    """One CEGAR refinement: strip or constrain an adversary capability.
+
+    Kinds:
+
+    - ``no_forge`` — injections of ``message`` can no longer claim a
+      valid MAC;
+    - ``no_replay`` — the replay command for ``message`` is removed;
+    - ``replay_needs_capture`` — ``message`` may only be replayed after
+      the network genuinely transmitted it (a ``sent_<m>`` history bit
+      guards the command);
+    - ``no_inject_ul`` — the uplink injection of ``message`` is removed.
+    """
+
+    kind: str
+    message: str
+
+
+@dataclass
+class ThreatConfig:
+    """Property-guided scoping of the adversary.
+
+    Every property in the catalog declares the messages its adversary
+    needs to replay/inject; keeping these sets tight keeps the product
+    state space small (the paper's properties likewise each exercise one
+    procedure).
+    """
+
+    #: downlink messages the adversary may replay from capture
+    replay_dl: Tuple[str, ...] = ()
+    #: downlink messages the adversary may inject/forge
+    inject_dl: Tuple[str, ...] = ()
+    #: uplink messages the adversary may inject (e.g. attach_request for
+    #: the P1 capture phase)
+    inject_ul: Tuple[str, ...] = ()
+    #: whether the adversary may drop messages in either direction
+    allow_drop: bool = True
+    #: UE-internal triggers enabled in the model
+    internal_triggers: Tuple[str, ...] = ("internal_power_on",)
+    #: accumulated CEGAR refinements
+    refinements: Tuple[Refinement, ...] = ()
+
+    def refined(self, refinement: Refinement) -> "ThreatConfig":
+        return ThreatConfig(
+            replay_dl=self.replay_dl, inject_dl=self.inject_dl,
+            inject_ul=self.inject_ul, allow_drop=self.allow_drop,
+            internal_triggers=self.internal_triggers,
+            refinements=self.refinements + (refinement,),
+        )
+
+    def _has(self, kind: str, message: str) -> bool:
+        return any(r.kind == kind and r.message == message
+                   for r in self.refinements)
+
+    def forbids_forge(self, message: str) -> bool:
+        return self._has("no_forge", message)
+
+    def forbids_replay(self, message: str) -> bool:
+        return self._has("no_replay", message)
+
+    def requires_capture(self, message: str) -> bool:
+        return self._has("replay_needs_capture", message)
+
+    def forbids_inject_ul(self, message: str) -> bool:
+        return self._has("no_inject_ul", message)
+
+
+def _eq(variable: str, value) -> Compare:
+    return Compare(variable, "=", value)
+
+
+class ThreatInstrumentor:
+    """Builds IMP^mu from the two machines and a threat configuration."""
+
+    def __init__(self, ue_fsm: FiniteStateMachine,
+                 mme_fsm: FiniteStateMachine,
+                 config: Optional[ThreatConfig] = None):
+        self.ue_fsm = ue_fsm
+        self.mme_fsm = mme_fsm
+        self.config = config or ThreatConfig()
+        self._ue_guards: List[Expr] = []
+        self._mme_guards: List[Expr] = []
+
+    # ------------------------------------------------------------------
+    def build(self, name: str = "IMP") -> Model:
+        variables = [
+            Variable("turn", _TURNS),
+            Variable("ue_state", tuple(sorted(self.ue_fsm.states))),
+            Variable("mme_state", tuple(sorted(self.mme_fsm.states))),
+            Variable("chan_dl", self._dl_domain()),
+            Variable("chan_ul", self._ul_domain()),
+            Variable(VAR_DL_MAC, (0, 1)),
+            Variable(VAR_DL_PLAIN, (0, 1)),
+            Variable(VAR_DL_REPLAYED, (0, 1)),
+            Variable("dl_injected", (0, 1)),
+            Variable("ul_injected", (0, 1)),
+            Variable(VAR_DL_PAGING_MATCH, (0, 1)),
+            Variable("dl_sqn_rel", SQN_RELATIONS),
+            Variable("dl_count_rel", COUNT_RELATIONS),
+        ]
+        init = {
+            "turn": TURN_UE,
+            "ue_state": self.ue_fsm.initial_state,
+            "mme_state": self.mme_fsm.initial_state,
+            "chan_dl": NONE_MSG, "chan_ul": NONE_MSG,
+            VAR_DL_MAC: 0, VAR_DL_PLAIN: 0, VAR_DL_REPLAYED: 0,
+            "dl_injected": 0, "ul_injected": 0,
+            VAR_DL_PAGING_MATCH: 0,
+            "dl_sqn_rel": SQN_FRESH, "dl_count_rel": COUNT_FRESH,
+        }
+        for message in self._tracked_captures():
+            variables.append(Variable(f"sent_{message}", (0, 1)))
+            init[f"sent_{message}"] = 0
+
+        model = Model(name=name, variables=variables, init=init)
+        self._ue_guards = []
+        self._mme_guards = []
+        self._add_ue_commands(model)
+        self._add_mme_commands(model)
+        self._add_skip_commands(model)
+        self._add_adversary_commands(model)
+        return model
+
+    # ------------------------------------------------------------------
+    # Domains
+    # ------------------------------------------------------------------
+    def _tracked_captures(self) -> List[str]:
+        """Session-scope replay messages needing a ``sent_`` history bit."""
+        return [m for m in self.config.replay_dl
+                if c.REPLAY_SCOPE.get(m, "session") == "session"]
+
+    def _dl_domain(self) -> Tuple[str, ...]:
+        messages = {NONE_MSG}
+        messages.update(action for t in self.mme_fsm.transitions
+                        for action in t.actions if action != NULL_ACTION)
+        messages.update(self.config.replay_dl)
+        messages.update(self.config.inject_dl)
+        messages.update(t.trigger for t in self.ue_fsm.transitions
+                        if not t.trigger.startswith("internal_"))
+        return tuple(sorted(messages))
+
+    def _ul_domain(self) -> Tuple[str, ...]:
+        messages = {NONE_MSG}
+        messages.update(action for t in self.ue_fsm.transitions
+                        for action in t.actions if action != NULL_ACTION)
+        messages.update(self.config.inject_ul)
+        messages.update(t.trigger for t in self.mme_fsm.transitions
+                        if not t.trigger.startswith("internal_"))
+        return tuple(sorted(messages))
+
+    # ------------------------------------------------------------------
+    # UE commands
+    # ------------------------------------------------------------------
+    def _add_ue_commands(self, model: Model) -> None:
+        for index, transition in enumerate(self.ue_fsm.transitions):
+            trigger, predicates = split_guard(transition.conditions)
+            if predicates.get("algo_ok") == "0":
+                continue  # algorithm choice is not modelled
+            internal = trigger.startswith("internal_")
+            if internal and trigger not in self.config.internal_triggers:
+                continue
+
+            parts: List[Expr] = [_eq("ue_state", transition.source)]
+            if internal:
+                parts.append(_eq("chan_dl", NONE_MSG))
+            else:
+                parts.append(_eq("chan_dl", trigger))
+            for pred_name, pred_value in sorted(predicates.items()):
+                compiled = compile_predicate(pred_name, pred_value)
+                if compiled is not None:
+                    parts.append(compiled)
+            guard = conjoin(parts)
+            self._ue_guards.append(guard)
+
+            updates: Dict[str, object] = {
+                "ue_state": transition.target,
+                "turn": TURN_ADV_UL,
+            }
+            if not internal:
+                updates["chan_dl"] = NONE_MSG
+            action = next((a for a in transition.actions
+                           if a != NULL_ACTION), None)
+            if action is not None:
+                updates["chan_ul"] = action
+                updates["ul_injected"] = 0
+            model.add_command(f"ue_t{index}_{trigger}",
+                              And(_eq("turn", TURN_UE), guard), updates)
+
+    # ------------------------------------------------------------------
+    # MME commands
+    # ------------------------------------------------------------------
+    def _add_mme_commands(self, model: Model) -> None:
+        tracked = set(self._tracked_captures())
+        for index, transition in enumerate(self.mme_fsm.transitions):
+            trigger, _ = split_guard(transition.conditions)
+            internal = trigger.startswith("internal_")
+            parts: List[Expr] = [_eq("mme_state", transition.source)]
+            if internal:
+                parts.append(_eq("chan_ul", NONE_MSG))
+            else:
+                parts.append(_eq("chan_ul", trigger))
+            guard = conjoin(parts)
+            self._mme_guards.append(guard)
+
+            updates: Dict[str, object] = {
+                "mme_state": transition.target,
+                "turn": TURN_ADV_DL,
+            }
+            if not internal:
+                updates["chan_ul"] = NONE_MSG
+            action = next((a for a in transition.actions
+                           if a != NULL_ACTION), None)
+            if action is not None:
+                updates["chan_dl"] = action
+                self._honest_send_metadata(action, updates)
+                if action in tracked:
+                    updates[f"sent_{action}"] = 1
+            model.add_command(f"mme_t{index}_{trigger}",
+                              And(_eq("turn", TURN_MME), guard), updates)
+
+    @staticmethod
+    def _honest_send_metadata(action: str,
+                              updates: Dict[str, object]) -> None:
+        """Delivery metadata for a genuinely network-originated message."""
+        updates[VAR_DL_REPLAYED] = 0
+        updates["dl_injected"] = 0
+        updates["dl_sqn_rel"] = SQN_FRESH
+        updates["dl_count_rel"] = COUNT_FRESH
+        updates[VAR_DL_PAGING_MATCH] = 1  # the network pages its own UE
+        if action in c.PLAIN_DOWNLINK:
+            updates[VAR_DL_PLAIN] = 1
+            updates[VAR_DL_MAC] = \
+                1 if action == c.AUTHENTICATION_REQUEST else 0
+        else:
+            updates[VAR_DL_PLAIN] = 0
+            updates[VAR_DL_MAC] = 1
+
+    # ------------------------------------------------------------------
+    # Deadlock-freedom: skip commands
+    # ------------------------------------------------------------------
+    def _add_skip_commands(self, model: Model) -> None:
+        """Fallbacks so the turn always advances.
+
+        The skip fires when *no* transition (including its data guard)
+        matches the pending stimulus: the implementation discards the
+        message without reaction, as the handlers do for unmatched input.
+        """
+        ue_any = Or(*self._ue_guards) if self._ue_guards else TRUE
+        model.add_command(
+            "ue_skip", And(_eq("turn", TURN_UE), Not(ue_any)),
+            {"chan_dl": NONE_MSG, "turn": TURN_ADV_UL})
+        mme_any = Or(*self._mme_guards) if self._mme_guards else TRUE
+        model.add_command(
+            "mme_skip", And(_eq("turn", TURN_MME), Not(mme_any)),
+            {"chan_ul": NONE_MSG, "turn": TURN_ADV_DL})
+
+    # ------------------------------------------------------------------
+    # Adversary commands
+    # ------------------------------------------------------------------
+    def _add_adversary_commands(self, model: Model) -> None:
+        cfg = self.config
+        # Downlink direction -------------------------------------------------
+        model.add_command("adv_pass_dl", _eq("turn", TURN_ADV_DL),
+                          {"turn": TURN_UE})
+        if cfg.allow_drop:
+            model.add_command(
+                "adv_drop_dl",
+                And(_eq("turn", TURN_ADV_DL),
+                    Not(_eq("chan_dl", NONE_MSG))),
+                {"chan_dl": NONE_MSG, "turn": TURN_UE})
+        tracked = set(self._tracked_captures())
+        for message in cfg.replay_dl:
+            if cfg.forbids_replay(message):
+                continue
+            guard: Expr = _eq("turn", TURN_ADV_DL)
+            if message in tracked and cfg.requires_capture(message):
+                guard = And(guard, _eq(f"sent_{message}", 1))
+            updates: Dict[str, object] = {
+                "chan_dl": message, VAR_DL_REPLAYED: 1,
+                "dl_injected": 0, VAR_DL_MAC: 1, "turn": TURN_UE,
+                VAR_DL_PLAIN: 1 if message in c.PLAIN_DOWNLINK else 0,
+                VAR_DL_PAGING_MATCH: Choice(0, 1),
+            }
+            if message == c.AUTHENTICATION_REQUEST:
+                updates["dl_sqn_rel"] = Choice(*SQN_RELATIONS)
+            if message in c.PROTECTED_DOWNLINK:
+                updates["dl_count_rel"] = Choice(*COUNT_RELATIONS)
+            model.add_command(f"adv_replay_dl_{message}", guard, updates)
+        for message in cfg.inject_dl:
+            mac_update: object = Choice(0, 1)
+            if cfg.forbids_forge(message):
+                mac_update = 0
+            updates = {
+                "chan_dl": message, VAR_DL_REPLAYED: 0,
+                "dl_injected": 1, VAR_DL_MAC: mac_update,
+                VAR_DL_PAGING_MATCH: Choice(0, 1),
+                "turn": TURN_UE,
+            }
+            if message in c.PROTECTED_DOWNLINK:
+                updates[VAR_DL_PLAIN] = Choice(0, 1)
+                updates["dl_count_rel"] = Choice(*COUNT_RELATIONS)
+            else:
+                updates[VAR_DL_PLAIN] = 1
+            if message == c.AUTHENTICATION_REQUEST:
+                updates["dl_sqn_rel"] = Choice(*SQN_RELATIONS)
+            model.add_command(f"adv_inject_dl_{message}",
+                              _eq("turn", TURN_ADV_DL), updates)
+
+        # Uplink direction ---------------------------------------------------
+        model.add_command("adv_pass_ul", _eq("turn", TURN_ADV_UL),
+                          {"turn": TURN_MME})
+        if cfg.allow_drop:
+            model.add_command(
+                "adv_drop_ul",
+                And(_eq("turn", TURN_ADV_UL),
+                    Not(_eq("chan_ul", NONE_MSG))),
+                {"chan_ul": NONE_MSG, "turn": TURN_MME})
+        for message in cfg.inject_ul:
+            if cfg.forbids_inject_ul(message):
+                continue
+            model.add_command(
+                f"adv_inject_ul_{message}",
+                _eq("turn", TURN_ADV_UL),
+                {"chan_ul": message, "ul_injected": 1, "turn": TURN_MME})
+
+
+def build_threat_model(ue_fsm: FiniteStateMachine,
+                       mme_fsm: FiniteStateMachine,
+                       config: Optional[ThreatConfig] = None,
+                       name: str = "IMP") -> Model:
+    """Convenience wrapper: instrument and build in one call."""
+    return ThreatInstrumentor(ue_fsm, mme_fsm, config).build(name)

@@ -1,0 +1,106 @@
+"""Semantic mapping of extracted guard predicates to model expressions.
+
+The extracted FSM's guard predicates are implementation log variables
+(``mac_valid=1``, ``sqn_fresh=0``, ``count_higher=1`` ...).  The threat
+instrumentor gives each a *definition* over the abstract model's state
+variables.  Crucially these definitions are implementation-independent —
+they state what the relation *means* (e.g. ``sqn_fresh`` ⇔ the received
+SQN is strictly above every previously accepted one); which relations gate
+acceptance is encoded by the extracted FSM itself, so implementation
+differences survive the compilation.
+
+The model represents protocol data *relationally*: ``dl_sqn_rel`` is the
+relation of a delivered authentication SQN to the USIM state (fresh /
+equal / stale-but-in-window / stale-out-of-window) and ``dl_count_rel``
+the relation of a delivered NAS COUNT to the receiver's window (fresh /
+equals-last-accepted / older).  The check-input predicates logged by the
+implementations map directly onto these relations.
+
+Predicates marked :data:`MARKER` carry bookkeeping (the gate's ``accept``
+flag) and are consumed for transition *effects* rather than guards;
+predicates marked :data:`DROPPED` are informational only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..mc.expr import Compare, Expr, Not, Or
+
+# Model variable names the predicate definitions reference.
+VAR_DL_MAC = "dl_mac_valid"
+VAR_DL_PLAIN = "dl_plain"
+VAR_DL_REPLAYED = "dl_replayed"
+VAR_DL_SQN_REL = "dl_sqn_rel"
+VAR_DL_COUNT_REL = "dl_count_rel"
+VAR_DL_PAGING_MATCH = "dl_paging_match"
+
+
+class PredicateError(Exception):
+    """Raised for guard predicates with no semantic mapping."""
+
+
+def _flag(variable: str, value: str) -> Expr:
+    return Compare(variable, "=", int(value))
+
+
+def _rel(variable: str, value: str, *relations: str) -> Expr:
+    """``variable`` is one of ``relations`` (negated when value is 0)."""
+    parts = [Compare(variable, "=", relation) for relation in relations]
+    base = parts[0] if len(parts) == 1 else Or(*parts)
+    return base if value == "1" else Not(base)
+
+
+#: predicate name -> compiler
+_DEFINITIONS = {
+    "mac_valid": lambda value: _flag(VAR_DL_MAC, value),
+    "plain_hdr": lambda value: _flag(VAR_DL_PLAIN, value),
+    "paging_match": lambda value: _flag(VAR_DL_PAGING_MATCH, value),
+    # TS 33.102 Annex C: fresh = strictly above everything accepted;
+    # in-window = fresh, or stale but its IND slot still accepts it.
+    "sqn_fresh": lambda value: _rel(VAR_DL_SQN_REL, value, "fresh"),
+    "sqn_equal": lambda value: _rel(VAR_DL_SQN_REL, value, "equal"),
+    "sqn_in_window": lambda value: _rel(VAR_DL_SQN_REL, value,
+                                        "fresh", "stale_in"),
+    # TS 24.301 replay window: higher = COUNT at/above the expected next;
+    # last = exactly the most recently accepted COUNT.
+    "count_higher": lambda value: _rel(VAR_DL_COUNT_REL, value, "fresh"),
+    "count_last": lambda value: _rel(VAR_DL_COUNT_REL, value,
+                                     "stale_last"),
+}
+
+#: effect markers: consumed by the compiler, never part of a guard
+MARKER = frozenset({"accept"})
+
+#: informational predicates whose constraint is already captured elsewhere
+#: (``replay_ok`` is the implementation's *verdict*; the gating relations
+#: count_higher/count_last carry the semantics; the algorithm choice is
+#: not modelled, transitions with algo_ok=0 are skipped by the compiler).
+DROPPED = frozenset({"replay_ok", "algo_ok"})
+
+
+def compile_predicate(name: str, value: str) -> Optional[Expr]:
+    """Compile one ``name=value`` predicate; ``None`` when non-guarding.
+
+    Raises :class:`PredicateError` for unknown predicates: silently
+    dropping an unknown constraint would weaken the guard unsoundly.
+    """
+    if name in MARKER or name in DROPPED:
+        return None
+    try:
+        return _DEFINITIONS[name](value)
+    except KeyError:
+        raise PredicateError(
+            f"no semantic mapping for guard predicate {name}={value}; "
+            f"extend repro.threat.predicates._DEFINITIONS") from None
+
+
+def split_guard(conditions: Tuple[str, ...]
+                ) -> Tuple[str, Dict[str, str]]:
+    """Split FSM conditions into (trigger, predicate dict)."""
+    trigger = conditions[0]
+    predicates: Dict[str, str] = {}
+    for condition in conditions[1:]:
+        name, _, value = condition.partition("=")
+        predicates[name] = value
+    return trigger, predicates

@@ -1,0 +1,69 @@
+"""LTEInspector baseline model tests, including the RQ2 refinement."""
+
+from repro.baselines import (SUBSTATE_MAP, lteinspector_mme,
+                             lteinspector_ue)
+from repro.fsm import check_refinement, guard_strictness
+from repro.lte import constants as c
+
+
+class TestBaselineShape:
+    def test_ue_has_four_states(self):
+        fsm = lteinspector_ue()
+        assert len(fsm.states) == 4
+        assert fsm.initial_state == "ue_deregistered"
+
+    def test_mme_has_four_states(self):
+        fsm = lteinspector_mme()
+        assert len(fsm.states) == 4
+
+    def test_no_data_predicates(self):
+        """Hand-built models carry no data constraints (the RQ2 point)."""
+        mean, peak = guard_strictness(lteinspector_ue())
+        assert peak == 0
+
+    def test_all_states_reachable(self):
+        for fsm in (lteinspector_ue(), lteinspector_mme()):
+            assert not fsm.unreachable_states()
+
+    def test_attach_path_exists(self):
+        fsm = lteinspector_ue()
+        paths = list(fsm.paths("ue_deregistered", "ue_registered"))
+        assert paths
+
+
+class TestRQ2Refinement:
+    def test_extracted_models_refine_the_baseline(self, extracted_models):
+        """Pro^mu is a refinement of LTE^mu (Section VII-B) for every
+        implementation's extracted model."""
+        baseline = lteinspector_ue()
+        for impl, extracted in extracted_models.items():
+            report = check_refinement(baseline, extracted,
+                                      substate_map=SUBSTATE_MAP)
+            assert report.states_ok, (impl, report.unmapped_states)
+            assert report.condition_superset, impl
+            assert report.action_superset, impl
+            # the overwhelming majority of transitions map; the few that
+            # do not correspond to stimuli the conformance suite delivers
+            # in a different sub-state than the hand model guesses
+            counts = report.mapping_counts()
+            mapped = counts["direct"] + counts["stricter-condition"] \
+                + counts["split-through-new-states"]
+            assert mapped >= len(baseline.transitions) - 2, (impl, counts)
+
+    def test_refinement_adds_data_conditions(self, extracted_models):
+        baseline = lteinspector_ue()
+        report = check_refinement(baseline, extracted_models["reference"],
+                                  substate_map=SUBSTATE_MAP)
+        new_conditions = " ".join(report.new_conditions)
+        assert "mac_valid" in new_conditions
+        assert "sqn" in new_conditions
+
+    def test_substate_mapping_covers_all_baseline_states(self):
+        baseline = lteinspector_ue()
+        assert set(SUBSTATE_MAP) == baseline.states
+
+    def test_extracted_strictly_richer(self, extracted_models):
+        baseline = lteinspector_ue()
+        for impl, extracted in extracted_models.items():
+            assert len(extracted.states) > len(baseline.states)
+            assert len(extracted.conditions) > len(baseline.conditions)

@@ -1,0 +1,39 @@
+"""Shared fixtures: extracted models and testbed runs are expensive-ish,
+so they are produced once per session and reused across test modules."""
+
+import pytest
+
+from repro.baselines import lteinspector_mme, lteinspector_ue
+from repro.conformance import full_suite, run_conformance
+from repro.extraction import extract_model, table_for_implementation
+from repro.lte.implementations import REGISTRY
+
+IMPLEMENTATIONS = ("reference", "srsue", "oai")
+
+
+@pytest.fixture(scope="session")
+def conformance_runs():
+    """implementation -> SuiteResult (instrumented full-suite run)."""
+    return {impl: run_conformance(impl, full_suite(impl))
+            for impl in IMPLEMENTATIONS}
+
+
+@pytest.fixture(scope="session")
+def extracted_models(conformance_runs):
+    """implementation -> extracted FSM."""
+    models = {}
+    for impl, run in conformance_runs.items():
+        table = table_for_implementation(REGISTRY[impl])
+        fsm, _stats = extract_model(run.log_text, table, name=impl)
+        models[impl] = fsm
+    return models
+
+
+@pytest.fixture(scope="session")
+def mme_model():
+    return lteinspector_mme()
+
+
+@pytest.fixture(scope="session")
+def lte_inspector_ue():
+    return lteinspector_ue()

@@ -1,0 +1,59 @@
+"""Attack dossier tests."""
+
+import pytest
+
+from repro.core import ProChecker, build_dossier, render_markdown
+from repro.properties.expected import expected_detected
+
+
+@pytest.fixture(scope="module")
+def srsue_dossier():
+    report = ProChecker("srsue").analyze()
+    return build_dossier(report, validate_on_testbed=True)
+
+
+class TestBuild:
+    def test_one_finding_per_attack(self, srsue_dossier):
+        attack_ids = [finding.attack_id
+                      for finding in srsue_dossier.findings]
+        assert len(attack_ids) == len(set(attack_ids))
+        assert set(attack_ids) == expected_detected("srsue")
+
+    def test_findings_group_properties(self, srsue_dossier):
+        finding = srsue_dossier.finding("I1")
+        identifiers = {result.property.identifier
+                       for result in finding.properties}
+        assert {"SEC-06", "SEC-07"} <= identifiers
+
+    def test_testbed_validation_recorded(self, srsue_dossier):
+        for finding in srsue_dossier.findings:
+            assert finding.testbed_validated is True, finding.attack_id
+            assert finding.testbed_evidence
+
+    def test_counterexample_attached_for_mc_findings(self, srsue_dossier):
+        finding = srsue_dossier.finding("P1")
+        assert finding.counterexample is not None
+        assert any(label.startswith("adv_replay")
+                   for label in finding.counterexample.labels)
+
+    def test_categories(self, srsue_dossier):
+        assert srsue_dossier.finding("P2").categories == ["privacy"]
+        assert "security" in srsue_dossier.finding("P3").categories
+
+    def test_unknown_attack_lookup(self, srsue_dossier):
+        with pytest.raises(KeyError):
+            srsue_dossier.finding("P99")
+
+
+class TestRender:
+    def test_markdown_structure(self, srsue_dossier):
+        text = render_markdown(srsue_dossier)
+        assert text.startswith("# ProChecker findings — `srsue`")
+        assert "| attack | property ids |" in text
+        assert "## P1" in text
+        assert "```" in text               # a counterexample block
+        assert "adv_replay_dl_authentication_request" in text
+
+    def test_summary_counts(self, srsue_dossier):
+        text = render_markdown(srsue_dossier)
+        assert f"{len(srsue_dossier.findings)} distinct attacks" in text

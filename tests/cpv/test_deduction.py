@@ -1,0 +1,149 @@
+"""Dolev-Yao deduction tests: the heart of the ProVerif stand-in."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpv.deduction import Knowledge, can_derive, saturate
+from repro.cpv.terms import (Atom, Hash, KDF, Mac, Pair, SEnc, const,
+                             nonce, pair, secret_key)
+
+K = secret_key("k")
+K2 = secret_key("k2")
+N = nonce("n")
+TAG = const("tag")
+
+
+class TestSaturation:
+    def test_pairs_decompose(self):
+        closure = saturate({Pair(N, TAG)})
+        assert N in closure
+
+    def test_encryption_stays_opaque_without_key(self):
+        closure = saturate({SEnc(N, K)})
+        assert N not in closure
+
+    def test_encryption_opens_with_key(self):
+        closure = saturate({SEnc(N, K), K})
+        assert N in closure
+
+    def test_key_from_decrypted_payload(self):
+        """Keys recovered from one ciphertext open another (fixpoint)."""
+        closure = saturate({SEnc(K2, K), K, SEnc(N, K2)})
+        assert N in closure
+
+    def test_mac_never_decomposes(self):
+        closure = saturate({Mac(N, K), K})
+        assert N not in closure
+
+    def test_hash_never_inverts(self):
+        closure = saturate({Hash(N)})
+        assert N not in closure
+
+
+class TestSynthesis:
+    def test_public_atoms_always_derivable(self):
+        assert can_derive(set(), TAG)
+
+    def test_secret_atoms_not_derivable(self):
+        assert not can_derive(set(), K)
+
+    def test_compose_pair(self):
+        assert can_derive({N}, Pair(N, TAG))
+
+    def test_compose_encryption_needs_key(self):
+        assert can_derive({N, K}, SEnc(N, K))
+        assert not can_derive({N}, SEnc(N, K))
+
+    def test_compose_mac_needs_key(self):
+        assert can_derive({K}, Mac(TAG, K))
+        assert not can_derive(set(), Mac(TAG, K))
+
+    def test_known_term_directly_derivable(self):
+        """A MAC observed on the wire can be replayed without the key."""
+        tag_term = Mac(N, K)
+        assert can_derive({tag_term}, tag_term)
+
+    def test_kdf_one_way(self):
+        derived = KDF(K, const("ctx"))
+        assert can_derive({K}, derived)
+        assert not can_derive({derived}, K)
+
+    def test_forward_then_extract(self):
+        """<senc(n,k), k> as one observed pair leaks n."""
+        bundle = Pair(SEnc(N, K), K)
+        assert can_derive({bundle}, N)
+
+
+class TestKnowledge:
+    def test_incremental_observation(self):
+        knowledge = Knowledge()
+        assert not knowledge.can_construct(N)
+        knowledge.observe(Pair(N, TAG))
+        assert knowledge.can_construct(N)
+
+    def test_contains_operator(self):
+        knowledge = Knowledge({N})
+        assert N in knowledge
+        assert Pair(N, TAG) in knowledge
+
+    def test_knows_atom_secrecy(self):
+        knowledge = Knowledge({SEnc(N, K)})
+        assert not knowledge.knows_atom(N)
+        knowledge.observe(K)
+        assert knowledge.knows_atom(N)
+
+    def test_copy_is_independent(self):
+        knowledge = Knowledge({N})
+        clone = knowledge.copy()
+        clone.observe(K)
+        assert not knowledge.can_construct(SEnc(N, K))
+        assert clone.can_construct(SEnc(N, K))
+
+    def test_observed_returns_raw_set(self):
+        knowledge = Knowledge()
+        knowledge.observe(Pair(N, TAG))
+        assert Pair(N, TAG) in knowledge.observed()
+        assert N not in knowledge.observed()   # derived, not raw
+
+
+_ATOMS = st.sampled_from([N, TAG, K, K2, const("x"), nonce("m")])
+
+
+@st.composite
+def terms(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(_ATOMS)
+    kind = draw(st.sampled_from(["pair", "senc", "mac", "hash"]))
+    left = draw(terms(depth=depth + 1))
+    if kind == "hash":
+        return Hash(left)
+    right = draw(terms(depth=depth + 1))
+    if kind == "pair":
+        return Pair(left, right)
+    if kind == "senc":
+        return SEnc(left, right)
+    return Mac(left, right)
+
+
+class TestDeductionProperties:
+    @given(st.sets(terms(), max_size=5), terms())
+    def test_monotonicity(self, knowledge, goal):
+        """More knowledge never removes derivability."""
+        if can_derive(knowledge, goal):
+            assert can_derive(knowledge | {const("extra")}, goal)
+
+    @given(st.sets(terms(), max_size=5), terms())
+    def test_observed_terms_always_derivable(self, knowledge, goal):
+        assert can_derive(knowledge | {goal}, goal)
+
+    @given(st.sets(terms(), max_size=4), terms(), terms())
+    def test_pair_derivable_iff_components(self, knowledge, left, right):
+        target = Pair(left, right)
+        if target not in saturate(knowledge):
+            both = can_derive(knowledge, left) \
+                and can_derive(knowledge, right)
+            assert can_derive(knowledge, target) == both
+
+    @given(st.sets(terms(), max_size=5))
+    def test_saturation_idempotent(self, knowledge):
+        once = saturate(knowledge)
+        assert saturate(once) == once

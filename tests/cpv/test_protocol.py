@@ -1,0 +1,51 @@
+"""ProtocolTrace API tests (event bookkeeping)."""
+
+from repro.cpv.protocol import (EVENT_CLAIM, EVENT_RECV, EVENT_SEND,
+                                ProtocolTrace)
+from repro.cpv.terms import const, nonce
+
+
+def make_trace():
+    trace = ProtocolTrace()
+    trace.send("ue", "attach_request", const("attach_request"))
+    trace.recv("mme", "attach_request", const("attach_request"))
+    trace.send("mme", "challenge", nonce("n"))
+    trace.claim("ue", "done")
+    return trace
+
+
+class TestTraceApi:
+    def test_event_kinds(self):
+        trace = make_trace()
+        kinds = [event.kind for event in trace]
+        assert kinds == [EVENT_SEND, EVENT_RECV, EVENT_SEND, EVENT_CLAIM]
+
+    def test_labels(self):
+        assert make_trace().labels() == [
+            "attach_request", "attach_request", "challenge", "done"]
+
+    def test_find(self):
+        trace = make_trace()
+        indices = list(trace.find(lambda e: e.principal == "mme"))
+        assert indices == [1, 2]
+
+    def test_len(self):
+        assert len(make_trace()) == 4
+
+    def test_claims_do_not_feed_knowledge(self):
+        trace = ProtocolTrace()
+        trace.claim("ue", "secret_event", nonce("n"))
+        knowledge = trace.adversary_knowledge()
+        assert not knowledge.can_construct(nonce("n"))
+
+    def test_recv_events_do_not_feed_knowledge(self):
+        """Only transmissions are observable; a receive is the same wire
+        event and must not double-count."""
+        trace = ProtocolTrace()
+        trace.recv("ue", "m", nonce("n"))
+        assert not trace.adversary_knowledge().can_construct(nonce("n"))
+
+    def test_initial_knowledge_threaded(self):
+        trace = make_trace()
+        knowledge = trace.adversary_knowledge(initial=[nonce("k")])
+        assert knowledge.can_construct(nonce("k"))

@@ -1,0 +1,122 @@
+"""Tests for secrecy, correspondence and feasibility queries."""
+
+import pytest
+
+from repro.cpv.protocol import ProtocolError, ProtocolTrace, Event
+from repro.cpv.queries import (ACTION_DROP, ACTION_INJECT, ACTION_REPLAY,
+                               AdversaryAction, check_action_feasible,
+                               check_correspondence,
+                               check_counterexample_feasibility,
+                               check_secrecy)
+from repro.cpv.deduction import Knowledge
+from repro.cpv.terms import Mac, Pair, SEnc, const, nonce, secret_key
+
+K = secret_key("k")
+N = nonce("n")
+
+
+def sample_trace():
+    trace = ProtocolTrace()
+    trace.send("ue", "attach_request", const("attach_request"))
+    trace.send("mme", "challenge", Pair(const("auth"), SEnc(N, K)))
+    trace.claim("ue", "authenticated", const("auth"))
+    return trace
+
+
+class TestTrace:
+    def test_event_kinds_validated(self):
+        with pytest.raises(ProtocolError):
+            Event("teleport", "ue", "x", const("t"))
+
+    def test_send_requires_term(self):
+        with pytest.raises(ProtocolError):
+            Event("send", "ue", "x", None)
+
+    def test_adversary_knowledge_collects_sends(self):
+        knowledge = sample_trace().adversary_knowledge()
+        assert knowledge.can_construct(const("attach_request"))
+        assert not knowledge.can_construct(N)
+
+    def test_knowledge_before_excludes_later(self):
+        trace = sample_trace()
+        early = trace.knowledge_before(1)
+        assert not early.can_construct(Pair(const("auth"), SEnc(N, K)))
+
+
+class TestSecrecy:
+    def test_secret_preserved(self):
+        result = check_secrecy(sample_trace(), N)
+        assert result.satisfied
+
+    def test_leak_detected(self):
+        trace = sample_trace()
+        trace.send("mme", "oops", K)
+        result = check_secrecy(trace, N)
+        assert not result.satisfied
+
+
+class TestCorrespondence:
+    def test_claim_with_cause(self):
+        trace = ProtocolTrace()
+        trace.send("mme", "challenge", const("c"))
+        trace.claim("ue", "done")
+        result = check_correspondence(trace, "done", "challenge")
+        assert result.satisfied
+
+    def test_claim_without_cause(self):
+        trace = ProtocolTrace()
+        trace.claim("ue", "done")
+        result = check_correspondence(trace, "done", "challenge")
+        assert not result.satisfied
+
+    def test_injective_requires_one_cause_each(self):
+        trace = ProtocolTrace()
+        trace.send("mme", "challenge", const("c"))
+        trace.claim("ue", "done")
+        trace.claim("ue", "done")
+        assert check_correspondence(trace, "done", "challenge").satisfied
+        assert not check_correspondence(trace, "done", "challenge",
+                                        injective=True).satisfied
+
+
+class TestFeasibility:
+    def test_drop_always_feasible(self):
+        verdict = check_action_feasible(
+            AdversaryAction(ACTION_DROP, "anything"), Knowledge())
+        assert verdict.satisfied
+
+    def test_replay_requires_observation(self):
+        term = Mac(const("m"), K)
+        knowledge = Knowledge()
+        action = AdversaryAction(ACTION_REPLAY, "m", term)
+        assert not check_action_feasible(action, knowledge).satisfied
+        knowledge.observe(term)
+        assert check_action_feasible(action, knowledge).satisfied
+
+    def test_inject_plaintext_feasible(self):
+        action = AdversaryAction(ACTION_INJECT, "paging", const("paging"))
+        assert check_action_feasible(action, Knowledge()).satisfied
+
+    def test_inject_mac_requires_key(self):
+        forged = Pair(const("m"), Mac(const("m"), K))
+        action = AdversaryAction(ACTION_INJECT, "m", forged)
+        assert not check_action_feasible(action, Knowledge()).satisfied
+        assert check_action_feasible(action, Knowledge({K})).satisfied
+
+    def test_counterexample_batch_validation(self):
+        trace = ProtocolTrace()
+        trace.send("mme", "challenge", const("c"))
+        trace.claim("adversary", "adv:replay:challenge")
+        actions = [AdversaryAction(ACTION_REPLAY, "challenge", const("c"))]
+        verdict = check_counterexample_feasibility(actions, trace)
+        assert verdict.all_feasible
+        assert verdict.first_infeasible() is None
+
+    def test_counterexample_with_infeasible_step(self):
+        trace = ProtocolTrace()
+        trace.claim("adversary", "adv:inject:m")
+        forged = Mac(const("m"), K)
+        actions = [AdversaryAction(ACTION_INJECT, "m", forged)]
+        verdict = check_counterexample_feasibility(actions, trace)
+        assert not verdict.all_feasible
+        assert verdict.first_infeasible().message_label == "m"

@@ -1,0 +1,63 @@
+"""Tests for the DY term algebra."""
+
+import pytest
+
+from repro.cpv.terms import (Atom, Hash, KDF, Mac, Pair, SEnc, TermError,
+                             const, identity, nonce, pair, secret_key,
+                             unpair)
+
+
+class TestAtoms:
+    def test_kinds_validated(self):
+        with pytest.raises(TermError):
+            Atom("x", kind="banana")
+
+    def test_helpers(self):
+        assert const("tag").public
+        assert not secret_key("k").public
+        assert nonce("n").kind == "nonce"
+        assert identity("imsi").kind == "identity"
+
+    def test_hashable_and_equal(self):
+        assert const("a") == const("a")
+        assert {const("a"), const("a")} == {const("a")}
+
+
+class TestStructure:
+    def test_subterms(self):
+        term = SEnc(Pair(const("a"), nonce("n")), secret_key("k"))
+        atoms = {a.name for a in term.atoms()}
+        assert atoms == {"a", "n", "k"}
+        assert term.size() == 5
+
+    def test_mac_and_hash_subterms(self):
+        term = Mac(Hash(const("body")), secret_key("k"))
+        assert {a.name for a in term.atoms()} == {"body", "k"}
+
+    def test_kdf(self):
+        term = KDF(secret_key("kasme"), const("nas-int"))
+        assert {a.name for a in term.atoms()} == {"kasme", "nas-int"}
+
+    def test_str_representations(self):
+        term = Pair(const("a"), Mac(const("b"), secret_key("k")))
+        assert str(term) == "<a, mac(b, k)>"
+
+
+class TestPairing:
+    def test_pair_unpair_roundtrip(self):
+        parts = (const("a"), const("b"), const("c"), nonce("n"))
+        assert unpair(pair(*parts)) == parts
+
+    def test_single_element(self):
+        assert pair(const("a")) == const("a")
+        assert unpair(const("a")) == (const("a"),)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            pair()
+
+    def test_right_nesting(self):
+        term = pair(const("a"), const("b"), const("c"))
+        assert isinstance(term, Pair)
+        assert term.left == const("a")
+        assert isinstance(term.right, Pair)

@@ -1,0 +1,63 @@
+"""Property-style invariants of the model extractor on real logs."""
+
+from repro.conformance import full_suite, run_conformance, standard_suite
+from repro.extraction import extract_model, table_for_implementation
+from repro.lte.implementations import REGISTRY
+
+
+def _extract(log_text, implementation="srsue"):
+    table = table_for_implementation(REGISTRY[implementation])
+    fsm, _stats = extract_model(log_text, table)
+    return fsm
+
+
+class TestExtractionInvariants:
+    def test_monotone_in_the_log(self, conformance_runs):
+        """More log can only add behaviour, never remove it."""
+        full = conformance_runs["srsue"].log_text
+        # split at a TESTCASE boundary near the middle
+        marker = "TESTCASE"
+        positions = [i for i in range(len(full))
+                     if full.startswith(marker, i)]
+        half = full[:positions[len(positions) // 2]]
+        small = _extract(half)
+        large = _extract(full)
+        assert set(small.transitions) <= set(large.transitions)
+        assert small.states <= large.states
+
+    def test_concatenation_is_union(self, conformance_runs):
+        """Extracting log A + log B equals merging the two extractions
+        (blocks are independent, so extraction distributes over
+        concatenation at TESTCASE boundaries)."""
+        log_a = run_conformance("srsue", standard_suite()[:5]).log_text
+        log_b = run_conformance("srsue", standard_suite()[5:10]).log_text
+        combined = _extract(log_a + log_b)
+        first = _extract(log_a)
+        second = _extract(log_b)
+        first.merge(second)
+        assert set(combined.transitions) == set(first.transitions)
+
+    def test_idempotent_on_repeated_log(self, conformance_runs):
+        log = conformance_runs["oai"].log_text
+        once = _extract(log, "oai")
+        thrice = _extract(log * 3, "oai")
+        assert set(once.transitions) == set(thrice.transitions)
+
+    def test_extraction_only_uses_signature_lines(self, conformance_runs):
+        """Injecting arbitrary non-signature noise between records does
+        not change the extracted machine."""
+        log = conformance_runs["reference"].log_text
+        noisy_lines = []
+        for index, line in enumerate(log.splitlines()):
+            noisy_lines.append(line)
+            if index % 7 == 0:
+                noisy_lines.append("[build] compiling nas_worker.cc")
+                noisy_lines.append("random stdout 12345")
+        clean = _extract(log, "reference")
+        noisy = _extract("\n".join(noisy_lines), "reference")
+        assert set(clean.transitions) == set(noisy.transitions)
+
+    def test_states_subset_of_standards(self, extracted_models):
+        from repro.lte import constants as c
+        for implementation, fsm in extracted_models.items():
+            assert fsm.states <= set(c.UE_STATES), implementation

@@ -1,0 +1,175 @@
+"""Model extractor tests: Algorithm 1 on synthetic and real logs."""
+
+import pytest
+
+from repro.extraction import (ModelExtractor, SignatureTable, divide_blocks,
+                              extract_model, table_for_implementation)
+from repro.fsm import NULL_ACTION
+from repro.instrumentation.logfmt import parse_log
+from repro.lte import constants as c
+from repro.lte.implementations import REGISTRY
+
+# A synthetic log in the paper's Fig. 3(d) shape.
+FIG3_LOG = """\
+ENTER recv_attach_accept
+GLOBAL emm_state=EMM_REGISTERED_INITIATED_SECURE
+LOCAL mac_valid=1
+ENTER send_attach_complete
+GLOBAL emm_state=EMM_REGISTERED
+EXIT send_attach_complete
+GLOBAL emm_state=EMM_REGISTERED
+EXIT recv_attach_accept
+"""
+
+TABLE = SignatureTable(
+    state_signatures=(c.EMM_REGISTERED_INITIATED_SECURE,
+                      c.EMM_REGISTERED),
+    state_variable="emm_state",
+    incoming_signatures={"recv_attach_accept": "attach_accept"},
+    outgoing_signatures={"send_attach_complete": "attach_complete"},
+    condition_variables=("mac_valid",),
+    initial_state=c.EMM_REGISTERED_INITIATED_SECURE,
+)
+
+
+class TestRunningExample:
+    def test_fig3_transition_extracted(self):
+        fsm, stats = extract_model(FIG3_LOG, TABLE)
+        assert stats.blocks == 1
+        (transition,) = fsm.transitions
+        assert transition.source == c.EMM_REGISTERED_INITIATED_SECURE
+        assert transition.target == c.EMM_REGISTERED
+        assert transition.conditions == ("attach_accept", "mac_valid=1")
+        assert transition.actions == ("attach_complete",)
+
+
+class TestBlockDivision:
+    def test_split_on_incoming_signatures(self):
+        log = FIG3_LOG + FIG3_LOG
+        records = parse_log(log)
+        blocks = divide_blocks(records, TABLE)
+        assert len(blocks) == 2
+        assert all(block.condition == "attach_accept" for block in blocks)
+
+    def test_testcase_markers_close_blocks(self):
+        log = FIG3_LOG + "TESTCASE TC_2\nGLOBAL emm_state=EMM_REGISTERED\n"
+        records = parse_log(log)
+        blocks = divide_blocks(records, TABLE)
+        # the stray GLOBAL after the marker is not inside any block
+        assert len(blocks) == 1
+        assert len(blocks[0].records) == 7
+
+    def test_preamble_before_first_signature_ignored(self):
+        log = "GLOBAL emm_state=EMM_REGISTERED\n" + FIG3_LOG
+        fsm, stats = extract_model(log, TABLE)
+        assert stats.blocks == 1
+        assert len(fsm.transitions) == 1
+
+
+class TestNullAction:
+    def test_no_outgoing_handler_yields_null_action(self):
+        log = ("ENTER recv_attach_accept\n"
+               "GLOBAL emm_state=EMM_REGISTERED_INITIATED_SECURE\n"
+               "LOCAL mac_valid=0\n"
+               "GLOBAL emm_state=EMM_REGISTERED_INITIATED_SECURE\n"
+               "EXIT recv_attach_accept\n")
+        fsm, _ = extract_model(log, TABLE)
+        (transition,) = fsm.transitions
+        assert transition.actions == (NULL_ACTION,)
+        assert transition.source == transition.target
+
+    def test_state_less_block_skipped(self):
+        log = "ENTER recv_attach_accept\nLOCAL mac_valid=1\n"
+        fsm, stats = extract_model(log, TABLE)
+        assert stats.blocks == 1
+        assert not fsm.transitions
+
+
+class TestConditionLifting:
+    def test_only_configured_variables_lifted(self):
+        log = FIG3_LOG.replace("LOCAL mac_valid=1",
+                               "LOCAL mac_valid=1\nLOCAL noise_var=7")
+        fsm, _ = extract_model(log, TABLE)
+        (transition,) = fsm.transitions
+        assert "noise_var=7" not in transition.conditions
+
+    def test_exact_state_value_matching(self):
+        """State matching is by exact GLOBAL value, so MME_EMM_* values
+        sharing a substring never confuse the extractor."""
+        log = FIG3_LOG.replace(
+            "GLOBAL emm_state=EMM_REGISTERED\nEXIT send",
+            "GLOBAL emm_state=MME_EMM_REGISTERED\nEXIT send")
+        fsm, _ = extract_model(log, TABLE)
+        (transition,) = fsm.transitions
+        assert transition.target == c.EMM_REGISTERED  # from the later dump
+
+
+class TestDuplicateBlocks:
+    def test_identical_blocks_collapse_to_one_transition(self):
+        fsm, _ = extract_model(FIG3_LOG * 3, TABLE)
+        assert len(fsm.transitions) == 1
+
+    def test_different_predicates_make_distinct_transitions(self):
+        log = FIG3_LOG + FIG3_LOG.replace(
+            "LOCAL mac_valid=1", "LOCAL mac_valid=0").replace(
+            "ENTER send_attach_complete\nGLOBAL emm_state=EMM_REGISTERED\n"
+            "EXIT send_attach_complete\nGLOBAL emm_state=EMM_REGISTERED\n",
+            "")
+        fsm, _ = extract_model(log, TABLE)
+        assert len(fsm.transitions) == 2
+
+
+class TestRealImplementations:
+    @pytest.mark.parametrize("impl", ("reference", "srsue", "oai"))
+    def test_extracted_models_have_expected_shape(self, impl,
+                                                  extracted_models):
+        fsm = extracted_models[impl]
+        assert len(fsm.states) >= 8
+        assert len(fsm.transitions) >= 25
+        assert fsm.initial_state == c.EMM_DEREGISTERED
+        # every extracted state is a standards state name
+        assert fsm.states <= set(c.UE_STATES)
+
+    def test_srsue_shows_equal_sqn_acceptance(self, extracted_models):
+        fsm = extracted_models["srsue"]
+        assert any("sqn_equal=1" in t.conditions
+                   and "authentication_response" in t.actions
+                   for t in fsm.transitions)
+
+    def test_reference_rejects_equal_sqn(self, extracted_models):
+        fsm = extracted_models["reference"]
+        assert not any("sqn_equal=1" in t.conditions
+                       and "authentication_response" in t.actions
+                       for t in fsm.transitions)
+
+    def test_oai_shows_plain_header_acceptance(self, extracted_models):
+        fsm = extracted_models["oai"]
+        assert any("plain_hdr=1" in t.conditions
+                   and "guti_reallocation_complete" in t.actions
+                   for t in fsm.transitions)
+
+    def test_all_implementations_show_sqn_window(self, extracted_models):
+        """The Annex C out-of-order acceptance is standards-mandated."""
+        for impl, fsm in extracted_models.items():
+            assert any("sqn_fresh=0" in t.conditions
+                       and "sqn_in_window=1" in t.conditions
+                       and "authentication_response" in t.actions
+                       for t in fsm.transitions), impl
+
+    def test_extraction_is_deterministic(self, conformance_runs):
+        run = conformance_runs["reference"]
+        table = table_for_implementation(REGISTRY["reference"])
+        first, _ = extract_model(run.log_text, table)
+        second, _ = extract_model(run.log_text, table)
+        assert set(first.transitions) == set(second.transitions)
+
+    def test_stats_populated(self, conformance_runs):
+        run = conformance_runs["srsue"]
+        table = table_for_implementation(REGISTRY["srsue"])
+        extractor = ModelExtractor(table)
+        fsm = extractor.extract(run.log_text)
+        stats = extractor.stats
+        assert stats.blocks > 50
+        assert stats.transitions == len(fsm.transitions)
+        assert stats.log_lines > 1000
+        assert stats.elapsed_seconds > 0

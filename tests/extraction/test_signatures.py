@@ -1,0 +1,63 @@
+"""Signature table tests: per-implementation mappings."""
+
+from repro.extraction.signatures import (DEFAULT_CONDITION_VARIABLES,
+                                         INTERNAL_TRIGGERS, mme_table,
+                                         table_for_implementation)
+from repro.lte import constants as c
+from repro.lte.implementations import OaiLikeUe, ReferenceUe, SrsueLikeUe
+
+
+class TestImplementationTables:
+    def test_reference_prefixes(self):
+        table = table_for_implementation(ReferenceUe)
+        assert table.incoming_condition("recv_attach_accept") \
+            == "attach_accept"
+        assert table.outgoing_action("send_attach_complete") \
+            == "attach_complete"
+
+    def test_srsue_prefixes(self):
+        table = table_for_implementation(SrsueLikeUe)
+        assert table.incoming_condition("parse_attach_accept") \
+            == "attach_accept"
+        assert table.incoming_condition("recv_attach_accept") == ""
+
+    def test_oai_prefixes(self):
+        table = table_for_implementation(OaiLikeUe)
+        assert table.incoming_condition("emm_recv_paging") == "paging"
+        assert table.outgoing_action("emm_send_service_request") \
+            == "service_request"
+
+    def test_internal_triggers_mapped(self):
+        table = table_for_implementation(ReferenceUe)
+        for method, condition in INTERNAL_TRIGGERS.items():
+            assert table.incoming_condition(method) == condition
+
+    def test_state_signatures_are_standards_names(self):
+        table = table_for_implementation(ReferenceUe)
+        assert set(table.state_signatures) == set(c.UE_STATES)
+        assert table.initial_state == c.EMM_DEREGISTERED
+
+    def test_all_downlink_messages_covered(self):
+        table = table_for_implementation(ReferenceUe)
+        for message in c.DOWNLINK_MESSAGES:
+            assert table.incoming_condition("recv_" + message) == message
+
+    def test_condition_variables_include_check_inputs(self):
+        assert "mac_valid" in DEFAULT_CONDITION_VARIABLES
+        assert "count_higher" in DEFAULT_CONDITION_VARIABLES
+        assert "sqn_in_window" in DEFAULT_CONDITION_VARIABLES
+        assert "paging_match" in DEFAULT_CONDITION_VARIABLES
+
+
+class TestMmeTable:
+    def test_uplink_messages_incoming(self):
+        table = mme_table()
+        assert table.incoming_condition("recv_attach_request") \
+            == "attach_request"
+        assert table.outgoing_action("send_attach_accept") \
+            == "attach_accept"
+
+    def test_mme_states(self):
+        table = mme_table()
+        assert set(table.state_signatures) == set(c.MME_STATES)
+        assert table.initial_state == c.MME_DEREGISTERED

@@ -1,0 +1,70 @@
+"""Tests for FSM structural analyses (missing-test detection, diffs)."""
+
+from repro.fsm import (FiniteStateMachine, NULL_ACTION, condition_histogram,
+                       dead_states, diff, guard_strictness, missing_stimuli)
+
+
+def make_machine():
+    fsm = FiniteStateMachine(name="m", initial_state="A")
+    fsm.add_transition("A", "B", ("m1", "p=1"), ("a1",))
+    fsm.add_transition("B", "A", ("m2",), ("a2",))
+    fsm.add_transition("B", "C", ("m1",), (NULL_ACTION,))
+    return fsm
+
+
+class TestMissingStimuli:
+    def test_gaps_within_own_alphabet(self):
+        gaps = missing_stimuli(make_machine())
+        pairs = {(g.state, g.trigger) for g in gaps}
+        assert ("A", "m2") in pairs        # A never receives m2
+        assert ("C", "m1") in pairs        # C is a sink
+        assert ("A", "m1") not in pairs
+
+    def test_gaps_against_full_alphabet(self):
+        gaps = missing_stimuli(make_machine(), alphabet={"m1", "m2", "m3"})
+        assert any(g.trigger == "m3" for g in gaps)
+
+    def test_suggested_test_case_readable(self):
+        gap = missing_stimuli(make_machine())[0]
+        assert gap.state in gap.suggested_test_case()
+
+
+class TestDeadStates:
+    def test_sink_detected(self):
+        assert dead_states(make_machine()) == {"C"}
+
+    def test_unreachable_not_reported(self):
+        fsm = make_machine()
+        fsm.add_state("ISLAND")
+        assert "ISLAND" not in dead_states(fsm)
+
+
+class TestDiff:
+    def test_identical(self):
+        assert diff(make_machine(), make_machine()).identical
+
+    def test_asymmetric_difference(self):
+        first = make_machine()
+        second = make_machine()
+        second.add_transition("C", "A", ("m9",), ("a9",))
+        delta = diff(first, second)
+        assert not delta.identical
+        assert len(delta.only_in_second) == 1
+        assert delta.only_in_second[0].trigger == "m9"
+        assert len(delta.common) == 3
+
+
+class TestMetrics:
+    def test_condition_histogram(self):
+        histogram = condition_histogram(make_machine())
+        assert histogram["m1"] == 2
+        assert histogram["p=1"] == 1
+
+    def test_guard_strictness(self):
+        mean, peak = guard_strictness(make_machine())
+        assert peak == 1
+        assert 0 < mean < 1
+
+    def test_empty_machine_strictness(self):
+        fsm = FiniteStateMachine(name="e", initial_state="A")
+        assert guard_strictness(fsm) == (0.0, 0)

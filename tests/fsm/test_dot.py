@@ -1,0 +1,95 @@
+"""DOT serialisation tests, including a hypothesis round-trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fsm import (FSMError, FiniteStateMachine, from_dot, parse_label,
+                       to_dot, transition_label)
+
+
+def sample_machine():
+    fsm = FiniteStateMachine(name="sample", initial_state="S0")
+    fsm.add_transition("S0", "S1", ("msg_a", "p=1"), ("act_a",))
+    fsm.add_transition("S1", "S0", ("msg_b",), ("act_b", "act_c"))
+    return fsm
+
+
+class TestLabels:
+    def test_render_and_parse(self):
+        label = transition_label(("m", "p=1"), ("a", "b"))
+        assert label == "m & p=1 / a, b"
+        conditions, actions = parse_label(label)
+        assert conditions == ("m", "p=1")
+        assert actions == ("a", "b")
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(FSMError):
+            parse_label("just a guard")
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(FSMError):
+            parse_label(" / act")
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        fsm = sample_machine()
+        recovered = from_dot(to_dot(fsm))
+        assert recovered.name == fsm.name
+        assert recovered.initial_state == fsm.initial_state
+        assert recovered.states == fsm.states
+        assert set(recovered.transitions) == set(fsm.transitions)
+
+    def test_initial_state_marked(self):
+        text = to_dot(sample_machine())
+        assert 'shape=doublecircle' in text
+
+    def test_missing_initial_rejected(self):
+        with pytest.raises(FSMError):
+            from_dot('digraph g {\n"A" [shape=circle];\n}')
+
+    def test_two_initials_rejected(self):
+        text = ('digraph g {\n"A" [shape=doublecircle];\n'
+                '"B" [shape=doublecircle];\n}')
+        with pytest.raises(FSMError):
+            from_dot(text)
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(FSMError):
+            from_dot('digraph g {\nthis is not dot\n}')
+
+    def test_comments_ignored(self):
+        text = to_dot(sample_machine())
+        text = text.replace("{", "{\n// a comment\n# another", 1)
+        assert from_dot(text).states == sample_machine().states
+
+
+_NAMES = st.text(alphabet="abcDEF_123", min_size=1, max_size=8)
+
+
+@st.composite
+def machines(draw):
+    state_names = draw(st.lists(_NAMES, min_size=1, max_size=5,
+                                unique=True))
+    fsm = FiniteStateMachine(name=draw(_NAMES),
+                             initial_state=state_names[0])
+    for state in state_names:
+        fsm.add_state(state)
+    transitions = draw(st.integers(min_value=0, max_value=8))
+    for _ in range(transitions):
+        source = draw(st.sampled_from(state_names))
+        target = draw(st.sampled_from(state_names))
+        conditions = draw(st.lists(_NAMES, min_size=1, max_size=3))
+        actions = draw(st.lists(_NAMES, min_size=1, max_size=2))
+        fsm.add_transition(source, target, tuple(conditions),
+                           tuple(actions))
+    return fsm
+
+
+class TestRoundTripProperty:
+    @given(machines())
+    def test_roundtrip_preserves_machine(self, fsm):
+        recovered = from_dot(to_dot(fsm))
+        assert recovered.initial_state == fsm.initial_state
+        assert recovered.states == fsm.states
+        assert set(recovered.transitions) == set(fsm.transitions)

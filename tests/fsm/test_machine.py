@@ -1,0 +1,114 @@
+"""Tests for the protocol FSM data structures."""
+
+import pytest
+
+from repro.fsm import (FSMError, FiniteStateMachine, NULL_ACTION,
+                       Transition)
+
+
+def attach_fragment():
+    fsm = FiniteStateMachine(name="frag", initial_state="DEREG")
+    fsm.add_transition("DEREG", "REG_INIT", ("power_on",),
+                       ("attach_request",))
+    fsm.add_transition("REG_INIT", "REG",
+                       ("attach_accept", "mac_valid=1"),
+                       ("attach_complete",))
+    fsm.add_transition("REG_INIT", "REG_INIT",
+                       ("attach_accept", "mac_valid=0"),
+                       (NULL_ACTION,))
+    return fsm
+
+
+class TestTransition:
+    def test_trigger_and_predicates(self):
+        transition = Transition("a", "b", ("msg", "p=1", "q=0"), ("act",))
+        assert transition.trigger == "msg"
+        assert transition.predicates == ("p=1", "q=0")
+
+    def test_requires_conditions_and_actions(self):
+        with pytest.raises(FSMError):
+            Transition("a", "b", (), ("act",))
+        with pytest.raises(FSMError):
+            Transition("a", "b", ("msg",), ())
+
+    def test_with_extra_condition_is_stricter(self):
+        transition = Transition("a", "b", ("msg",), ("act",))
+        stricter = transition.with_extra_condition("p=1")
+        assert stricter.conditions == ("msg", "p=1")
+        assert stricter.source == "a" and stricter.target == "b"
+
+    def test_describe(self):
+        transition = Transition("a", "b", ("msg", "p=1"), ("act",))
+        assert "a --[msg & p=1 / act]--> b" == transition.describe()
+
+
+class TestMachine:
+    def test_states_tracked_from_transitions(self):
+        fsm = attach_fragment()
+        assert fsm.states == {"DEREG", "REG_INIT", "REG"}
+
+    def test_duplicate_transitions_collapse(self):
+        fsm = attach_fragment()
+        before = len(fsm)
+        fsm.add_transition("DEREG", "REG_INIT", ("power_on",),
+                           ("attach_request",))
+        assert len(fsm) == before
+
+    def test_five_tuple_views(self):
+        fsm = attach_fragment()
+        assert "mac_valid=1" in fsm.conditions
+        assert "attach_complete" in fsm.actions
+        assert fsm.triggers == {"power_on", "attach_accept"}
+
+    def test_queries(self):
+        fsm = attach_fragment()
+        assert len(fsm.transitions_from("REG_INIT")) == 2
+        assert len(fsm.transitions_on("attach_accept")) == 2
+        assert fsm.successors("REG_INIT") == {"REG", "REG_INIT"}
+
+    def test_reachability(self):
+        fsm = attach_fragment()
+        fsm.add_state("ORPHAN")
+        assert fsm.reachable_states() == {"DEREG", "REG_INIT", "REG"}
+        assert fsm.unreachable_states() == {"ORPHAN"}
+
+    def test_determinism(self):
+        fsm = attach_fragment()
+        assert fsm.is_deterministic()
+        fsm.add_transition("REG_INIT", "DEREG",
+                           ("attach_accept", "mac_valid=1"), ("oops",))
+        assert not fsm.is_deterministic()
+        assert len(fsm.nondeterministic_pairs()) == 1
+
+    def test_paths(self):
+        fsm = attach_fragment()
+        paths = list(fsm.paths("DEREG", "REG"))
+        assert len(paths) == 1
+        assert [t.trigger for t in paths[0]] == ["power_on",
+                                                 "attach_accept"]
+
+    def test_merge(self):
+        first = attach_fragment()
+        second = FiniteStateMachine(name="other", initial_state="DEREG")
+        second.add_transition("REG", "DEREG", ("detach_request",),
+                              ("detach_accept",))
+        first.merge(second)
+        assert any(t.trigger == "detach_request" for t in first)
+
+    def test_copy_is_independent(self):
+        fsm = attach_fragment()
+        clone = fsm.copy("clone")
+        clone.add_transition("REG", "DEREG", ("x",), ("y",))
+        assert len(clone) == len(fsm) + 1
+
+    def test_summary(self):
+        summary = attach_fragment().summary()
+        assert summary["states"] == 3
+        assert summary["transitions"] == 3
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(FSMError):
+            FiniteStateMachine(name="x", initial_state="")
+        fsm = attach_fragment()
+        with pytest.raises(FSMError):
+            fsm.add_state("")

@@ -1,0 +1,115 @@
+"""Tests for the RQ2 refinement relation, including both Fig. 7 cases."""
+
+from repro.fsm import (DIRECT, FiniteStateMachine, NULL_ACTION, SPLIT,
+                       STRICTER_CONDITION, UNMAPPED, check_refinement)
+
+
+def abstract_machine():
+    fsm = FiniteStateMachine(name="LTE", initial_state="ue_deregistered")
+    fsm.add_transition("ue_deregistered", "ue_registered_initiated",
+                       ("power_on",), ("attach_request",))
+    # Fig. 7(i): SMC transition that the refined model constrains further.
+    fsm.add_transition("ue_registered_initiated", "ue_registered",
+                       ("security_mode_command",),
+                       ("security_mode_complete",))
+    # Fig. 7(ii): detach transition that the refined model splits.
+    fsm.add_transition("ue_dereg_initiated", "ue_deregistered",
+                       ("detach_request",), ("detach_accept",))
+    return fsm
+
+
+def refined_machine():
+    fsm = FiniteStateMachine(name="Pro", initial_state="ue_deregistered")
+    fsm.add_transition("ue_deregistered", "ue_registered_initiated",
+                       ("power_on",), ("attach_request",))
+    # same endpoints, stricter guard (Fig. 7(i))
+    fsm.add_transition("ue_registered_initiated", "ue_registered",
+                       ("security_mode_command", "ue_sequence_number=0"),
+                       ("security_mode_complete",))
+    # split through a new intermediate state (Fig. 7(ii))
+    fsm.add_transition("ue_dereg_initiated", "ue_dereg_attach_needed",
+                       ("detach_request", "reattach_required=1"),
+                       ("detach_accept",))
+    fsm.add_transition("ue_dereg_attach_needed", "ue_deregistered",
+                       ("internal_cleanup",), (NULL_ACTION,))
+    return fsm
+
+
+class TestRefinementHolds:
+    def test_full_refinement(self):
+        report = check_refinement(abstract_machine(), refined_machine())
+        assert report.is_refinement
+
+    def test_mapping_kinds(self):
+        report = check_refinement(abstract_machine(), refined_machine())
+        counts = report.mapping_counts()
+        assert counts[DIRECT] == 1
+        assert counts[STRICTER_CONDITION] == 1
+        assert counts[SPLIT] == 1
+        assert counts[UNMAPPED] == 0
+
+    def test_stricter_condition_reported(self):
+        report = check_refinement(abstract_machine(), refined_machine())
+        stricter = [m for m in report.transition_mappings
+                    if m.kind == STRICTER_CONDITION]
+        assert stricter[0].new_conditions == ("ue_sequence_number=0",)
+
+    def test_new_vocabulary_reported(self):
+        report = check_refinement(abstract_machine(), refined_machine())
+        assert report.condition_superset
+        assert report.action_superset
+        assert "ue_sequence_number=0" in report.new_conditions
+
+
+class TestRefinementFails:
+    def test_missing_state_breaks_clause_one(self):
+        refined = refined_machine()
+        abstract = abstract_machine()
+        abstract.add_state("ue_exotic_state")
+        report = check_refinement(abstract, refined)
+        assert not report.states_ok
+        assert "ue_exotic_state" in report.unmapped_states
+
+    def test_missing_transition_is_unmapped(self):
+        abstract = abstract_machine()
+        abstract.add_transition("ue_registered", "ue_deregistered",
+                                ("vanishing_message",), ("gone",))
+        report = check_refinement(abstract, refined_machine())
+        assert not report.transitions_ok
+        unmapped = [m for m in report.transition_mappings
+                    if m.kind == UNMAPPED]
+        assert unmapped[0].abstract.trigger == "vanishing_message"
+
+    def test_weaker_guard_is_not_refinement(self):
+        """A refined transition must keep all abstract conditions."""
+        abstract = abstract_machine()
+        refined = refined_machine()
+        # make the abstract SMC transition carry a condition the refined
+        # one lacks
+        abstract_weak = FiniteStateMachine(
+            name="LTE2", initial_state="ue_deregistered")
+        for t in abstract.transitions:
+            if t.trigger == "security_mode_command":
+                abstract_weak.add_transition(
+                    t.source, t.target,
+                    t.conditions + ("extra_condition=1",), t.actions)
+            else:
+                abstract_weak.add_transition(t.source, t.target,
+                                             t.conditions, t.actions)
+        report = check_refinement(abstract_weak, refined)
+        assert not report.transitions_ok
+
+
+class TestSubstateMapping:
+    def test_states_map_to_substates(self):
+        abstract = FiniteStateMachine(name="A", initial_state="reg")
+        abstract.add_transition("reg", "reg", ("ping",), ("pong",))
+        refined = FiniteStateMachine(name="R",
+                                     initial_state="reg_sub_normal")
+        refined.add_transition("reg_sub_normal", "reg_sub_normal",
+                               ("ping", "checked=1"), ("pong",))
+        report = check_refinement(
+            abstract, refined,
+            substate_map={"reg": ("reg_sub_normal", "reg_sub_update")})
+        assert report.is_refinement
+        assert report.state_mapping["reg"] == {"reg_sub_normal"}

@@ -1,0 +1,116 @@
+"""C-like source instrumentor tests, built around the paper's Fig. 3."""
+
+from repro.instrumentation.clike import (CLikeInstrumenter, parse_globals)
+
+# The running example of Fig. 3 (simplified attach-accept path).
+HEADER = """
+// nas_state.h
+int emm_state;
+int dl_count;
+char *current_guti;
+void not_a_variable(int x);
+"""
+
+SOURCE = """\
+void air_msg_handler(msg_t *msg) {
+    int msg_type = parse_type(msg);
+    if (msg_type == ATTACH_ACCEPT) {
+        recv_attach_accept(msg);
+    }
+}
+
+int recv_attach_accept(msg_t *msg) {
+    int mac_valid = check_mac(msg);
+    int replay_ok = check_count(msg);
+    if (!mac_valid) {
+        return 0;
+    }
+    emm_state = UE_REGISTERED;
+    send_attach_complete();
+    return 1;
+}
+
+void send_attach_complete() {
+    build_and_send(ATTACH_COMPLETE);
+}
+"""
+
+
+class TestParseGlobals:
+    def test_declarations_found(self):
+        names = [name for _type, name in parse_globals(HEADER)]
+        assert names == ["emm_state", "dl_count", "current_guti"]
+
+    def test_functions_and_comments_skipped(self):
+        names = [name for _type, name in parse_globals(HEADER)]
+        assert "not_a_variable" not in names
+
+
+class TestDiscovery:
+    def test_functions_found(self):
+        instrumenter = CLikeInstrumenter()
+        functions = instrumenter.discover_functions(SOURCE)
+        assert [f.name for f in functions] == [
+            "air_msg_handler", "recv_attach_accept",
+            "send_attach_complete"]
+
+    def test_first_block_locals(self):
+        instrumenter = CLikeInstrumenter()
+        functions = instrumenter.discover_functions(SOURCE)
+        recv = functions[1]
+        assert [name for _t, name in recv.locals] == ["mac_valid",
+                                                      "replay_ok"]
+
+    def test_return_points_found(self):
+        instrumenter = CLikeInstrumenter()
+        recv = instrumenter.discover_functions(SOURCE)[1]
+        assert len(recv.return_lines) == 2
+
+
+class TestInstrumentation:
+    def instrumented(self):
+        return CLikeInstrumenter(parse_globals(HEADER)).instrument(SOURCE)
+
+    def test_enter_lines_inserted(self):
+        text = self.instrumented()
+        assert 'printf("ENTER air_msg_handler\\n");' in text
+        assert 'printf("ENTER recv_attach_accept\\n");' in text
+        assert 'printf("ENTER send_attach_complete\\n");' in text
+
+    def test_globals_dumped_at_entry_and_exit(self):
+        text = self.instrumented()
+        assert text.count('printf("GLOBAL emm_state=%d\\n", emm_state);') \
+            >= 4   # entry+exit across functions
+
+    def test_locals_dumped_before_returns(self):
+        text = self.instrumented()
+        assert 'printf("LOCAL mac_valid=%d\\n", mac_valid);' in text
+        assert 'printf("LOCAL replay_ok=%d\\n", replay_ok);' in text
+
+    def test_string_globals_use_string_format(self):
+        text = self.instrumented()
+        assert ('printf("GLOBAL current_guti=%s\\n", current_guti);'
+                in text)
+
+    def test_original_code_preserved(self):
+        text = self.instrumented()
+        for line in SOURCE.splitlines():
+            assert line in text
+
+    def test_exit_markers_precede_returns(self):
+        lines = self.instrumented().splitlines()
+        for index, line in enumerate(lines):
+            if line.strip().startswith("return"):
+                window = "\n".join(lines[max(0, index - 8):index])
+                assert "EXIT" in window
+
+    def test_line_count_delta(self):
+        instrumenter = CLikeInstrumenter(parse_globals(HEADER))
+        assert instrumenter.instrumented_line_count(SOURCE) > 10
+
+    def test_unbalanced_braces_rejected(self):
+        from repro.instrumentation.clike import InstrumentationError
+        import pytest
+        with pytest.raises(InstrumentationError):
+            CLikeInstrumenter().discover_functions(
+                "void broken(void) {\n    if (x) {\n")

@@ -1,0 +1,101 @@
+"""Log format tests: writer/parser round trip, robustness to noise."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.instrumentation.logfmt import (ENTER, EXIT, GLOBAL, LOCAL,
+                                          LogFormatError, LogRecord,
+                                          LogWriter, TESTCASE,
+                                          iter_testcases, parse_log,
+                                          render_value)
+
+
+class TestRenderValue:
+    def test_bool_as_bit(self):
+        assert render_value(True) == "1"
+        assert render_value(False) == "0"
+
+    def test_bytes_as_hex_prefix(self):
+        assert render_value(b"\xde\xad\xbe\xef" * 4) == "0xdeadbeefdeadbeef"
+
+    def test_plain_values(self):
+        assert render_value(42) == "42"
+        assert render_value("EMM_REGISTERED") == "EMM_REGISTERED"
+
+
+class TestRecords:
+    def test_enter_exit_roundtrip(self):
+        record = LogRecord(ENTER, "recv_attach_accept")
+        assert LogRecord.parse(record.render()) == record
+
+    def test_variable_roundtrip(self):
+        record = LogRecord(GLOBAL, "emm_state", "EMM_REGISTERED")
+        assert LogRecord.parse(record.render()) == record
+
+    def test_noise_lines_ignored(self):
+        assert LogRecord.parse("random build output") is None
+        assert LogRecord.parse("") is None
+        assert LogRecord.parse("[INFO] something") is None
+
+    def test_malformed_variable_rejected(self):
+        with pytest.raises(LogFormatError):
+            LogRecord.parse("GLOBAL no_equals_sign")
+
+
+class TestWriter:
+    def test_full_sequence(self):
+        writer = LogWriter()
+        writer.testcase("TC_1")
+        writer.enter("recv_x")
+        writer.global_var("emm_state", "A")
+        writer.local_var("mac_valid", True)
+        writer.exit("recv_x")
+        records = parse_log(writer.getvalue())
+        kinds = [r.kind for r in records]
+        assert kinds == [TESTCASE, ENTER, GLOBAL, LOCAL, EXIT]
+        assert records[3].value == "1"
+        assert writer.lines_written == 5
+
+
+class TestParseLog:
+    def test_interleaved_noise_skipped(self):
+        text = ("ENTER f\nsome compiler warning\nGLOBAL s=1\n"
+                "[2021] log line\nEXIT f\n")
+        records = parse_log(text)
+        assert len(records) == 3
+
+    def test_accepts_line_iterable(self):
+        records = parse_log(["ENTER f", "EXIT f"])
+        assert len(records) == 2
+
+
+class TestIterTestcases:
+    def test_split_at_markers(self):
+        writer = LogWriter()
+        writer.enter("preamble_fn")
+        writer.testcase("TC_A")
+        writer.enter("f1")
+        writer.testcase("TC_B")
+        writer.enter("f2")
+        groups = list(iter_testcases(parse_log(writer.getvalue())))
+        assert [name for name, _ in groups] == ["(preamble)", "TC_A",
+                                                "TC_B"]
+        assert groups[1][1][0].name == "f1"
+
+
+_NAMES = st.text(alphabet="abz_XYZ019", min_size=1, max_size=12)
+_VALUES = st.one_of(st.integers(-99, 99), st.booleans(),
+                    st.text(alphabet="abcXYZ_.-", min_size=1, max_size=12))
+
+
+class TestRoundTripProperty:
+    @given(st.lists(st.tuples(_NAMES, _VALUES), max_size=20))
+    def test_writer_parser_roundtrip(self, entries):
+        writer = LogWriter()
+        for name, value in entries:
+            writer.global_var(name, value)
+        records = parse_log(writer.getvalue())
+        assert len(records) == len(entries)
+        for record, (name, value) in zip(records, entries):
+            assert record.name == name
+            assert record.value == render_value(value)

@@ -1,0 +1,108 @@
+"""Runtime tracer tests: entry/exit/locals/global dumps per handler."""
+
+from repro.instrumentation.logfmt import (ENTER, EXIT, GLOBAL, LOCAL,
+                                          LogWriter, parse_log)
+from repro.instrumentation.runtime import (RuntimeInstrumenter,
+                                           TraceTargets, trace_run)
+from repro.lte import constants as c
+from repro.lte.channel import RadioLink
+from repro.lte.hss import Hss
+from repro.lte.identifiers import make_subscriber
+from repro.lte.implementations import OaiLikeUe, ReferenceUe, SrsueLikeUe
+from repro.lte.mme import MmeNas
+from repro.lte.timers import SimClock
+
+
+def traced_attach(ue_class):
+    clock = SimClock()
+    link = RadioLink()
+    subscriber = make_subscriber("000000001")
+    hss = Hss()
+    hss.provision(subscriber)
+    MmeNas(hss, link, clock=clock)
+    ue = ue_class(subscriber, link, clock=clock)
+    writer = LogWriter()
+    with trace_run(ue_class, writer):
+        ue.power_on()
+    return parse_log(writer.getvalue())
+
+
+class TestTraceTargets:
+    def test_derived_from_class(self):
+        targets = TraceTargets.for_implementation(SrsueLikeUe)
+        assert "parse_" in targets.prefixes
+        assert "emm_state" in targets.state_attributes
+        assert targets.instance_class is SrsueLikeUe
+
+
+class TestTracing:
+    def test_handler_entries_logged_with_signature_names(self):
+        records = traced_attach(SrsueLikeUe)
+        entered = {r.name for r in records if r.kind == ENTER}
+        assert "parse_authentication_request" in entered
+        assert "send_attach_complete" in entered
+        assert "power_on" in entered
+
+    def test_enter_exit_balanced(self):
+        records = traced_attach(ReferenceUe)
+        enters = [r.name for r in records if r.kind == ENTER]
+        exits = [r.name for r in records if r.kind == EXIT]
+        assert sorted(enters) == sorted(exits)
+
+    def test_global_state_dumped_at_entry(self):
+        records = traced_attach(ReferenceUe)
+        first_enter = next(i for i, r in enumerate(records)
+                           if r.kind == ENTER)
+        following = records[first_enter + 1:first_enter + 7]
+        assert any(r.kind == GLOBAL and r.name == "emm_state"
+                   for r in following)
+
+    def test_condition_locals_captured(self):
+        records = traced_attach(ReferenceUe)
+        local_names = {r.name for r in records if r.kind == LOCAL}
+        assert {"mac_valid", "sqn_fresh", "count_higher"} <= local_names
+
+    def test_helper_frames_contribute_locals_without_enter(self):
+        records = traced_attach(ReferenceUe)
+        entered = {r.name for r in records if r.kind == ENTER}
+        assert not any(name.startswith("_recv_") for name in entered)
+        assert any(r.kind == LOCAL and r.name == "sqn_in_window"
+                   for r in records)
+
+    def test_mme_frames_not_traced(self):
+        """Only the UE 'directory' is instrumented; the core network's
+        handlers (same module tree) must not pollute the log."""
+        records = traced_attach(ReferenceUe)
+        entered = {r.name for r in records if r.kind == ENTER}
+        assert "recv_attach_request" not in entered   # MME-side handler
+        values = {r.value for r in records if r.kind == GLOBAL
+                  and r.name == "emm_state"}
+        assert not any(value.startswith("MME_") for value in values)
+
+    def test_oai_signature_style(self):
+        records = traced_attach(OaiLikeUe)
+        entered = {r.name for r in records if r.kind == ENTER}
+        assert "emm_recv_security_mode_command" in entered
+        assert "emm_send_security_mode_complete" in entered
+
+    def test_tracer_restores_previous_hook(self):
+        import sys
+        writer = LogWriter()
+        targets = TraceTargets.for_implementation(ReferenceUe)
+        before = sys.gettrace()
+        with RuntimeInstrumenter(writer, targets):
+            pass
+        assert sys.gettrace() is before
+
+    def test_functions_traced_counter(self):
+        clock = SimClock()
+        link = RadioLink()
+        subscriber = make_subscriber("000000002")
+        hss = Hss()
+        hss.provision(subscriber)
+        MmeNas(hss, link, clock=clock)
+        ue = ReferenceUe(subscriber, link, clock=clock)
+        writer = LogWriter()
+        with trace_run(ReferenceUe, writer) as tracer:
+            ue.power_on()
+        assert tracer.functions_traced > 5

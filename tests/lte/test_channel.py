@@ -1,0 +1,120 @@
+"""Radio link tests: queued delivery, interception, injection."""
+
+from repro.lte import constants as c
+from repro.lte.channel import RadioLink
+from repro.lte.messages import NasMessage
+
+
+def frame(name=c.PAGING, **fields):
+    return NasMessage(name=name, fields=fields).to_wire()
+
+
+class TestDelivery:
+    def test_uplink_reaches_mme(self):
+        link = RadioLink()
+        received = []
+        link.attach_mme(received.append)
+        assert link.send_uplink(frame())
+        assert len(received) == 1
+
+    def test_downlink_reaches_ue(self):
+        link = RadioLink()
+        received = []
+        link.attach_ue(received.append)
+        assert link.send_downlink(frame())
+        assert received
+
+    def test_unattached_endpoint_drops(self):
+        link = RadioLink()
+        assert not link.send_uplink(frame())
+
+    def test_handlers_run_to_completion_before_next_delivery(self):
+        """The event-driven pump: no nested handler execution."""
+        link = RadioLink()
+        order = []
+
+        def ue_handler(data):
+            order.append("ue-start")
+            link.send_uplink(frame())    # response enqueued, not nested
+            order.append("ue-end")
+
+        def mme_handler(data):
+            order.append("mme")
+
+        link.attach_ue(ue_handler)
+        link.attach_mme(mme_handler)
+        link.send_downlink(frame())
+        assert order == ["ue-start", "ue-end", "mme"]
+
+    def test_detach_mme_returns_handler(self):
+        link = RadioLink()
+        handler = lambda data: None  # noqa: E731
+        link.attach_mme(handler)
+        assert link.detach_mme() is handler
+        assert not link.send_uplink(frame())
+
+
+class TestInterception:
+    class Dropper:
+        def __init__(self, name):
+            self.name = name
+            self.count = 0
+
+        def intercept(self, direction, data):
+            message = NasMessage.from_wire(data)
+            if message.name == self.name:
+                self.count += 1
+                return None
+            return data
+
+    def test_selective_drop(self):
+        link = RadioLink()
+        received = []
+        link.attach_ue(received.append)
+        link.interceptor = self.Dropper(c.PAGING)
+        assert not link.send_downlink(frame(c.PAGING))
+        assert link.send_downlink(frame(c.ATTACH_REJECT))
+        assert len(received) == 1
+        assert link.interceptor.count == 1
+
+    def test_modifying_interceptor(self):
+        link = RadioLink()
+        received = []
+        link.attach_ue(received.append)
+
+        class Swapper:
+            def intercept(self, direction, data):
+                return frame(c.ATTACH_REJECT)
+
+        link.interceptor = Swapper()
+        link.send_downlink(frame(c.PAGING))
+        assert NasMessage.from_wire(received[0]).name == c.ATTACH_REJECT
+
+
+class TestHistoryAndInjection:
+    def test_history_records_even_dropped(self):
+        link = RadioLink()
+        link.attach_ue(lambda data: None)
+        link.interceptor = TestInterception.Dropper(c.PAGING)
+        link.send_downlink(frame(c.PAGING))
+        assert len(link.history) == 1
+        assert not link.history[0].delivered
+
+    def test_injection_marked(self):
+        link = RadioLink()
+        link.attach_ue(lambda data: None)
+        link.inject_downlink(frame())
+        assert link.history[0].injected
+
+    def test_captured_messages_parse(self):
+        link = RadioLink()
+        link.attach_mme(lambda data: None)
+        link.send_uplink(frame(c.ATTACH_REQUEST, imsi="00101"))
+        messages = link.captured_messages("uplink")
+        assert messages[0].name == c.ATTACH_REQUEST
+
+    def test_captured_skips_garbage(self):
+        link = RadioLink()
+        link.attach_ue(lambda data: None)
+        link.inject_downlink(b"\x00garbage")
+        assert link.captured_messages() == []

@@ -1,0 +1,87 @@
+"""5G Configuration Update procedure tests (TS 24.501, 'Impact on 5G')."""
+
+from repro.lte import constants as c
+from repro.lte.channel import RadioLink
+from repro.lte.hss import Hss
+from repro.lte.identifiers import make_subscriber
+from repro.lte.mme import MmeNas
+from repro.lte.timers import SimClock
+from repro.lte.ue import UeNas, UePolicy
+
+
+class Harness:
+    def __init__(self, policy=None):
+        self.clock = SimClock()
+        self.link = RadioLink()
+        self.subscriber = make_subscriber("000000001")
+        self.hss = Hss()
+        self.hss.provision(self.subscriber)
+        self.mme = MmeNas(self.hss, self.link, clock=self.clock)
+        self.ue = UeNas(self.subscriber, self.link, clock=self.clock,
+                        policy=policy)
+        self.ue.power_on()
+
+
+class TestConfigurationUpdate:
+    def test_completes_and_updates_guti(self):
+        harness = Harness()
+        old = str(harness.ue.current_guti)
+        harness.mme.initiate_configuration_update()
+        assert str(harness.ue.current_guti) != old
+        names = [m.name for m in
+                 harness.link.captured_messages("uplink")]
+        assert c.CONFIGURATION_UPDATE_COMPLETE in names
+        assert not harness.clock.is_running(c.T3555)
+
+    def test_t3555_retransmits_four_times_then_aborts(self):
+        """TS 24.501: 'on the fifth expiry of timer T3555, the procedure
+        shall be aborted' — the P3-5G drop budget."""
+        harness = Harness()
+        harness.link.detach_ue()
+        harness.mme.initiate_configuration_update()
+        for _ in range(7):
+            harness.clock.advance(10.0)
+        sent = [m for m in harness.link.captured_messages("downlink")
+                if m.name == c.CONFIGURATION_UPDATE_COMMAND]
+        assert len(sent) == 5
+        assert c.CONFIGURATION_UPDATE_COMMAND \
+            in harness.mme.aborted_procedures
+
+    def test_replayed_command_rejected_by_compliant_ue(self):
+        harness = Harness()
+        harness.mme.initiate_configuration_update()
+        frame = next(r.frame for r in reversed(harness.link.history)
+                     if r.direction == "downlink")
+        guti = str(harness.ue.current_guti)
+        harness.link.detach_mme()
+        completes_before = [
+            m.name for m in harness.link.captured_messages("uplink")
+        ].count(c.CONFIGURATION_UPDATE_COMPLETE)
+        harness.link.inject_downlink(frame)
+        completes_after = [
+            m.name for m in harness.link.captured_messages("uplink")
+        ].count(c.CONFIGURATION_UPDATE_COMPLETE)
+        assert completes_after == completes_before
+        assert str(harness.ue.current_guti) == guti
+
+    def test_plain_command_rejected_unless_i2(self):
+        from repro.lte.messages import NasMessage
+        compliant = Harness()
+        compliant.link.detach_mme()
+        msg = NasMessage(name=c.CONFIGURATION_UPDATE_COMMAND,
+                         fields={"guti": "00101-0001-01-deadbeef"})
+        compliant.link.inject_downlink(msg.to_wire())
+        assert str(compliant.ue.current_guti) != "00101-0001-01-deadbeef"
+
+        oai_like = Harness(UePolicy(accept_plain_after_ctx=True))
+        oai_like.link.detach_mme()
+        oai_like.link.inject_downlink(msg.to_wire())
+        assert str(oai_like.ue.current_guti) == "00101-0001-01-deadbeef"
+
+    def test_extracted_model_contains_5g_transitions(self,
+                                                     extracted_models):
+        fsm = extracted_models["reference"]
+        transitions = [t for t in fsm.transitions
+                       if t.trigger == c.CONFIGURATION_UPDATE_COMMAND]
+        assert any(c.CONFIGURATION_UPDATE_COMPLETE in t.actions
+                   for t in transitions)

@@ -1,0 +1,65 @@
+"""Identifier tests: IMSI/GUTI validation and allocation."""
+
+import pytest
+
+from repro.lte.identifiers import (Guti, GutiAllocator, Imsi, Subscriber,
+                                   make_subscriber)
+
+
+class TestImsi:
+    def test_valid(self):
+        imsi = Imsi("001", "01", "000000001")
+        assert str(imsi) == "00101000000001"
+
+    @pytest.mark.parametrize("mcc,mnc,msin", [
+        ("01", "01", "000000001"),      # MCC too short
+        ("001", "1", "000000001"),      # MNC too short
+        ("001", "01", "123"),           # MSIN too short
+        ("abc", "01", "000000001"),     # non-digits
+    ])
+    def test_invalid(self, mcc, mnc, msin):
+        with pytest.raises(ValueError):
+            Imsi(mcc, mnc, msin)
+
+
+class TestGuti:
+    def test_valid_and_renders(self):
+        guti = Guti("00101", 1, 2, 0xdeadbeef)
+        assert str(guti) == "00101-0001-02-deadbeef"
+
+    def test_field_ranges(self):
+        with pytest.raises(ValueError):
+            Guti("00101", 1 << 16, 1, 1)
+        with pytest.raises(ValueError):
+            Guti("00101", 1, 1 << 8, 1)
+        with pytest.raises(ValueError):
+            Guti("00101", 1, 1, 1 << 32)
+
+
+class TestAllocator:
+    def test_allocations_unique(self):
+        allocator = GutiAllocator()
+        imsi = Imsi("001", "01", "000000001")
+        gutis = {str(allocator.allocate(imsi)) for _ in range(20)}
+        assert len(gutis) == 20
+
+    def test_deterministic_with_seed(self):
+        imsi = Imsi("001", "01", "000000001")
+        first = GutiAllocator(seed=5).allocate(imsi)
+        second = GutiAllocator(seed=5).allocate(imsi)
+        assert first == second
+
+
+class TestSubscriber:
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            Subscriber(Imsi("001", "01", "000000001"), b"short")
+
+    def test_factory(self):
+        subscriber = make_subscriber("7")
+        assert str(subscriber.imsi).endswith("000000007")
+        assert len(subscriber.permanent_key) == 16
+
+    def test_factory_distinct_keys(self):
+        assert make_subscriber("1").permanent_key \
+            != make_subscriber("2").permanent_key

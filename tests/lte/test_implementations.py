@@ -1,0 +1,74 @@
+"""Implementation registry tests: naming signatures and policy seeds."""
+
+import pytest
+
+from repro.lte.implementations import (IMPLEMENTATION_NAMES, OaiLikeUe,
+                                       REGISTRY, ReferenceUe, SrsueLikeUe,
+                                       create_ue)
+from repro.lte.implementations.oai_like import oai_policy
+from repro.lte.implementations.srsue_like import srsue_policy
+from repro.lte.channel import RadioLink
+from repro.lte.identifiers import make_subscriber
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(IMPLEMENTATION_NAMES) == {"reference", "srsue", "oai"}
+
+    def test_create_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            create_ue("huawei", make_subscriber(), RadioLink())
+
+    def test_create_builds_correct_class(self):
+        ue = create_ue("srsue", make_subscriber(), RadioLink())
+        assert isinstance(ue, SrsueLikeUe)
+
+
+class TestSignatures:
+    @pytest.mark.parametrize("cls,recv,send", [
+        (ReferenceUe, "recv_", "send_"),
+        (SrsueLikeUe, "parse_", "send_"),
+        (OaiLikeUe, "emm_recv_", "emm_send_"),
+    ])
+    def test_prefixes(self, cls, recv, send):
+        assert cls.RECV_PREFIX == recv
+        assert cls.SEND_PREFIX == send
+
+    @pytest.mark.parametrize("cls", [ReferenceUe, SrsueLikeUe, OaiLikeUe])
+    def test_handlers_exist_with_signature_names(self, cls):
+        assert hasattr(cls, cls.RECV_PREFIX + "attach_accept")
+        assert hasattr(cls, cls.SEND_PREFIX + "attach_complete")
+
+    def test_handler_code_objects_carry_real_filenames(self):
+        """The tracer filters by source path; synthesised handlers must
+        carry the module's filename (regression)."""
+        handler = getattr(SrsueLikeUe, "parse_attach_accept")
+        assert "repro" in handler.__code__.co_filename
+
+
+class TestPolicies:
+    def test_reference_is_compliant(self):
+        ue = create_ue("reference", make_subscriber(), RadioLink())
+        policy = ue.policy
+        assert policy.enforce_dl_count
+        assert not policy.accept_equal_sqn
+        assert not policy.accept_plain_after_ctx
+        assert policy.require_auth_after_reject
+        assert not policy.respond_identity_always
+        assert policy.freshness_limit is None   # P1 window open everywhere
+
+    def test_srsue_deviations(self):
+        policy = srsue_policy()
+        assert not policy.enforce_dl_count              # I1
+        assert policy.accept_equal_sqn                  # I3
+        assert not policy.require_auth_after_reject     # I4
+        assert not policy.accept_plain_after_ctx        # not I2
+        assert not policy.respond_identity_always       # not I5
+
+    def test_oai_deviations(self):
+        policy = oai_policy()
+        assert policy.replay_accept_last_only           # I1 (OAI flavour)
+        assert policy.accept_plain_after_ctx            # I2
+        assert policy.respond_identity_always           # I5
+        assert not policy.accept_equal_sqn              # not I3
+        assert policy.require_auth_after_reject         # not I4

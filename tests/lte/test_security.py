@@ -1,0 +1,117 @@
+"""NAS security primitive tests: keys, MAC, cipher, COUNT handling."""
+
+from hypothesis import given, strategies as st
+
+from repro.lte.security import (AuthVector, DIR_DOWNLINK, DIR_UPLINK,
+                                SecurityContext, derive_kasme,
+                                derive_nas_keys, f1_mac, f2_res,
+                                generate_auth_vector, nas_cipher, nas_mac)
+from repro.lte.sqn import Sqn
+
+KEY = b"\x01" * 16
+RAND = b"\x02" * 16
+SQN = Sqn(5, 5)
+
+
+class TestAuthFunctions:
+    def test_f1_deterministic_and_key_dependent(self):
+        assert f1_mac(KEY, RAND, SQN) == f1_mac(KEY, RAND, SQN)
+        assert f1_mac(KEY, RAND, SQN) != f1_mac(b"\x09" * 16, RAND, SQN)
+
+    def test_f1_sqn_dependent(self):
+        assert f1_mac(KEY, RAND, SQN) != f1_mac(KEY, RAND, Sqn(6, 6))
+
+    def test_f2_key_dependent(self):
+        assert f2_res(KEY, RAND) != f2_res(b"\x09" * 16, RAND)
+
+    def test_kasme_depends_on_sqn(self):
+        """Accepting an old SQN regenerates *old* keys (the P1 desync)."""
+        assert derive_kasme(KEY, RAND, SQN) != derive_kasme(
+            KEY, RAND, Sqn(6, 6))
+
+    def test_vector_consistency(self):
+        vector = generate_auth_vector(KEY, SQN)
+        assert vector.autn_mac == f1_mac(KEY, vector.rand, SQN)
+        assert vector.xres == f2_res(KEY, vector.rand)
+        assert vector.kasme == derive_kasme(KEY, vector.rand, SQN)
+
+
+class TestNasKeys:
+    def test_derivation_split(self):
+        k_int, k_enc = derive_nas_keys(b"\x07" * 32)
+        assert k_int != k_enc
+        assert len(k_int) == len(k_enc) == 16
+
+
+class TestMacAndCipher:
+    def test_mac_detects_payload_change(self):
+        k_int, _ = derive_nas_keys(b"\x07" * 32)
+        tag = nas_mac(k_int, 0, DIR_DOWNLINK, b"payload")
+        assert tag != nas_mac(k_int, 0, DIR_DOWNLINK, b"payloae")
+
+    def test_mac_binds_count_and_direction(self):
+        k_int, _ = derive_nas_keys(b"\x07" * 32)
+        tag = nas_mac(k_int, 0, DIR_DOWNLINK, b"p")
+        assert tag != nas_mac(k_int, 1, DIR_DOWNLINK, b"p")
+        assert tag != nas_mac(k_int, 0, DIR_UPLINK, b"p")
+
+    @given(st.binary(min_size=0, max_size=200), st.integers(0, 1000))
+    def test_cipher_roundtrip(self, payload, count):
+        _, k_enc = derive_nas_keys(b"\x07" * 32)
+        ciphertext = nas_cipher(k_enc, count, DIR_DOWNLINK, payload)
+        assert nas_cipher(k_enc, count, DIR_DOWNLINK,
+                          ciphertext) == payload
+
+    @given(st.binary(min_size=8, max_size=64))
+    def test_cipher_actually_changes_bytes(self, payload):
+        _, k_enc = derive_nas_keys(b"\x07" * 32)
+        assert nas_cipher(k_enc, 0, DIR_DOWNLINK, payload) != payload
+
+
+class TestSecurityContext:
+    def make_pair(self):
+        sender = SecurityContext(kasme=b"\x07" * 32)
+        receiver = SecurityContext(kasme=b"\x07" * 32)
+        return sender, receiver
+
+    def test_protect_verify_roundtrip(self):
+        sender, receiver = self.make_pair()
+        body, tag, count = sender.protect(b"hello", DIR_DOWNLINK,
+                                          cipher=False)
+        assert receiver.verify(body, tag, count, DIR_DOWNLINK)
+
+    def test_count_advances_per_message(self):
+        sender, _ = self.make_pair()
+        _, _, first = sender.protect(b"a", DIR_DOWNLINK, cipher=False)
+        _, _, second = sender.protect(b"b", DIR_DOWNLINK, cipher=False)
+        assert second == first + 1
+
+    def test_cross_direction_rejected(self):
+        sender, receiver = self.make_pair()
+        body, tag, count = sender.protect(b"x", DIR_UPLINK, cipher=False)
+        assert not receiver.verify(body, tag, count, DIR_DOWNLINK)
+
+    def test_compliant_replay_check(self):
+        _, receiver = self.make_pair()
+        assert receiver.accept_dl_count(0)
+        assert not receiver.accept_dl_count(0)   # replay
+        assert receiver.accept_dl_count(5)       # skipping forward is OK
+        assert not receiver.accept_dl_count(3)
+
+    def test_uplink_replay_check(self):
+        _, receiver = self.make_pair()
+        assert receiver.accept_ul_count(0)
+        assert not receiver.accept_ul_count(0)
+
+    def test_ciphered_protect(self):
+        sender, receiver = self.make_pair()
+        body, tag, count = sender.protect(b"secret", DIR_DOWNLINK,
+                                          cipher=True)
+        assert body != b"secret"
+        assert receiver.unprotect(body, count, DIR_DOWNLINK) == b"secret"
+
+    def test_different_kasme_fails_verification(self):
+        sender = SecurityContext(kasme=b"\x07" * 32)
+        receiver = SecurityContext(kasme=b"\x08" * 32)
+        body, tag, count = sender.protect(b"x", DIR_DOWNLINK, cipher=False)
+        assert not receiver.verify(body, tag, count, DIR_DOWNLINK)

@@ -1,0 +1,80 @@
+"""Simulated timer wheel tests."""
+
+import pytest
+
+from repro.lte.timers import SimClock, TimerError
+
+
+class TestSimClock:
+    def test_timer_fires_on_advance(self):
+        clock = SimClock()
+        fired = []
+        clock.start("T", 5.0, lambda: fired.append(clock.now))
+        clock.advance(4.9)
+        assert not fired
+        clock.advance(0.2)
+        assert fired == [5.0]
+
+    def test_fire_order_respects_deadlines(self):
+        clock = SimClock()
+        order = []
+        clock.start("B", 2.0, lambda: order.append("B"))
+        clock.start("A", 1.0, lambda: order.append("A"))
+        clock.advance(3.0)
+        assert order == ["A", "B"]
+
+    def test_stop_cancels(self):
+        clock = SimClock()
+        fired = []
+        clock.start("T", 1.0, lambda: fired.append(1))
+        assert clock.stop("T")
+        clock.advance(2.0)
+        assert not fired
+        assert not clock.stop("T")     # already cancelled
+
+    def test_rearm_replaces(self):
+        clock = SimClock()
+        fired = []
+        clock.start("T", 1.0, lambda: fired.append("early"))
+        clock.start("T", 5.0, lambda: fired.append("late"))
+        clock.advance(2.0)
+        assert fired == []
+        clock.advance(4.0)
+        assert fired == ["late"]
+
+    def test_callback_can_rearm(self):
+        """Retransmission pattern: expiry handler restarts the timer."""
+        clock = SimClock()
+        count = [0]
+
+        def on_expiry():
+            count[0] += 1
+            if count[0] < 3:
+                clock.start("T", 1.0, on_expiry)
+
+        clock.start("T", 1.0, on_expiry)
+        clock.advance(10.0)
+        assert count[0] == 3
+
+    def test_fire_next_jumps_time(self):
+        clock = SimClock()
+        clock.start("T", 7.5, lambda: None)
+        assert clock.fire_next() == "T"
+        assert clock.now == 7.5
+        assert clock.fire_next() is None
+
+    def test_pending_and_is_running(self):
+        clock = SimClock()
+        clock.start("A", 1.0, lambda: None)
+        clock.start("B", 2.0, lambda: None)
+        assert clock.pending() == ["A", "B"]
+        assert clock.is_running("A")
+        clock.advance(1.5)
+        assert clock.pending() == ["B"]
+
+    def test_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(TimerError):
+            clock.advance(-1)
+        with pytest.raises(TimerError):
+            clock.start("T", -1, lambda: None)

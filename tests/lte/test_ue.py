@@ -1,0 +1,355 @@
+"""UE NAS behaviour tests: happy paths, failure handling, policy seeds."""
+
+import pytest
+
+from repro.lte import constants as c
+from repro.lte.channel import RadioLink
+from repro.lte.hss import Hss
+from repro.lte.identifiers import make_subscriber
+from repro.lte.messages import NasMessage
+from repro.lte.mme import MmeNas
+from repro.lte.security import DIR_DOWNLINK, f1_mac
+from repro.lte.sqn import Sqn
+from repro.lte.timers import SimClock
+from repro.lte.ue import UeNas, UePolicy
+
+
+class Harness:
+    """UE + real MME over a link, with probe helpers."""
+
+    def __init__(self, policy=None):
+        self.clock = SimClock()
+        self.link = RadioLink()
+        self.subscriber = make_subscriber("000000001")
+        self.hss = Hss()
+        self.hss.provision(self.subscriber)
+        self.mme = MmeNas(self.hss, self.link, clock=self.clock)
+        self.ue = UeNas(self.subscriber, self.link, clock=self.clock,
+                        policy=policy)
+
+    def attach(self):
+        self.ue.power_on()
+        assert self.ue.emm_state == c.EMM_REGISTERED
+        return self
+
+    def cut_network(self):
+        self.link.detach_mme()
+
+    def inject_plain(self, name, **fields):
+        msg = NasMessage(name=name, fields=fields)
+        self.link.inject_downlink(msg.to_wire())
+
+    def inject_protected(self, name, **fields):
+        msg = NasMessage(name=name, fields=fields)
+        body = msg.payload_bytes()
+        _, tag, count = self.mme.security_ctx.protect(
+            body, DIR_DOWNLINK, cipher=False)
+        msg.sec_header = c.SEC_HDR_INTEGRITY
+        msg.mac, msg.count = tag, count
+        self.link.inject_downlink(msg.to_wire())
+
+    def replayed_frame(self, name, index=-1):
+        matches = [r.frame for r in self.link.history
+                   if r.direction == "downlink"
+                   and NasMessage.from_wire(r.frame).name == name]
+        return matches[index]
+
+    def uplink_names(self):
+        return [m.name for m in self.link.captured_messages("uplink")]
+
+
+class TestAttach:
+    def test_full_attach(self):
+        harness = Harness().attach()
+        assert harness.ue.has_security_ctx
+        assert harness.ue.current_guti is not None
+        assert harness.uplink_names() == [
+            c.ATTACH_REQUEST, c.AUTHENTICATION_RESPONSE,
+            c.SECURITY_MODE_COMPLETE, c.ATTACH_COMPLETE]
+
+    def test_state_progression_through_substates(self):
+        harness = Harness()
+        states = []
+        original = harness.ue._recv_authentication_request_impl
+
+        harness.ue.power_on()
+        # final state reached; intermediate sub-states exercised implicitly
+        assert harness.ue.emm_state == c.EMM_REGISTERED
+
+
+class TestAuthentication:
+    def test_bad_mac_triggers_failure_response(self):
+        harness = Harness()
+        harness.cut_network()
+        harness.ue.power_on()
+        harness.inject_plain(c.AUTHENTICATION_REQUEST,
+                             rand=b"\x01" * 16, sqn_seq=1, sqn_ind=1,
+                             autn_mac=b"\x00" * 8)
+        assert c.AUTH_MAC_FAILURE in harness.uplink_names()
+
+    def test_stale_same_slot_triggers_sync_failure(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        rand = b"\x01" * 16
+        sqn = Sqn(1, 1)   # consumed during attach
+        harness.inject_plain(
+            c.AUTHENTICATION_REQUEST, rand=rand, sqn_seq=1, sqn_ind=1,
+            autn_mac=f1_mac(harness.subscriber.permanent_key, rand, sqn))
+        assert c.AUTH_SYNC_FAILURE in harness.uplink_names()
+
+    def test_out_of_order_sqn_accepted(self):
+        """The Annex C window: stale SQN in another slot is accepted."""
+        harness = Harness().attach()
+        harness.cut_network()
+        rand = b"\x01" * 16
+        for seq, ind in ((3, 3), (2, 2)):   # 2 < 3 but slot 2 untouched
+            sqn = Sqn(seq, ind)
+            harness.inject_plain(
+                c.AUTHENTICATION_REQUEST, rand=rand,
+                sqn_seq=seq, sqn_ind=ind,
+                autn_mac=f1_mac(harness.subscriber.permanent_key,
+                                rand, sqn))
+        responses = harness.uplink_names()
+        assert responses.count(c.AUTHENTICATION_RESPONSE) >= 3
+
+    def test_byte_exact_replay_rejected_by_default(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        frame = harness.replayed_frame(c.AUTHENTICATION_REQUEST)
+        harness.link.inject_downlink(frame)
+        assert c.AUTH_SYNC_FAILURE in harness.uplink_names()
+
+    def test_equal_sqn_accepted_with_i3_policy(self):
+        harness = Harness(UePolicy(accept_equal_sqn=True)).attach()
+        harness.cut_network()
+        before = harness.uplink_names().count(c.AUTHENTICATION_RESPONSE)
+        frame = harness.replayed_frame(c.AUTHENTICATION_REQUEST)
+        harness.link.inject_downlink(frame)
+        after = harness.uplink_names().count(c.AUTHENTICATION_RESPONSE)
+        assert after == before + 1
+
+    def test_freshness_limit_blocks_window(self):
+        harness = Harness(UePolicy(freshness_limit=0)).attach()
+        harness.cut_network()
+        rand = b"\x01" * 16
+        # advance to seq 5 first
+        sqn = Sqn(5, 5)
+        harness.inject_plain(
+            c.AUTHENTICATION_REQUEST, rand=rand, sqn_seq=5, sqn_ind=5,
+            autn_mac=f1_mac(harness.subscriber.permanent_key, rand, sqn))
+        stale = Sqn(2, 2)
+        harness.inject_plain(
+            c.AUTHENTICATION_REQUEST, rand=rand, sqn_seq=2, sqn_ind=2,
+            autn_mac=f1_mac(harness.subscriber.permanent_key, rand,
+                            stale))
+        assert c.AUTH_SYNC_FAILURE in harness.uplink_names()
+
+
+class TestReplayProtection:
+    def test_compliant_discards_replayed_protected(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        before = harness.uplink_names()
+        harness.link.inject_downlink(
+            harness.replayed_frame(c.ATTACH_ACCEPT))
+        assert harness.uplink_names() == before   # silent discard
+
+    def test_i1_srs_accepts_any_replay_and_resets_counter(self):
+        harness = Harness(UePolicy(enforce_dl_count=False)).attach()
+        harness.cut_network()
+        count_before = harness.ue.security_ctx.dl_count
+        harness.link.inject_downlink(
+            harness.replayed_frame(c.ATTACH_ACCEPT))
+        assert c.ATTACH_COMPLETE in harness.uplink_names()[-1:]
+        assert harness.ue.security_ctx.dl_count <= count_before
+
+    def test_i1_oai_accepts_only_last(self):
+        harness = Harness(UePolicy(replay_accept_last_only=True)).attach()
+        harness.inject_protected(c.EMM_INFORMATION, network_name="A")
+        harness.inject_protected(c.EMM_INFORMATION, network_name="B")
+        harness.cut_network()
+        # older replay (SMC) silently dropped
+        harness.link.inject_downlink(
+            harness.replayed_frame(c.SECURITY_MODE_COMMAND))
+        assert harness.uplink_names()[-1] != c.SECURITY_MODE_COMPLETE
+        # last message replays fine
+        events_before = len(harness.ue.events)
+        harness.link.inject_downlink(
+            harness.replayed_frame(c.EMM_INFORMATION, index=-1))
+        info_events = [e for e in harness.ue.events[events_before:]
+                       if e.kind == "emm_information"]
+        assert info_events
+
+
+class TestIntegrity:
+    def test_plain_protected_rejected_by_default(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        guti_before = str(harness.ue.current_guti)
+        harness.inject_plain(c.GUTI_REALLOCATION_COMMAND,
+                             guti="00101-0001-01-deadbeef")
+        assert str(harness.ue.current_guti) == guti_before
+
+    def test_i2_oai_accepts_plain_after_ctx(self):
+        harness = Harness(UePolicy(accept_plain_after_ctx=True)).attach()
+        harness.cut_network()
+        harness.inject_plain(c.GUTI_REALLOCATION_COMMAND,
+                             guti="00101-0001-01-deadbeef")
+        assert str(harness.ue.current_guti) == "00101-0001-01-deadbeef"
+        assert c.GUTI_REALLOCATION_COMPLETE in harness.uplink_names()
+
+    def test_plain_protected_rejected_before_ctx(self):
+        harness = Harness(UePolicy(accept_plain_after_ctx=True))
+        harness.cut_network()
+        harness.ue.power_on()
+        harness.inject_plain(c.ATTACH_ACCEPT, guti="00101-0001-01-0000beef")
+        assert harness.ue.emm_state == c.EMM_REGISTERED_INITIATED
+
+    def test_garbage_mac_discarded(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        msg = NasMessage(name=c.SECURITY_MODE_COMMAND,
+                         fields={"selected_eia": "eia1"},
+                         sec_header=c.SEC_HDR_INTEGRITY,
+                         count=99, mac=b"\xff" * 8)
+        harness.link.inject_downlink(msg.to_wire())
+        assert harness.uplink_names()[-1] != c.SECURITY_MODE_COMPLETE
+
+
+class TestRejectHandling:
+    def test_compliant_deletes_context_on_reject(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        harness.inject_plain(c.ATTACH_REJECT, cause=7)
+        assert harness.ue.emm_state == c.EMM_DEREGISTERED_ATTACH_NEEDED
+        assert harness.ue.security_ctx is None
+        assert not harness.ue.has_security_ctx
+
+    def test_i4_srs_keeps_context_and_bypasses(self):
+        # I4 composes with I1 in srsUE: the kept context verifies the
+        # replayed accept's MAC, and the absent COUNT check admits it.
+        harness = Harness(UePolicy(require_auth_after_reject=False,
+                                   enforce_dl_count=False)).attach()
+        accept_frame = harness.replayed_frame(c.ATTACH_ACCEPT)
+        harness.cut_network()
+        harness.inject_plain(c.ATTACH_REJECT, cause=7)
+        assert harness.ue.security_ctx is not None
+        harness.ue.power_on()
+        harness.link.inject_downlink(accept_frame)
+        assert harness.ue.emm_state == c.EMM_REGISTERED   # no auth, no SMC
+
+    def test_authentication_reject_numbs(self):
+        harness = Harness()
+        harness.cut_network()
+        harness.ue.power_on()
+        harness.inject_plain(c.AUTHENTICATION_REJECT)
+        assert harness.ue.emm_state == c.EMM_DEREGISTERED
+
+
+class TestIdentity:
+    def test_compliant_answers_only_during_attach(self):
+        harness = Harness()
+        harness.cut_network()
+        harness.ue.power_on()
+        harness.inject_plain(c.IDENTITY_REQUEST, identity_type="imsi")
+        assert c.IDENTITY_RESPONSE in harness.uplink_names()
+
+    def test_compliant_silent_after_context(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        before = harness.uplink_names()
+        harness.inject_plain(c.IDENTITY_REQUEST, identity_type="imsi")
+        assert harness.uplink_names() == before
+
+    def test_i5_oai_leaks_imsi_always(self):
+        harness = Harness(UePolicy(respond_identity_always=True)).attach()
+        harness.cut_network()
+        harness.inject_plain(c.IDENTITY_REQUEST, identity_type="imsi")
+        responses = harness.link.captured_messages("uplink")
+        assert responses[-1].name == c.IDENTITY_RESPONSE
+        assert responses[-1].fields["imsi"] == str(harness.subscriber.imsi)
+
+
+class TestOtherProcedures:
+    def test_paging_identity_mismatch_ignored(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        harness.inject_plain(c.PAGING, paging_id="00101-9999-01-00000000")
+        assert harness.ue.emm_state == c.EMM_REGISTERED
+
+    def test_paging_match_triggers_service_request(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        harness.inject_plain(c.PAGING,
+                             paging_id=str(harness.ue.current_guti))
+        assert harness.ue.emm_state == c.EMM_SERVICE_REQUEST_INITIATED
+        assert c.SERVICE_REQUEST in harness.uplink_names()
+
+    def test_tau_roundtrip(self):
+        harness = Harness().attach()
+        harness.ue.initiate_tau()
+        assert harness.ue.emm_state == c.EMM_REGISTERED
+        assert c.TAU_COMPLETE in harness.uplink_names()
+
+    def test_ue_initiated_detach(self):
+        harness = Harness().attach()
+        harness.ue.initiate_detach()
+        assert harness.ue.emm_state == c.EMM_DEREGISTERED
+
+    def test_plain_detach_accepted_before_ctx(self):
+        """TS 24.301 4.4.4.2 exception (kick-off vector)."""
+        harness = Harness()
+        harness.cut_network()
+        harness.ue.power_on()
+        harness.inject_plain(c.DETACH_REQUEST, reattach=0)
+        assert harness.ue.emm_state == c.EMM_DEREGISTERED
+
+    def test_plain_detach_rejected_after_ctx(self):
+        harness = Harness().attach()
+        harness.cut_network()
+        harness.inject_plain(c.DETACH_REQUEST, reattach=0)
+        assert harness.ue.emm_state == c.EMM_REGISTERED
+
+    def test_smc_null_integrity_rejected(self):
+        harness = Harness().attach()
+        harness.inject_protected(c.SECURITY_MODE_COMMAND,
+                                 selected_eia="eia0")
+        assert harness.uplink_names()[-1] == c.SECURITY_MODE_REJECT
+
+    def test_guti_reallocation(self):
+        harness = Harness().attach()
+        old = str(harness.ue.current_guti)
+        harness.mme.initiate_guti_reallocation()
+        assert str(harness.ue.current_guti) != old
+        assert c.GUTI_REALLOCATION_COMPLETE in harness.uplink_names()
+
+    def test_t3410_retransmits_then_gives_up(self):
+        """TS 24.301 attach supervision: four retransmissions, then the
+        UE abandons the attempt."""
+        harness = Harness()
+        harness.cut_network()
+        harness.ue.power_on()
+        for _ in range(8):
+            harness.clock.advance(20.0)
+        requests = harness.uplink_names().count(c.ATTACH_REQUEST)
+        assert requests == 5                      # initial + 4 retx
+        assert harness.ue.emm_state == c.EMM_DEREGISTERED_ATTACH_NEEDED
+
+    def test_t3410_stopped_on_successful_attach(self):
+        harness = Harness().attach()
+        harness.clock.advance(200.0)
+        assert harness.uplink_names().count(c.ATTACH_REQUEST) == 1
+        assert not harness.clock.is_running(c.T3410)
+
+    def test_t3410_stopped_on_reject(self):
+        harness = Harness()
+        harness.cut_network()
+        harness.ue.power_on()
+        harness.inject_plain(c.ATTACH_REJECT, cause=7)
+        harness.clock.advance(200.0)
+        assert harness.uplink_names().count(c.ATTACH_REQUEST) == 1
+
+    def test_malformed_frame_noted(self):
+        harness = Harness()
+        harness.ue.air_msg_handler(b"\x00\x01")
+        assert any(e.kind == "malformed_frame" for e in harness.ue.events)

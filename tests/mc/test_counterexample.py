@@ -1,0 +1,84 @@
+"""Counterexample trace structure tests."""
+
+from repro.mc.counterexample import (ADVERSARY_PREFIX, CheckResult, Step,
+                                     Trace)
+
+
+def sample_trace():
+    trace = Trace(initial_state={"x": 0, "y": "a"})
+    trace.steps.append(Step("cmd_one", {"x": 1, "y": "a"}))
+    trace.steps.append(Step("adv_drop", {"x": 1, "y": "b"}))
+    trace.steps.append(Step("cmd_two", {"x": 2, "y": "b"}))
+    return trace
+
+
+class TestTrace:
+    def test_states_includes_initial(self):
+        trace = sample_trace()
+        assert len(trace.states) == 4
+        assert trace.states[0] == {"x": 0, "y": "a"}
+
+    def test_labels(self):
+        assert sample_trace().labels == ["cmd_one", "adv_drop", "cmd_two"]
+
+    def test_adversary_steps_filtered_by_prefix(self):
+        trace = sample_trace()
+        assert trace.adversary_actions() == ["adv_drop"]
+        assert all(step.label.startswith(ADVERSARY_PREFIX)
+                   for step in trace.adversary_steps())
+
+    def test_lasso_flag(self):
+        trace = sample_trace()
+        assert not trace.is_lasso
+        trace.loop_start = 1
+        assert trace.is_lasso
+
+    def test_project(self):
+        rows = sample_trace().project(["x"])
+        assert rows == [(0,), (1,), (1,), (2,)]
+
+    def test_format_contains_all_steps(self):
+        trace = sample_trace()
+        trace.loop_start = 2
+        text = trace.format(["x", "y"])
+        assert "(init)" in text
+        assert "adv_drop" in text
+        assert "(loop back to step 2)" in text
+        # loop region rows are starred
+        starred = [line for line in text.splitlines()
+                   if line.startswith("*")]
+        assert len(starred) == 2
+
+    def test_hide_idle_elides_pass_steps(self):
+        trace = sample_trace()
+        trace.steps.insert(0, Step("adv_pass_dl", {"x": 0, "y": "a"}))
+        text = trace.format(["x"], hide_idle=True)
+        assert "adv_pass_dl" not in text
+        assert "idle step(s) elided" in text
+        assert "cmd_one" in text
+
+    def test_hide_idle_keeps_loop_region(self):
+        trace = sample_trace()
+        trace.steps.append(Step("adv_pass_ul", {"x": 2, "y": "b"}))
+        trace.loop_start = 4
+        text = trace.format(["x"], hide_idle=True)
+        assert "adv_pass_ul" in text    # inside the loop: kept
+
+    def test_step_state_copied(self):
+        state = {"x": 1}
+        step = Step("cmd", state)
+        state["x"] = 99
+        assert step.state["x"] == 1
+
+    def test_len(self):
+        assert len(sample_trace()) == 3
+
+
+class TestCheckResult:
+    def test_summary_verdicts(self):
+        holds = CheckResult("p", holds=True, states_explored=10,
+                            elapsed_seconds=0.5)
+        assert "HOLDS" in holds.summary()
+        violated = CheckResult("p", holds=False)
+        assert violated.violated
+        assert "VIOLATED" in violated.summary()

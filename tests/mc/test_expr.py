@@ -1,0 +1,167 @@
+"""Unit and property tests for the guard expression language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mc.expr import (And, Compare, Const, ExprError, FALSE, Not, Or,
+                           TRUE, conjoin, parse_expr, var_equals)
+
+STATE = {"x": 1, "y": 2, "mode": "run", "flag": True}
+VARS = tuple(STATE)
+
+
+class TestCompare:
+    def test_equality(self):
+        assert Compare("x", "=", 1).evaluate(STATE)
+        assert not Compare("x", "=", 2).evaluate(STATE)
+
+    def test_inequality_operators(self):
+        assert Compare("x", "<", 2).evaluate(STATE)
+        assert Compare("y", ">=", 2).evaluate(STATE)
+        assert Compare("x", "!=", 5).evaluate(STATE)
+        assert not Compare("y", "<=", 1).evaluate(STATE)
+
+    def test_variable_rhs(self):
+        assert Compare("x", "<", "y", right_is_var=True).evaluate(STATE)
+        assert not Compare("y", "=", "x", right_is_var=True).evaluate(STATE)
+
+    def test_string_comparison(self):
+        assert Compare("mode", "=", "run").evaluate(STATE)
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ExprError):
+            Compare("nope", "=", 1).evaluate(STATE)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExprError):
+            Compare("x", "~", 1)
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ExprError):
+            Compare("mode", "<", 1).evaluate(STATE)
+
+
+class TestBooleanConnectives:
+    def test_and_or_not(self):
+        e = And(Compare("x", "=", 1), Compare("y", "=", 2))
+        assert e.evaluate(STATE)
+        assert not And(e, FALSE).evaluate(STATE)
+        assert Or(FALSE, e).evaluate(STATE)
+        assert not Not(e).evaluate(STATE)
+
+    def test_operator_overloads(self):
+        e = var_equals("x", 1) & var_equals("y", 2)
+        assert e.evaluate(STATE)
+        assert (~e | TRUE).evaluate(STATE)
+
+    def test_implies(self):
+        assert var_equals("x", 5).implies(FALSE).evaluate(STATE)
+        assert not var_equals("x", 1).implies(FALSE).evaluate(STATE)
+
+    def test_variables_collected(self):
+        e = And(Compare("x", "=", 1),
+                Compare("y", "<", "x", right_is_var=True))
+        assert e.variables() == {"x", "y"}
+
+    def test_conjoin_drops_true(self):
+        assert conjoin([TRUE, TRUE]) is TRUE
+        single = var_equals("x", 1)
+        assert conjoin([TRUE, single]) is single
+
+
+class TestParser:
+    def test_simple_comparison(self):
+        assert parse_expr("x = 1", VARS).evaluate(STATE)
+
+    def test_enum_literal(self):
+        assert parse_expr("mode = run", VARS).evaluate(STATE)
+
+    def test_variable_reference_rhs(self):
+        assert parse_expr("x < y", VARS).evaluate(STATE)
+
+    def test_enum_not_confused_with_variable(self):
+        # "run" is not declared, so it is an enum literal
+        expr = parse_expr("mode = run", ["mode"])
+        assert expr.evaluate({"mode": "run"})
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("x = 0 | x = 1 & y = 2", VARS)
+        assert expr.evaluate(STATE)          # (x=0) | ((x=1)&(y=2))
+        assert not expr.evaluate({"x": 1, "y": 3})
+
+    def test_implication(self):
+        expr = parse_expr("x = 5 -> y = 99", VARS)
+        assert expr.evaluate(STATE)          # vacuous
+        expr2 = parse_expr("x = 1 -> y = 2", VARS)
+        assert expr2.evaluate(STATE)
+
+    def test_iff(self):
+        expr = parse_expr("x = 1 <-> y = 2", VARS)
+        assert expr.evaluate(STATE)
+        assert not expr.evaluate({"x": 1, "y": 3})
+
+    def test_negation_and_parens(self):
+        expr = parse_expr("!(x = 2) & (y = 2 | false)", VARS)
+        assert expr.evaluate(STATE)
+
+    def test_bare_identifier_is_boolean_test(self):
+        assert parse_expr("flag", VARS).evaluate(STATE)
+
+    def test_true_false_literals(self):
+        assert parse_expr("true", VARS).evaluate(STATE)
+        assert not parse_expr("false", VARS).evaluate(STATE)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ExprError):
+            parse_expr("x = 1 )", VARS)
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ExprError):
+            parse_expr("(x = 1", VARS)
+
+
+@st.composite
+def _comparisons(draw):
+    name = draw(st.sampled_from(["a", "b", "c"]))
+    op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+    value = draw(st.integers(min_value=-5, max_value=5))
+    return f"{name} {op} {value}"
+
+
+@st.composite
+def _expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(_comparisons())
+    left = draw(_expressions(depth=depth + 1))
+    right = draw(_expressions(depth=depth + 1))
+    connective = draw(st.sampled_from(["&", "|", "->"]))
+    return f"({left} {connective} {right})"
+
+
+class TestParserProperties:
+    @given(_expressions(),
+           st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                           st.integers(-5, 5),
+                           min_size=3, max_size=3))
+    def test_parse_never_crashes_and_evaluates_bool(self, text, state):
+        expr = parse_expr(text, ("a", "b", "c"))
+        assert isinstance(expr.evaluate(state), bool)
+
+    @given(_expressions(),
+           st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                           st.integers(-5, 5),
+                           min_size=3, max_size=3))
+    def test_double_negation_preserves_value(self, text, state):
+        expr = parse_expr(text, ("a", "b", "c"))
+        assert expr.evaluate(state) == Not(Not(expr)).evaluate(state)
+
+    @given(_expressions(), _expressions(),
+           st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                           st.integers(-5, 5),
+                           min_size=3, max_size=3))
+    def test_de_morgan(self, left_text, right_text, state):
+        left = parse_expr(left_text, ("a", "b", "c"))
+        right = parse_expr(right_text, ("a", "b", "c"))
+        lhs = Not(And(left, right)).evaluate(state)
+        rhs = Or(Not(left), Not(right)).evaluate(state)
+        assert lhs == rhs

@@ -1,0 +1,120 @@
+"""Tests for the LTL layer: construction, NNF negation, parsing."""
+
+import pytest
+
+from repro.mc.expr import parse_expr
+from repro.mc.ltl import (Atom, BinOp, F, G, Implies, LTL_FALSE, LTL_TRUE,
+                          LTLError, U, UnOp, X, And_, Or_, atom,
+                          closure_size, parse_ltl)
+
+VARS = ("x", "y", "mode")
+
+
+class TestConstructors:
+    def test_g_encodes_as_release(self):
+        formula = G(atom("x = 1", VARS))
+        assert isinstance(formula, BinOp)
+        assert formula.op == "R"
+        assert formula.left == LTL_FALSE
+
+    def test_f_encodes_as_until(self):
+        formula = F(atom("x = 1", VARS))
+        assert isinstance(formula, BinOp)
+        assert formula.op == "U"
+        assert formula.left == LTL_TRUE
+
+    def test_atom_from_expr(self):
+        formula = atom(parse_expr("x = 1", VARS))
+        assert isinstance(formula, Atom)
+
+
+class TestNegation:
+    def test_negation_is_nnf(self):
+        """negate() pushes negations to the atoms (no Not nodes exist)."""
+        formula = G(Implies(atom("x = 1", VARS), F(atom("y = 2", VARS))))
+        negated = formula.negate()
+
+        def assert_nnf(node):
+            if isinstance(node, Atom):
+                return
+            if isinstance(node, BinOp):
+                assert node.op in ("and", "or", "U", "R")
+                assert_nnf(node.left)
+                assert_nnf(node.right)
+            elif isinstance(node, UnOp):
+                assert node.op == "X"
+                assert_nnf(node.operand)
+
+        assert_nnf(negated)
+
+    def test_double_negation_is_identity(self):
+        formula = U(atom("x = 1", VARS), X(atom("y = 2", VARS)))
+        assert formula.negate().negate() == formula
+
+    def test_negation_duality(self):
+        """!(G p) == F !p structurally under the R/U encodings."""
+        p = atom("x = 1", VARS)
+        assert G(p).negate() == F(p.negate())
+
+
+class TestAtomEvaluation:
+    def test_positive_and_negated(self):
+        a = atom("x = 1", VARS)
+        assert a.evaluate({"x": 1})
+        assert not a.negate().evaluate({"x": 1})
+
+
+class TestParser:
+    def test_globally(self):
+        formula = parse_ltl("G (x = 1)", VARS)
+        assert formula == G(atom("x = 1", VARS))
+
+    def test_response_pattern(self):
+        formula = parse_ltl("G (x = 1 -> F y = 2)", VARS)
+        expected = G(Implies(atom("x = 1", VARS), F(atom("y = 2", VARS))))
+        assert formula == expected
+
+    def test_until(self):
+        formula = parse_ltl("(x = 1) U (y = 2)", VARS)
+        assert formula == U(atom("x = 1", VARS), atom("y = 2", VARS))
+
+    def test_next(self):
+        formula = parse_ltl("X (x = 1)", VARS)
+        assert formula == X(atom("x = 1", VARS))
+
+    def test_not_equal_comparison_not_split(self):
+        """`!=` must reach the atom parser intact (regression)."""
+        formula = parse_ltl("G (x != 1)", VARS)
+        assert formula.atoms()
+
+    def test_le_ge_comparisons(self):
+        parse_ltl("G (x <= 2 & y >= 0)", VARS)
+
+    def test_enum_atoms(self):
+        formula = parse_ltl("G (mode = run -> X mode != halt)", VARS)
+        assert len(formula.atoms()) == 2
+
+    def test_nested_temporal(self):
+        parse_ltl("G F (x = 1)", VARS)
+        parse_ltl("F G (x = 1)", VARS)
+
+    def test_weak_until_encoding(self):
+        parse_ltl("G (x = 1 -> ((y = 2) U (x = 0) | G (y = 2)))", VARS)
+
+    def test_bad_atom_rejected(self):
+        with pytest.raises(LTLError):
+            parse_ltl("G (x == == 1)", VARS)
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(LTLError):
+            parse_ltl("G (x = 1", VARS)
+
+
+class TestClosureSize:
+    def test_counts_distinct_subformulas(self):
+        formula = G(Implies(atom("x = 1", VARS), F(atom("y = 2", VARS))))
+        assert closure_size(formula) >= 4
+
+    def test_shared_subformulas_counted_once(self):
+        p = atom("x = 1", VARS)
+        assert closure_size(And_(p, p)) == 2

@@ -1,0 +1,103 @@
+"""SMV export tests: structural fidelity of the NuXmv rendering."""
+
+import re
+
+import pytest
+
+from repro.mc import (Choice, Model, Plus, Ref, Variable, parse_expr,
+                      parse_ltl, to_smv)
+from repro.mc.smv import SmvExportError
+
+
+def make_model():
+    model = Model(
+        "demo",
+        [Variable("count", (0, 1, 2)),
+         Variable("mode", ("idle", "busy")),
+         Variable("flag", (0, 1))],
+        {"count": 0, "mode": "idle", "flag": 0},
+    )
+    model.add_command("start", parse_expr("mode = idle", ["mode"]),
+                      {"mode": "busy", "count": Plus("count", 1, 2)})
+    model.add_command("pick", parse_expr("mode = busy", ["mode"]),
+                      {"flag": Choice(0, 1)})
+    model.add_command("copy", parse_expr("flag = 1", ["flag"]),
+                      {"count": Ref("flag")})
+    return model
+
+
+class TestStructure:
+    def test_module_and_vars(self):
+        text = to_smv(make_model())
+        assert "MODULE main" in text
+        assert "count : 0..2;" in text
+        assert "mode : {idle, busy};" in text   # declaration order
+
+    def test_init_section(self):
+        text = to_smv(make_model())
+        assert "INIT" in text
+        assert "count = 0" in text
+        assert "mode = idle" in text
+
+    def test_trans_disjuncts_labelled(self):
+        text = to_smv(make_model())
+        assert "-- start" in text
+        assert "-- pick" in text
+        assert "-- stutter on deadlock" in text
+
+    def test_updates_rendered(self):
+        text = to_smv(make_model())
+        assert "next(mode) = busy" in text
+        assert "next(count) = min(count + 1, 2)" in text
+        assert "next(flag) in {0, 1}" in text
+        assert "next(count) = flag" in text          # Ref
+
+    def test_frame_conditions_for_untouched_variables(self):
+        text = to_smv(make_model())
+        start = text.split("-- start")[1].split("-- pick")[0]
+        assert "next(flag) = flag" in start
+
+    def test_ltlspec(self):
+        model = make_model()
+        formula = parse_ltl("G (mode = busy -> F (flag = 1))",
+                            model.variable_names)
+        text = to_smv(model, [("liveness", formula)])
+        assert "-- liveness" in text
+        assert "LTLSPEC" in text
+        assert "U" in text    # F encodes as true U ...
+
+    def test_release_renders_as_v(self):
+        model = make_model()
+        formula = parse_ltl("G (count <= 2)", model.variable_names)
+        text = to_smv(model, [("inv", formula)])
+        assert " V " in text  # G encodes via release
+
+    def test_boolean_domain(self):
+        model = Model("b", [Variable("ok", (False, True))], {"ok": False})
+        text = to_smv(model)
+        assert "ok : boolean;" in text
+        assert "ok = FALSE" in text
+
+    def test_computed_choice_rejected(self):
+        model = Model("x", [Variable("v", (0, 1))], {"v": 0})
+        model.add_command("bad", parse_expr("v = 0", ["v"]),
+                          {"v": Choice(Ref("v"), 1)})
+        with pytest.raises(SmvExportError):
+            to_smv(model)
+
+
+class TestThreatModelExport:
+    def test_extracted_threat_model_exports(self, extracted_models,
+                                            mme_model):
+        from repro.threat import ThreatConfig, build_threat_model
+        model = build_threat_model(
+            extracted_models["srsue"], mme_model,
+            ThreatConfig(replay_dl=("authentication_request",)))
+        text = to_smv(model)
+        assert "MODULE main" in text
+        # one disjunct per command plus the stutter fallback
+        assert text.count("next(ue_state)") >= len(model.commands)
+        # every variable is declared exactly once
+        for name in model.variable_names:
+            declarations = re.findall(rf"^  {name} :", text, re.M)
+            assert len(declarations) == 1, name

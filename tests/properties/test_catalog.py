@@ -1,0 +1,90 @@
+"""Property catalog tests: counts, well-formedness, vocabularies."""
+
+import pytest
+
+from repro.mc import parse_ltl
+from repro.properties import (ALL_PROPERTIES, CATEGORY_PRIVACY,
+                              CATEGORY_SECURITY, COMMON_PROPERTIES,
+                              EXTRACTED_VOCAB, KIND_LTL, KIND_TESTBED,
+                              LTEINSPECTOR_VOCAB, PRIVACY_PROPERTIES,
+                              Property, PropertyError,
+                              SECURITY_PROPERTIES, catalog_summary,
+                              property_by_id)
+from repro.testbed import registry
+
+
+class TestCounts:
+    def test_paper_counts(self):
+        """62 total: 37 security + 25 privacy (Section VI); 13 common
+        with LTEInspector (Table II)."""
+        summary = catalog_summary()
+        assert summary["total"] == 62
+        assert summary["security"] == 37
+        assert summary["privacy"] == 25
+        assert summary["common"] == 13
+
+    def test_unique_identifiers(self):
+        identifiers = [prop.identifier for prop in ALL_PROPERTIES]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_categories_consistent(self):
+        assert all(p.category == CATEGORY_SECURITY
+                   for p in SECURITY_PROPERTIES)
+        assert all(p.category == CATEGORY_PRIVACY
+                   for p in PRIVACY_PROPERTIES)
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize(
+        "prop", [p for p in ALL_PROPERTIES if p.kind == KIND_LTL],
+        ids=lambda p: p.identifier)
+    def test_formula_parses_in_extracted_vocabulary(self, prop):
+        text = prop.formula_for(EXTRACTED_VOCAB)
+        parse_ltl(text, _MODEL_VARIABLES)
+
+    @pytest.mark.parametrize(
+        "prop", [p for p in COMMON_PROPERTIES],
+        ids=lambda p: p.identifier)
+    def test_common_formulas_parse_in_baseline_vocabulary(self, prop):
+        text = prop.formula_for(LTEINSPECTOR_VOCAB)
+        parse_ltl(text, _MODEL_VARIABLES)
+
+    @pytest.mark.parametrize(
+        "prop", [p for p in ALL_PROPERTIES if p.kind == KIND_TESTBED],
+        ids=lambda p: p.identifier)
+    def test_testbed_experiments_registered(self, prop):
+        assert prop.testbed_attack in registry()
+
+    def test_spec_validation(self):
+        with pytest.raises(PropertyError):
+            Property("X", "security", KIND_LTL, "no formula")
+        with pytest.raises(PropertyError):
+            Property("X", "security", KIND_TESTBED, "no experiment")
+        with pytest.raises(PropertyError):
+            Property("X", "banana", KIND_LTL, "d", formula="G (true)")
+
+
+class TestAttackMapping:
+    def test_new_attacks_have_detecting_properties(self):
+        attack_ids = {p.attack_id for p in ALL_PROPERTIES if p.attack_id}
+        for attack in ("P1", "P2", "P3", "I1", "I2", "I3", "I4", "I5",
+                       "I6"):
+            assert attack in attack_ids, attack
+
+    def test_prior_attacks_have_detecting_properties(self):
+        attack_ids = {p.attack_id for p in ALL_PROPERTIES if p.attack_id}
+        prior = [a for a in attack_ids if a.startswith("PRIOR-")]
+        assert len(prior) >= 10
+
+    def test_lookup_by_id(self):
+        assert property_by_id("SEC-01").attack_id == "P1"
+        with pytest.raises(KeyError):
+            property_by_id("SEC-999")
+
+
+#: the threat model's variable vocabulary (for parse-time validation)
+_MODEL_VARIABLES = (
+    "turn", "ue_state", "mme_state", "chan_dl", "chan_ul",
+    "dl_mac_valid", "dl_plain", "dl_replayed", "dl_injected",
+    "ul_injected", "dl_paging_match", "dl_sqn_rel", "dl_count_rel",
+)

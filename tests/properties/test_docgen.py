@@ -1,0 +1,18 @@
+"""The checked-in property document stays in sync with the catalog."""
+
+import pathlib
+
+from repro.properties.docgen import render
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs/PROPERTIES.md"
+
+
+def test_document_in_sync():
+    assert DOC.read_text() == render()
+
+
+def test_document_covers_all_properties():
+    from repro.properties import ALL_PROPERTIES
+    text = DOC.read_text()
+    for prop in ALL_PROPERTIES:
+        assert f"## {prop.identifier} " in text

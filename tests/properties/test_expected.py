@@ -1,0 +1,62 @@
+"""Consistency tests for the Table I expectation data."""
+
+from repro.properties import ALL_PROPERTIES
+from repro.properties.expected import (FIVE_G_ATTACKS, IMPLEMENTATIONS,
+                                       NEW_ATTACKS, PRIOR_DETECTED,
+                                       PRIOR_NOT_APPLICABLE,
+                                       expected_detected, matrix_rows)
+from repro.testbed import PRIOR_ATTACK_IDS, registry
+
+
+class TestMatrixShape:
+    def test_table_i_dimensions(self):
+        assert len(NEW_ATTACKS) == 9                 # P1-P3 + I1-I6
+        assert len(PRIOR_DETECTED) == 12
+        assert len(PRIOR_NOT_APPLICABLE) == 2
+        assert len(PRIOR_DETECTED) + len(PRIOR_NOT_APPLICABLE) == 14
+
+    def test_every_row_covers_every_implementation(self):
+        for attack, row in NEW_ATTACKS.items():
+            assert set(row) == set(IMPLEMENTATIONS), attack
+
+    def test_protocol_attacks_apply_everywhere(self):
+        for attack in ("P1", "P2", "P3"):
+            assert all(NEW_ATTACKS[attack].values())
+
+    def test_implementation_issues_never_hit_reference(self):
+        for attack in ("I1", "I2", "I3", "I4", "I5", "I6"):
+            assert not NEW_ATTACKS[attack]["reference"]
+
+    def test_six_issues_across_open_stacks(self):
+        issues = [attack for attack in NEW_ATTACKS
+                  if attack.startswith("I")
+                  and (NEW_ATTACKS[attack]["srsue"]
+                       or NEW_ATTACKS[attack]["oai"])]
+        assert len(issues) == 6
+
+
+class TestCrossReferences:
+    def test_prior_rows_match_testbed_registry(self):
+        assert set(PRIOR_DETECTED) | set(PRIOR_NOT_APPLICABLE) \
+            == set(PRIOR_ATTACK_IDS)
+
+    def test_every_expected_attack_has_a_script(self):
+        scripts = set(registry())
+        for implementation in IMPLEMENTATIONS:
+            assert expected_detected(implementation) <= scripts
+
+    def test_every_expected_attack_has_a_detecting_property(self):
+        property_attacks = {p.attack_id for p in ALL_PROPERTIES
+                            if p.attack_id}
+        for implementation in IMPLEMENTATIONS:
+            missing = expected_detected(implementation) - property_attacks
+            assert not missing, missing
+
+    def test_five_g_attacks_registered(self):
+        for attack in FIVE_G_ATTACKS:
+            assert attack in registry()
+
+    def test_matrix_rows_complete(self):
+        rows = matrix_rows()
+        assert len(rows) == 9 + 14
+        assert rows[0] == "P1"

@@ -1,0 +1,65 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for command in ("analyze", "extract", "verify", "attack", "gaps"):
+            args = {
+                "analyze": ["analyze", "srsue"],
+                "extract": ["extract", "srsue"],
+                "verify": ["verify", "srsue", "SEC-01"],
+                "attack": ["attack", "P1", "srsue"],
+                "gaps": ["gaps", "srsue"],
+            }[command]
+            namespace = parser.parse_args(args)
+            assert namespace.command == command
+
+    def test_bad_implementation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "huawei"])
+
+
+class TestCommands:
+    def test_extract_prints_fsm(self, capsys):
+        assert main(["extract", "srsue"]) == 0
+        output = capsys.readouterr().out
+        assert "states" in output
+        assert "EMM_DEREGISTERED" in output
+
+    def test_extract_writes_dot(self, tmp_path, capsys):
+        target = tmp_path / "model.dot"
+        assert main(["extract", "oai", "--dot", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("digraph")
+        from repro.fsm import from_dot
+        fsm = from_dot(text)
+        assert len(fsm.transitions) > 20
+
+    def test_verify_verified_property_exits_zero(self, capsys):
+        assert main(["verify", "reference", "SEC-37", "--quiet"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verify_violated_property_exits_one(self, capsys):
+        assert main(["verify", "srsue", "SEC-02", "--quiet"]) == 1
+        assert "violated" in capsys.readouterr().out
+
+    def test_verify_unknown_property(self, capsys):
+        assert main(["verify", "srsue", "SEC-999"]) == 2
+
+    def test_attack_exit_codes(self, capsys):
+        assert main(["attack", "I3", "srsue"]) == 1      # vulnerable
+        assert main(["attack", "I3", "oai"]) == 0        # safe
+
+    def test_attack_unknown(self, capsys):
+        assert main(["attack", "P99", "srsue"]) == 2
+
+    def test_gaps_lists_candidates(self, capsys):
+        assert main(["gaps", "reference", "--limit", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "candidate missing test cases" in output
+        assert "drive the implementation" in output

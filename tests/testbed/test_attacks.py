@@ -1,0 +1,99 @@
+"""Testbed attack-script tests: the end-to-end Table I matrix."""
+
+import pytest
+
+from repro.testbed import (PRIOR_ATTACK_IDS, registry, run_attack)
+
+NEW_ATTACKS = {
+    "P1": (True, True, True),
+    "P2": (True, True, True),
+    "P3": (True, True, True),
+    "I1": (False, True, True),
+    "I2": (False, False, True),
+    "I3": (False, True, False),
+    "I4": (False, True, False),
+    "I5": (False, False, True),
+    "I6": (False, True, True),
+}
+
+IMPLEMENTATIONS = ("reference", "srsue", "oai")
+
+
+class TestRegistry:
+    def test_all_new_attacks_registered(self):
+        assert set(NEW_ATTACKS) <= set(registry())
+
+    def test_all_prior_attacks_registered(self):
+        assert set(PRIOR_ATTACK_IDS) <= set(registry())
+        assert len(PRIOR_ATTACK_IDS) == 14   # Table I rows
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ValueError):
+            run_attack("P99", "reference")
+
+
+class TestNewAttackMatrix:
+    @pytest.mark.parametrize("attack_id", sorted(NEW_ATTACKS))
+    def test_matrix_row(self, attack_id):
+        expected = NEW_ATTACKS[attack_id]
+        for implementation, should_succeed in zip(IMPLEMENTATIONS,
+                                                  expected):
+            result = run_attack(attack_id, implementation)
+            assert result.succeeded == should_succeed, (
+                attack_id, implementation, result.evidence)
+            assert result.attack_id == attack_id
+            assert result.implementation == implementation
+            assert result.evidence
+
+
+class TestAttackDetails:
+    def test_p1_regenerates_keys(self):
+        result = run_attack("P1", "reference")
+        assert result.details["keys_regenerated"]
+
+    def test_p2_distinguishes_by_response_type(self):
+        result = run_attack("P2", "reference")
+        assert "authentication_response" in result.details["victim"]
+        assert "auth_mac_failure" in result.details["bystander"]
+
+    def test_p3_exhausts_the_t3450_budget(self):
+        result = run_attack("P3", "reference")
+        assert result.details["dropped"] == 5     # initial + 4 retx
+        assert result.details["aborted"]
+        assert result.details["guti_unchanged"]
+
+    def test_i2_sets_attacker_chosen_guti(self):
+        result = run_attack("I2", "oai")
+        assert result.details["guti"] == "00101-0001-01-deadbeef"
+
+    def test_i4_reaches_registered_without_auth(self):
+        result = run_attack("I4", "srsue")
+        assert result.details["final_state"] == "EMM_REGISTERED"
+
+    def test_i5_response_is_identity_response(self):
+        result = run_attack("I5", "oai")
+        assert "identity_response" in result.details["responses"]
+
+    def test_i6_bystander_stays_silent(self):
+        result = run_attack("I6", "srsue")
+        assert result.details["bystander"] == []
+        assert "security_mode_complete" in result.details["victim"]
+
+
+class TestPriorAttacks:
+    @pytest.mark.parametrize("attack_id", [
+        a for a in PRIOR_ATTACK_IDS
+        if a not in ("PRIOR-linkability-tmsi-realloc",
+                     "PRIOR-downgrade-tau-reject")])
+    def test_applicable_rows_succeed_everywhere(self, attack_id):
+        for implementation in IMPLEMENTATIONS:
+            result = run_attack(attack_id, implementation)
+            assert result.succeeded, (attack_id, implementation,
+                                      result.evidence)
+
+    @pytest.mark.parametrize("attack_id", [
+        "PRIOR-linkability-tmsi-realloc", "PRIOR-downgrade-tau-reject"])
+    def test_dash_rows_not_applicable(self, attack_id):
+        result = run_attack(attack_id, "reference")
+        assert not result.succeeded
+        assert "not applicable" in result.evidence

@@ -1,0 +1,51 @@
+"""CPV secrecy/indistinguishability experiment tests."""
+
+import pytest
+
+from repro.testbed import run_attack
+
+IMPLEMENTATIONS = ("reference", "srsue", "oai")
+
+#: experiments whose property is VERIFIED (violated=False) everywhere
+VERIFIED_EVERYWHERE = (
+    "SECRECY-permanent-key",
+    "SECRECY-session-keys",
+    "SECRECY-imsi-guti-attach",
+    "GUTI-reattach",
+    "ATTACH-replay-indistinguishable",
+)
+
+
+class TestSecrecyExperiments:
+    @pytest.mark.parametrize("experiment", VERIFIED_EVERYWHERE)
+    def test_verified_on_all_implementations(self, experiment):
+        for implementation in IMPLEMENTATIONS:
+            result = run_attack(experiment, implementation)
+            assert not result.succeeded, (experiment, implementation,
+                                          result.evidence)
+
+    def test_permanent_key_evidence_mentions_underivability(self):
+        result = run_attack("SECRECY-permanent-key", "reference")
+        assert "underivable" in result.evidence
+
+    def test_guti_reattach_uses_temporary_identity(self):
+        result = run_attack("GUTI-reattach", "reference")
+        assert "GUTI" in result.evidence
+
+
+class TestDerivedLinkability:
+    def test_i5_leak_makes_imsi_observable_only_on_oai(self):
+        """The I5 identity leak is the one channel that exposes the IMSI
+        post-attach — and only OAI has it."""
+        for implementation in IMPLEMENTATIONS:
+            result = run_attack("I5", implementation)
+            assert result.succeeded == (implementation == "oai")
+
+    def test_p2_and_i6_share_the_response_oracle(self):
+        """Both linkability attacks reduce to the response-type oracle
+        the CPV equivalence engine formalises."""
+        p2 = run_attack("P2", "srsue")
+        i6 = run_attack("I6", "srsue")
+        assert p2.succeeded and i6.succeeded
+        assert p2.details["victim"] != p2.details["bystander"]
+        assert i6.details["victim"] != i6.details["bystander"]

@@ -1,0 +1,113 @@
+"""Testbed simulator and attacker toolkit tests."""
+
+import pytest
+
+from repro.lte import constants as c
+from repro.testbed import Attacker, Testbed
+from repro.testbed.traces import (simulate_operator_trace,
+                                  stale_window_size)
+
+
+class TestTestbed:
+    def test_multi_ue_lab(self):
+        testbed = Testbed("reference")
+        testbed.add_ue("a")
+        testbed.add_ue("b")
+        testbed.attach_all()
+        for station in testbed.stations.values():
+            assert station.ue.emm_state == c.EMM_REGISTERED
+
+    def test_subscribers_distinct(self):
+        testbed = Testbed("reference")
+        first = testbed.add_ue("a")
+        second = testbed.add_ue("b")
+        assert first.subscriber.imsi != second.subscriber.imsi
+        assert first.subscriber.permanent_key \
+            != second.subscriber.permanent_key
+
+    def test_duplicate_name_rejected(self):
+        testbed = Testbed("reference")
+        testbed.add_ue("a")
+        with pytest.raises(ValueError):
+            testbed.add_ue("a")
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ValueError):
+            Testbed("huawei")
+
+    def test_shared_clock(self):
+        testbed = Testbed("reference")
+        station = testbed.add_ue("a")
+        assert station.mme.clock is testbed.clock
+
+
+class TestAttacker:
+    def test_sniffing_captures_both_directions(self):
+        testbed = Testbed("reference")
+        testbed.add_ue("victim")
+        testbed.attach_all()
+        attacker = Attacker(testbed)
+        attacker.sniff()
+        directions = {direction for _, direction, _ in attacker.captured}
+        assert directions == {"uplink", "downlink"}
+
+    def test_captured_frame_by_name_and_index(self):
+        testbed = Testbed("reference")
+        testbed.add_ue("victim")
+        testbed.attach_all()
+        attacker = Attacker(testbed)
+        frame = attacker.captured_frame(c.AUTHENTICATION_REQUEST)
+        assert frame is not None
+        assert attacker.captured_frame("no_such_message") is None
+
+    def test_drop_filter_counts(self):
+        testbed = Testbed("reference")
+        station = testbed.add_ue("victim")
+        attacker = Attacker(testbed)
+        drop = attacker.install_drop_filter(
+            "victim", (c.AUTHENTICATION_REQUEST,))
+        station.ue.power_on()
+        assert drop.dropped == [c.AUTHENTICATION_REQUEST]
+        assert station.ue.emm_state == c.EMM_REGISTERED_INITIATED
+
+    def test_response_frame_windows(self):
+        testbed = Testbed("reference")
+        testbed.add_ue("victim")
+        testbed.attach_all()
+        attacker = Attacker(testbed)
+        mark = attacker.mark("victim")
+        attacker.cut_network("victim")
+        attacker.inject_plain_to_ue(
+            "victim", c.PAGING,
+            {"paging_id": str(testbed.station("victim").ue.current_guti)})
+        frame = attacker.response_frame("victim", mark)
+        assert frame.labels == [c.SERVICE_REQUEST]
+
+
+class TestTraces:
+    def test_stale_window_matches_paper(self):
+        """a = 2**5 = 32 slots accept 31 stale requests."""
+        assert stale_window_size(5) == 31
+
+    def test_smaller_array_smaller_window(self):
+        assert stale_window_size(3) == 7
+
+    def test_staleness_spans_days(self):
+        """'a couple of days old' with a 4-hourly authentication rate."""
+        report = simulate_operator_trace(duration_days=21,
+                                         mean_interval_hours=4)
+        assert report.mean_replayable_days > 2.0
+        assert report.max_replayable_days < 21.0
+
+    def test_freshness_limit_shrinks_window(self):
+        open_report = simulate_operator_trace(duration_days=14)
+        limited = simulate_operator_trace(duration_days=14,
+                                          freshness_limit=5)
+        assert limited.mean_replayable_days \
+            < open_report.mean_replayable_days
+
+    def test_trace_deterministic(self):
+        first = simulate_operator_trace(duration_days=7)
+        second = simulate_operator_trace(duration_days=7)
+        assert [e.time_hours for e in first.events] \
+            == [e.time_hours for e in second.events]

@@ -1,0 +1,89 @@
+"""Soundness link between the concrete USIM and the relational abstraction.
+
+The threat model classifies every delivered authentication SQN as
+``fresh`` / ``equal`` / ``stale_in`` / ``stale_out`` relative to the
+receiver's state.  These tests pin the classification to the *concrete*
+TS 33.102 Annex C array: for random histories,
+
+- a value the real USIM accepts is never classified ``stale_out``;
+- a value the real USIM rejects is never classified ``fresh``;
+- ``equal`` classification matches slot-exact repetition.
+
+That is the soundness direction the CEGAR loop relies on: every concrete
+behaviour has a representative in the abstract relation, so no real
+counterexample is abstracted away.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lte.sqn import Sqn, UsimSqnArray
+
+IND_BITS = 3   # a small array keeps collisions frequent in the tests
+
+
+def classify(usim: UsimSqnArray, sqn: Sqn) -> str:
+    """The abstraction's view of a delivered SQN given concrete state."""
+    if sqn.seq > usim.highest_accepted_seq:
+        return "fresh"
+    if sqn.seq == usim.slots[sqn.ind]:
+        return "equal"
+    if usim.peek(sqn).accepted:
+        return "stale_in"
+    return "stale_out"
+
+
+_HISTORY = st.lists(
+    st.tuples(st.integers(1, 30), st.integers(0, (1 << IND_BITS) - 1)),
+    min_size=0, max_size=30)
+_PROBE = st.tuples(st.integers(1, 30),
+                   st.integers(0, (1 << IND_BITS) - 1))
+
+
+class TestClassificationSoundness:
+    @settings(max_examples=200, deadline=None)
+    @given(_HISTORY, _PROBE)
+    def test_accepted_never_stale_out(self, history, probe):
+        usim = UsimSqnArray(ind_bits=IND_BITS)
+        for seq, ind in history:
+            usim.verify(Sqn(seq, ind, ind_bits=IND_BITS))
+        sqn = Sqn(probe[0], probe[1], ind_bits=IND_BITS)
+        relation = classify(usim, sqn)
+        if usim.peek(sqn).accepted:
+            assert relation in ("fresh", "stale_in")
+
+    @settings(max_examples=200, deadline=None)
+    @given(_HISTORY, _PROBE)
+    def test_rejected_never_fresh(self, history, probe):
+        usim = UsimSqnArray(ind_bits=IND_BITS)
+        for seq, ind in history:
+            usim.verify(Sqn(seq, ind, ind_bits=IND_BITS))
+        sqn = Sqn(probe[0], probe[1], ind_bits=IND_BITS)
+        relation = classify(usim, sqn)
+        if not usim.peek(sqn).accepted:
+            assert relation in ("equal", "stale_out")
+
+    @settings(max_examples=100, deadline=None)
+    @given(_HISTORY)
+    def test_replay_of_last_accept_is_equal_or_stale(self, history):
+        """A byte-exact replay (the I3 probe) is never 'fresh'."""
+        usim = UsimSqnArray(ind_bits=IND_BITS)
+        last_accepted = None
+        for seq, ind in history:
+            sqn = Sqn(seq, ind, ind_bits=IND_BITS)
+            if usim.verify(sqn).accepted:
+                last_accepted = sqn
+        if last_accepted is None:
+            return
+        relation = classify(usim, last_accepted)
+        assert relation in ("equal", "stale_out", "stale_in")
+        assert relation != "fresh"
+
+    def test_p1_scenario_is_stale_in(self):
+        """The P1 window is exactly the ``stale_in`` relation: captured
+        (never delivered), overtaken in another slot, still accepted."""
+        usim = UsimSqnArray(ind_bits=IND_BITS)
+        captured = Sqn(2, 2, ind_bits=IND_BITS)    # withheld by attacker
+        usim.verify(Sqn(1, 1, ind_bits=IND_BITS))
+        usim.verify(Sqn(3, 3, ind_bits=IND_BITS))  # SQN moves past it
+        assert classify(usim, captured) == "stale_in"
+        assert usim.peek(captured).accepted        # concretely accepted

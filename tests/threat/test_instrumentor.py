@@ -1,0 +1,168 @@
+"""Threat instrumentor tests: IMP^mu structure and semantics."""
+
+import pytest
+
+from repro.baselines import lteinspector_mme, lteinspector_ue
+from repro.lte import constants as c
+from repro.mc import check_ltl, parse_ltl
+from repro.threat import (Refinement, ThreatConfig, build_threat_model)
+from repro.threat.predicates import (PredicateError, compile_predicate,
+                                     split_guard)
+
+
+def baseline_model(config=None):
+    return build_threat_model(lteinspector_ue(), lteinspector_mme(),
+                              config)
+
+
+class TestPredicates:
+    def test_flag_predicates(self):
+        expr = compile_predicate("mac_valid", "1")
+        assert expr.evaluate({"dl_mac_valid": 1})
+        assert not expr.evaluate({"dl_mac_valid": 0})
+
+    def test_relational_sqn(self):
+        fresh = compile_predicate("sqn_fresh", "1")
+        assert fresh.evaluate({"dl_sqn_rel": "fresh"})
+        assert not fresh.evaluate({"dl_sqn_rel": "equal"})
+        window = compile_predicate("sqn_in_window", "1")
+        assert window.evaluate({"dl_sqn_rel": "stale_in"})
+        assert not window.evaluate({"dl_sqn_rel": "stale_out"})
+
+    def test_negated_values(self):
+        not_fresh = compile_predicate("count_higher", "0")
+        assert not_fresh.evaluate({"dl_count_rel": "stale_old"})
+        assert not not_fresh.evaluate({"dl_count_rel": "fresh"})
+
+    def test_markers_and_dropped_return_none(self):
+        assert compile_predicate("accept", "1") is None
+        assert compile_predicate("replay_ok", "1") is None
+
+    def test_unknown_predicate_raises(self):
+        with pytest.raises(PredicateError):
+            compile_predicate("mystery_check", "1")
+
+    def test_split_guard(self):
+        trigger, predicates = split_guard(
+            ("attach_accept", "mac_valid=1", "count_higher=0"))
+        assert trigger == "attach_accept"
+        assert predicates == {"mac_valid": "1", "count_higher": "0"}
+
+
+class TestModelStructure:
+    def test_variables_present(self):
+        model = baseline_model()
+        names = set(model.variable_names)
+        assert {"turn", "ue_state", "mme_state", "chan_dl", "chan_ul",
+                "dl_mac_valid", "dl_sqn_rel", "dl_count_rel",
+                "dl_injected", "ul_injected"} <= names
+
+    def test_initial_state(self):
+        model = baseline_model()
+        init = model.initial_state()
+        assert init["turn"] == "ue"
+        assert init["chan_dl"] == "none"
+        assert init["ue_state"] == "ue_deregistered"
+
+    def test_adversary_commands_scoped_by_config(self):
+        passive = baseline_model(ThreatConfig(allow_drop=False))
+        labels = {command.label for command in passive.commands}
+        assert "adv_drop_dl" not in labels
+        assert not any(label.startswith("adv_inject") for label in labels)
+
+        active = baseline_model(ThreatConfig(
+            replay_dl=(c.AUTHENTICATION_REQUEST,),
+            inject_dl=(c.PAGING,),
+            inject_ul=(c.DETACH_REQUEST,)))
+        labels = {command.label for command in active.commands}
+        assert "adv_replay_dl_authentication_request" in labels
+        assert "adv_inject_dl_paging" in labels
+        assert "adv_inject_ul_detach_request" in labels
+
+    def test_session_replay_gets_capture_bit(self):
+        config = ThreatConfig(replay_dl=(c.ATTACH_ACCEPT,))
+        model = baseline_model(config)
+        assert "sent_attach_accept" in model.variable_names
+
+    def test_global_replay_has_no_capture_bit(self):
+        config = ThreatConfig(replay_dl=(c.AUTHENTICATION_REQUEST,))
+        model = baseline_model(config)
+        assert not any(name.startswith("sent_")
+                       for name in model.variable_names)
+
+
+class TestRefinements:
+    def test_no_forge_pins_mac_to_zero(self):
+        config = ThreatConfig(inject_dl=(c.SECURITY_MODE_COMMAND,))
+        refined = config.refined(
+            Refinement("no_forge", c.SECURITY_MODE_COMMAND))
+        model = baseline_model(refined)
+        command = next(cmd for cmd in model.commands
+                       if cmd.label == "adv_inject_dl_"
+                       + c.SECURITY_MODE_COMMAND)
+        assert command.updates["dl_mac_valid"] == 0
+
+    def test_no_replay_removes_command(self):
+        config = ThreatConfig(replay_dl=(c.AUTHENTICATION_REQUEST,))
+        refined = config.refined(
+            Refinement("no_replay", c.AUTHENTICATION_REQUEST))
+        model = baseline_model(refined)
+        assert not any(cmd.label.startswith("adv_replay")
+                       for cmd in model.commands)
+
+    def test_replay_needs_capture_guards_command(self):
+        config = ThreatConfig(replay_dl=(c.ATTACH_ACCEPT,))
+        refined = config.refined(
+            Refinement("replay_needs_capture", c.ATTACH_ACCEPT))
+        model = baseline_model(refined)
+        command = next(cmd for cmd in model.commands
+                       if cmd.label == "adv_replay_dl_attach_accept")
+        state = model.initial_state()
+        assert not command.guard.evaluate(
+            {**state, "turn": "adv_dl", "sent_attach_accept": 0})
+        assert command.guard.evaluate(
+            {**state, "turn": "adv_dl", "sent_attach_accept": 1})
+
+    def test_refined_preserves_other_settings(self):
+        config = ThreatConfig(inject_dl=(c.PAGING,), allow_drop=False)
+        refined = config.refined(Refinement("no_forge", c.PAGING))
+        assert refined.inject_dl == (c.PAGING,)
+        assert not refined.allow_drop
+        assert refined.forbids_forge(c.PAGING)
+
+
+class TestSemantics:
+    def test_honest_attach_reaches_registered(self):
+        model = baseline_model(ThreatConfig(allow_drop=False))
+        result = check_ltl(
+            model,
+            parse_ltl("F (ue_state = ue_registered)",
+                      model.variable_names),
+            "attach-completes")
+        assert result.holds
+
+    def test_scheduler_never_deadlocks(self):
+        model = baseline_model(ThreatConfig(
+            replay_dl=(c.AUTHENTICATION_REQUEST,),
+            inject_dl=(c.PAGING,)))
+        result = check_ltl(model,
+                           parse_ltl("G (F (turn = ue))",
+                                     model.variable_names),
+                           "liveness")
+        assert result.holds
+
+    def test_drop_breaks_liveness(self):
+        model = baseline_model()   # drop allowed
+        result = check_ltl(
+            model,
+            parse_ltl("G (chan_ul = attach_request -> "
+                      "F (ue_state = ue_registered))",
+                      model.variable_names),
+            "attach-completes")
+        assert not result.holds
+
+    def test_extracted_models_compile(self, extracted_models, mme_model):
+        for impl, fsm in extracted_models.items():
+            model = build_threat_model(fsm, mme_model,
+                                       ThreatConfig(allow_drop=False))
+            assert len(model.commands) > 20, impl

@@ -1,0 +1,103 @@
+"""Property-based tests: threat-model invariants over random FSMs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fsm import FiniteStateMachine, NULL_ACTION
+from repro.lte import constants as c
+from repro.mc import check_ltl, parse_ltl
+from repro.threat import ThreatConfig, build_threat_model
+
+_UE_STATES = ("S0", "S1", "S2")
+_MME_STATES = ("M0", "M1")
+_DL_MESSAGES = (c.PAGING, c.ATTACH_REJECT, c.IDENTITY_REQUEST)
+_UL_MESSAGES = (c.ATTACH_REQUEST, c.SERVICE_REQUEST, c.IDENTITY_RESPONSE)
+
+
+@st.composite
+def random_ue_fsm(draw):
+    fsm = FiniteStateMachine(name="ue", initial_state=_UE_STATES[0])
+    fsm.add_transition(_UE_STATES[0], draw(st.sampled_from(_UE_STATES)),
+                       ("internal_power_on",), (c.ATTACH_REQUEST,))
+    for _ in range(draw(st.integers(1, 5))):
+        source = draw(st.sampled_from(_UE_STATES))
+        target = draw(st.sampled_from(_UE_STATES))
+        trigger = draw(st.sampled_from(_DL_MESSAGES))
+        action = draw(st.sampled_from(_UL_MESSAGES + (NULL_ACTION,)))
+        fsm.add_transition(source, target, (trigger,), (action,))
+    return fsm
+
+
+@st.composite
+def random_mme_fsm(draw):
+    fsm = FiniteStateMachine(name="mme", initial_state=_MME_STATES[0])
+    for _ in range(draw(st.integers(1, 4))):
+        source = draw(st.sampled_from(_MME_STATES))
+        target = draw(st.sampled_from(_MME_STATES))
+        trigger = draw(st.sampled_from(_UL_MESSAGES))
+        action = draw(st.sampled_from(_DL_MESSAGES + (NULL_ACTION,)))
+        fsm.add_transition(source, target, (trigger,), (action,))
+    return fsm
+
+
+@st.composite
+def random_config(draw):
+    return ThreatConfig(
+        replay_dl=tuple(draw(st.sets(st.sampled_from(_DL_MESSAGES),
+                                     max_size=1))),
+        inject_dl=tuple(draw(st.sets(st.sampled_from(_DL_MESSAGES),
+                                     max_size=1))),
+        allow_drop=draw(st.booleans()),
+    )
+
+
+class TestModelInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(random_ue_fsm(), random_mme_fsm(), random_config())
+    def test_scheduler_always_rotates(self, ue_fsm, mme_fsm, config):
+        """Whatever machines and adversary: the UE acts infinitely often
+        (no turn can wedge — the skip commands guarantee progress)."""
+        model = build_threat_model(ue_fsm, mme_fsm, config)
+        result = check_ltl(model,
+                           parse_ltl("G (F (turn = ue))",
+                                     model.variable_names),
+                           "rotation")
+        assert result.holds
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_ue_fsm(), random_mme_fsm(), random_config())
+    def test_states_stay_in_domain(self, ue_fsm, mme_fsm, config):
+        """Reachable ue_state/mme_state values come from the FSMs."""
+        model = build_threat_model(ue_fsm, mme_fsm, config)
+        ue_ok = " | ".join(f"ue_state = {state}"
+                           for state in sorted(ue_fsm.states))
+        result = check_ltl(model,
+                           parse_ltl(f"G ({ue_ok})",
+                                     model.variable_names),
+                           "domain")
+        assert result.holds
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_ue_fsm(), random_mme_fsm())
+    def test_passive_model_has_no_adversary_commands(self, ue_fsm,
+                                                     mme_fsm):
+        model = build_threat_model(ue_fsm, mme_fsm,
+                                   ThreatConfig(allow_drop=False))
+        labels = {command.label for command in model.commands}
+        adversarial = {label for label in labels
+                       if label.startswith("adv_")
+                       and not label.startswith("adv_pass")}
+        assert not adversarial
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_ue_fsm(), random_mme_fsm(), random_config())
+    def test_honest_metadata_invariant(self, ue_fsm, mme_fsm, config):
+        """A message with dl_injected=1 on the channel can only be there
+        while an inject capability exists."""
+        model = build_threat_model(ue_fsm, mme_fsm, config)
+        if config.inject_dl:
+            return  # injections legitimately occur
+        result = check_ltl(model,
+                           parse_ltl("G (dl_injected = 0)",
+                                     model.variable_names),
+                           "no-injection")
+        assert result.holds
