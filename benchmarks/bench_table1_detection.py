@@ -6,9 +6,13 @@ against the paper's Table I, and benchmarks the pipeline.  The printed
 matrix is the reproduction of the table's filled/empty circles.
 """
 
+import os
+import time
+
 import pytest
 
-from repro.core import ProChecker
+from repro.core import AnalysisConfig, ProChecker, analyze_many, \
+    extraction_cache
 from repro.properties.expected import (IMPLEMENTATIONS,
                                        NEW_ATTACKS as TABLE_I_NEW,
                                        PRIOR_DETECTED
@@ -38,9 +42,13 @@ def _print_matrix(reports):
 @pytest.mark.parametrize("implementation", IMPLEMENTATIONS)
 def test_full_pipeline(benchmark, implementation):
     """Benchmark one implementation's full 62-property analysis."""
+    extraction_cache.clear()
+    config = AnalysisConfig(implementation)
     report = benchmark.pedantic(
-        lambda: ProChecker(implementation).analyze(),
+        lambda: ProChecker.from_config(config).analyze(),
         rounds=1, iterations=1)
+    # One full analysis = exactly one conformance run + extraction.
+    assert extraction_cache.stats()["conformance_runs"] == 1
     detected = report.detected_attacks()
     for attack, expectations in TABLE_I_NEW.items():
         assert (attack in detected) == expectations[implementation], attack
@@ -58,8 +66,7 @@ def test_full_pipeline(benchmark, implementation):
 def test_detection_matrix_summary(benchmark):
     """Produce the full three-implementation matrix in one run."""
     def analyze_all():
-        return {impl: ProChecker(impl).analyze()
-                for impl in IMPLEMENTATIONS}
+        return analyze_many(IMPLEMENTATIONS)
 
     reports = benchmark.pedantic(analyze_all, rounds=1, iterations=1)
     _print_matrix(reports)
@@ -74,3 +81,42 @@ def test_detection_matrix_summary(benchmark):
         and (attack in reports["srsue"].detected_attacks()
              or attack in reports["oai"].detected_attacks())}
     assert len(open_stack_issues) == 6
+
+
+def test_engine_speedup(benchmark):
+    """Parallel engine vs the serial seed-equivalent path.
+
+    The serial configuration disables the extraction cache and CEGAR
+    input sharing and pins one worker — the behaviour of the original
+    ``analyze()``.  The engine configuration uses the defaults (all
+    cores, shared caches).  Verdicts must match byte-for-byte; the
+    speedup assertion only fires on multi-core runners, where the
+    process pool carries most of the win.
+    """
+    serial_config = AnalysisConfig("srsue", jobs=1,
+                                   use_extraction_cache=False,
+                                   share_cegar_inputs=False)
+    engine_config = AnalysisConfig("srsue")
+
+    extraction_cache.clear()
+    start = time.perf_counter()
+    serial_report = ProChecker.from_config(serial_config).analyze()
+    serial_seconds = time.perf_counter() - start
+
+    extraction_cache.clear()
+    start = time.perf_counter()
+    engine_report = benchmark.pedantic(
+        lambda: ProChecker.from_config(engine_config).analyze(),
+        rounds=1, iterations=1)
+    engine_seconds = time.perf_counter() - start
+
+    assert engine_report.verdict_signature() \
+        == serial_report.verdict_signature()
+    speedup = serial_seconds / max(engine_seconds, 1e-9)
+    cores = os.cpu_count() or 1
+    print(f"\nserial {serial_seconds:.2f}s vs engine {engine_seconds:.2f}s "
+          f"({engine_report.jobs} worker(s), {cores} cores): "
+          f"{speedup:.2f}x")
+    if cores >= 4:
+        assert speedup >= 1.5, (
+            f"expected >=1.5x on a {cores}-core runner, got {speedup:.2f}x")

@@ -5,20 +5,23 @@ Runs the full ProChecker pipeline (Fig. 2) against the srsUE-like
 implementation: instrumented conformance testing, FSM extraction
 (Algorithm 1), and CEGAR verification of the 62-property catalog —
 then prints the per-property report and the detected attacks.
+Verification fans out over a process pool (``AnalysisConfig.jobs``).
 
-    python examples/quickstart.py [reference|srsue|oai]
+    python examples/quickstart.py [reference|srsue|oai] [jobs]
 """
 
 import sys
 
-from repro import ProChecker
+from repro import AnalysisConfig, ProChecker
 
 
 def main() -> None:
     implementation = sys.argv[1] if len(sys.argv) > 1 else "srsue"
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else None
     print(f"=== ProChecker quickstart: analysing {implementation!r} ===\n")
 
-    checker = ProChecker(implementation)
+    checker = ProChecker.from_config(
+        AnalysisConfig(implementation, jobs=jobs))
 
     # Stage 1+2: conformance run under instrumentation + extraction.
     fsm = checker.extract()
@@ -38,6 +41,9 @@ def main() -> None:
     print("\nDetected attacks (Table I view):")
     for attack in sorted(report.detected_attacks()):
         print(f"  {attack}")
+    print(f"\nVerified with {report.jobs} worker(s) in "
+          f"{report.verification_seconds:.2f}s "
+          f"(total {report.elapsed_seconds:.2f}s)")
 
 
 if __name__ == "__main__":

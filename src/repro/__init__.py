@@ -24,16 +24,18 @@ Package map:
 - :mod:`repro.baselines` — the LTEInspector models (RQ2/RQ3 baseline).
 """
 
-from .core import (AnalysisReport, ProChecker, PropertyResult,
-                   analyze_implementation)
+from .core import (AnalysisConfig, AnalysisReport, ProChecker,
+                   PropertyResult, VerificationEngine,
+                   analyze_implementation, analyze_many, extraction_cache)
 from .fsm import FiniteStateMachine, Transition, check_refinement
 from .properties import ALL_PROPERTIES, catalog_summary
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "AnalysisReport", "ProChecker", "PropertyResult",
-    "analyze_implementation",
+    "AnalysisConfig", "AnalysisReport", "ProChecker", "PropertyResult",
+    "VerificationEngine", "analyze_implementation", "analyze_many",
+    "extraction_cache",
     "FiniteStateMachine", "Transition", "check_refinement",
     "ALL_PROPERTIES", "catalog_summary",
     "__version__",

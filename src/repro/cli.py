@@ -15,10 +15,12 @@ Commands mirror the pipeline stages so each is scriptable on its own:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .core import ProChecker
+from .core import (AnalysisConfig, ProChecker, VERDICT_NOT_APPLICABLE,
+                   VERDICT_VERIFIED)
 from .fsm import missing_stimuli, to_dot
 from .lte import constants as c
 from .lte.implementations import IMPLEMENTATION_NAMES
@@ -30,12 +32,22 @@ TRACE_COLUMNS = ("turn", "ue_state", "chan_dl", "chan_ul", "dl_sqn_rel",
                  "dl_injected")
 
 
+def _emit_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    report = ProChecker(args.implementation).analyze()
+    config = AnalysisConfig(args.implementation, jobs=args.jobs)
+    report = ProChecker.from_config(config).analyze()
+    if args.json:
+        _emit_json(report.to_dict())
+        return 0
     print(report.format_table())
     print("\nDetected attacks:")
     for attack in sorted(report.detected_attacks()):
         print(f"  {attack}")
+    print(f"\n{report.jobs} worker(s), "
+          f"{report.verification_seconds:.2f}s verification")
     return 0
 
 
@@ -66,16 +78,23 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return 2
     checker = ProChecker(args.implementation)
     result = checker.verify_property(prop)
-    print(f"{prop.identifier} ({prop.category}): {prop.description}")
-    print(f"verdict: {result.verdict} "
-          f"({result.iterations} CEGAR iterations, "
-          f"{result.elapsed_seconds:.2f}s)")
-    if result.evidence:
-        print(f"evidence: {result.evidence}")
-    if result.counterexample is not None and not args.quiet:
-        print("\ncounterexample:")
-        print(result.counterexample.format(TRACE_COLUMNS))
-    return 0 if result.verdict == "verified" else 1
+    if args.json:
+        _emit_json(result.to_dict())
+    else:
+        print(f"{prop.identifier} ({prop.category}): {prop.description}")
+        print(f"verdict: {result.verdict} "
+              f"({result.iterations} CEGAR iterations, "
+              f"{result.elapsed_seconds:.2f}s)")
+        if result.evidence:
+            print(f"evidence: {result.evidence}")
+        if result.counterexample is not None and not args.quiet:
+            print("\ncounterexample:")
+            print(result.counterexample.format(TRACE_COLUMNS))
+    if result.verdict == VERDICT_VERIFIED:
+        return 0
+    if result.verdict == VERDICT_NOT_APPLICABLE:
+        return 3
+    return 1
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -86,6 +105,9 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             print(f"  {known}", file=sys.stderr)
         return 2
     result = run_attack(args.attack_id, args.implementation)
+    if args.json:
+        _emit_json(result.to_dict())
+        return 1 if result.succeeded else 0
     status = "SUCCEEDED" if result.succeeded else "failed"
     print(f"{args.attack_id} on {args.implementation}: {status}")
     print(f"evidence: {result.evidence}")
@@ -98,7 +120,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     """Full analysis rendered as a disclosure-style findings document."""
     from .core import build_dossier, render_markdown
 
-    report = ProChecker(args.implementation).analyze()
+    config = AnalysisConfig(args.implementation, jobs=args.jobs)
+    report = ProChecker.from_config(config).analyze()
     dossier = build_dossier(report,
                             validate_on_testbed=not args.no_testbed)
     text = render_markdown(dossier)
@@ -166,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = commands.add_parser(
         "analyze", help="run the full 62-property pipeline")
     analyze.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    analyze.add_argument("--jobs", "-j", type=int, default=None,
+                         metavar="N",
+                         help="parallel verification workers "
+                              "(default: all cores)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
     analyze.set_defaults(handler=_cmd_analyze)
 
     extract = commands.add_parser(
@@ -182,6 +211,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="e.g. SEC-01 or PRIV-08")
     verify.add_argument("--quiet", action="store_true",
                         help="suppress the counterexample trace")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the property result as JSON")
     verify.set_defaults(handler=_cmd_verify)
 
     attack = commands.add_parser(
@@ -189,6 +220,8 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("attack_id", metavar="ATTACK",
                         help="e.g. P1, I3 or PRIOR-numb")
     attack.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    attack.add_argument("--json", action="store_true",
+                        help="emit the attack outcome as JSON")
     attack.set_defaults(handler=_cmd_attack)
 
     report = commands.add_parser(
@@ -197,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", metavar="FILE")
     report.add_argument("--no-testbed", action="store_true",
                         help="skip end-to-end testbed validation")
+    report.add_argument("--jobs", "-j", type=int, default=None,
+                        metavar="N",
+                        help="parallel verification workers "
+                             "(default: all cores)")
     report.set_defaults(handler=_cmd_report)
 
     smv = commands.add_parser(

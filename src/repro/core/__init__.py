@@ -1,18 +1,29 @@
-"""ProChecker's core: the CEGAR loop and the end-to-end pipeline."""
+"""ProChecker's core: the CEGAR loop, the engine, the end-to-end pipeline."""
 
-from .cegar import (CegarResult, CounterexampleValidator, StepVerdict,
-                    check_with_cegar, harvestable_messages, message_term)
+from .cegar import (CegarContext, CegarResult, CounterexampleValidator,
+                    StepVerdict, check_with_cegar, harvestable_messages,
+                    message_term, threat_config_key)
+from .engine import (AnalysisConfig, EngineError, ExtractionCache,
+                     ExtractionRecord, ImplementationRun,
+                     VerificationEngine, extraction_cache,
+                     group_properties, run_extraction, verify_one)
 from .report import (AnalysisReport, PropertyResult, VERDICT_NOT_APPLICABLE,
                      VERDICT_VERIFIED, VERDICT_VIOLATED)
-from .prochecker import ProChecker, ProCheckerError, analyze_implementation
+from .prochecker import (ProChecker, ProCheckerError,
+                         analyze_implementation, analyze_many)
 from .dossier import (AttackFinding, Dossier, build_dossier,
                       render_markdown)
 
 __all__ = [
-    "CegarResult", "CounterexampleValidator", "StepVerdict",
+    "CegarContext", "CegarResult", "CounterexampleValidator", "StepVerdict",
     "check_with_cegar", "harvestable_messages", "message_term",
+    "threat_config_key",
+    "AnalysisConfig", "EngineError", "ExtractionCache", "ExtractionRecord",
+    "ImplementationRun", "VerificationEngine", "extraction_cache",
+    "group_properties", "run_extraction", "verify_one",
     "AnalysisReport", "PropertyResult", "VERDICT_NOT_APPLICABLE",
     "VERDICT_VERIFIED", "VERDICT_VIOLATED",
     "ProChecker", "ProCheckerError", "analyze_implementation",
+    "analyze_many",
     "AttackFinding", "Dossier", "build_dossier", "render_markdown",
 ]

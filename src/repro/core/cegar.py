@@ -26,15 +26,17 @@ The CPV bridge maps model-level adversary commands onto DY questions:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..cpv.deduction import Knowledge
 from ..cpv.terms import Mac, Pair, Term, const, secret_key
 from ..fsm import FiniteStateMachine, NULL_ACTION
 from ..lte import constants as c
 from ..mc import CheckResult, Trace, check_ltl, parse_ltl
+from ..mc.model import Model
 from ..threat import Refinement, ThreatConfig, ThreatInstrumentor
 
 #: Uplink messages an adversary can fabricate from public data.
@@ -206,6 +208,67 @@ class CounterexampleValidator:
         return StepVerdict(label, True, "no adversarial content")
 
 
+def threat_config_key(config: ThreatConfig) -> Tuple:
+    """Hashable identity of a threat configuration.
+
+    Two properties whose adversaries have the same capabilities produce
+    the same instrumented model, so the key doubles as the sharing key
+    for :class:`CegarContext`'s model cache.
+    """
+    return (config.replay_dl, config.inject_dl, config.inject_ul,
+            config.allow_drop, config.internal_triggers,
+            config.refinements)
+
+
+class CegarContext:
+    """Property-invariant CEGAR inputs, shared across a verification run.
+
+    Once the two machines are fixed, the harvestable-message set, the
+    :class:`CounterexampleValidator` built on it, and the
+    threat-instrumented model for a given :class:`ThreatConfig` are all
+    pure functions of their inputs — recomputing them per property (62
+    times per run) is wasted work.  Instances are thread-safe; for
+    process pools each worker holds its own context.
+    """
+
+    def __init__(self, ue_fsm: FiniteStateMachine,
+                 mme_fsm: FiniteStateMachine):
+        self.ue_fsm = ue_fsm
+        self.mme_fsm = mme_fsm
+        self._lock = threading.Lock()
+        self._validator: Optional[CounterexampleValidator] = None
+        self._models: Dict[Tuple, Model] = {}
+        self.model_builds = 0
+        self.model_hits = 0
+
+    @property
+    def validator(self) -> CounterexampleValidator:
+        with self._lock:
+            if self._validator is None:
+                self._validator = CounterexampleValidator(self.mme_fsm)
+            return self._validator
+
+    def model_for(self, config: ThreatConfig) -> Model:
+        """The instrumented model for ``config``, built at most once.
+
+        The cached model keeps its warm state-graph memo
+        (:meth:`repro.mc.model.Model.successor_items`), so later
+        properties with the same adversary skip the state-space
+        re-exploration entirely.
+        """
+        key = threat_config_key(config)
+        with self._lock:
+            model = self._models.get(key)
+            if model is None:
+                self.model_builds += 1
+                model = ThreatInstrumentor(self.ue_fsm, self.mme_fsm,
+                                           config).build("IMP_shared")
+                self._models[key] = model
+            else:
+                self.model_hits += 1
+            return model
+
+
 def check_with_cegar(
     ue_fsm: FiniteStateMachine,
     mme_fsm: FiniteStateMachine,
@@ -213,17 +276,26 @@ def check_with_cegar(
     config: ThreatConfig,
     name: str = "property",
     max_iterations: int = 8,
+    context: Optional[CegarContext] = None,
 ) -> CegarResult:
-    """Run the full MC↔CPV loop for one LTL property."""
+    """Run the full MC↔CPV loop for one LTL property.
+
+    ``context`` shares the property-invariant inputs (validator, base
+    models) across calls; verdicts are identical with or without it.
+    """
     started = time.perf_counter()
     result = CegarResult(property_name=name, verified=False)
-    validator = CounterexampleValidator(mme_fsm)
+    validator = context.validator if context is not None \
+        else CounterexampleValidator(mme_fsm)
     current_config = config
 
     while result.iterations < max_iterations:
         result.iterations += 1
-        model = ThreatInstrumentor(ue_fsm, mme_fsm,
-                                   current_config).build(name)
+        if context is not None:
+            model = context.model_for(current_config)
+        else:
+            model = ThreatInstrumentor(ue_fsm, mme_fsm,
+                                       current_config).build(name)
         formula = parse_ltl(formula_text, model.variable_names)
         mc_result = check_ltl(model, formula, name)
         result.mc_results.append(mc_result)

@@ -1,0 +1,414 @@
+"""Parallel property-verification engine with shared caches.
+
+The check phase of the pipeline is embarrassingly parallel: once the
+implementation FSM is extracted and the core-network model fixed, every
+property verdict is a pure function of ``(UE FSM, MME model, property)``.
+This module exploits that in three layers:
+
+1. a process-wide :class:`ExtractionCache` keyed by ``(implementation,
+   suite fingerprint)``, so benchmarks, CLI commands and repeated
+   :class:`~repro.core.prochecker.ProChecker` instances run the
+   conformance suite and Algorithm 1 exactly once per implementation;
+2. per-run sharing of the property-invariant CEGAR inputs via
+   :class:`~repro.core.cegar.CegarContext` — the harvestable-message
+   reachability query, the :class:`CounterexampleValidator` and the
+   threat-instrumented base model for each distinct
+   :class:`~repro.threat.ThreatConfig` (the 49 LTL properties share only
+   21 configurations, and cached models keep their warm state graphs);
+3. a ``concurrent.futures`` worker pool (``jobs=N``, default
+   ``os.cpu_count()``) that fans property *groups* out over processes,
+   one group per shared threat configuration so cache locality survives
+   the fan-out.
+
+Scheduling never changes verdicts: results are reassembled in catalog
+order and every verdict is byte-identical to a serial run
+(:meth:`~repro.core.report.AnalysisReport.verdict_signature`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..conformance import TestCase, full_suite, measure_coverage, \
+    run_conformance
+from ..extraction import extract_model, table_for_implementation
+from ..fsm import FiniteStateMachine
+from ..lte.implementations import REGISTRY
+from ..properties.catalog import ALL_PROPERTIES
+from ..properties.spec import (CATEGORY_PRIVACY, CATEGORY_SECURITY,
+                               EXTRACTED_VOCAB, KIND_LTL, KIND_TESTBED,
+                               Property)
+from ..testbed import run_attack
+from .cegar import CegarContext, CegarResult, check_with_cegar, \
+    threat_config_key
+from .report import (PropertyResult, VERDICT_NOT_APPLICABLE,
+                     VERDICT_VERIFIED, VERDICT_VIOLATED)
+
+
+class EngineError(Exception):
+    """Raised on engine misconfiguration (bad filters, empty runs)."""
+
+
+# ---------------------------------------------------------------------------
+# Analysis configuration (the redesigned pipeline entry point)
+# ---------------------------------------------------------------------------
+@dataclass
+class AnalysisConfig:
+    """Declarative description of one analysis run.
+
+    Consumed by :meth:`ProChecker.from_config` and :func:`analyze_many`;
+    every knob the CLI exposes maps onto one field here.
+    """
+
+    implementation: str
+    #: explicit property objects (overrides ``property_ids``/``category``)
+    properties: Optional[Sequence[Property]] = None
+    #: select catalog properties by identifier ("SEC-01", ...)
+    property_ids: Optional[Sequence[str]] = None
+    #: restrict the catalog to "security" or "privacy"
+    category: Optional[str] = None
+    #: worker processes for the check phase; ``None`` → ``os.cpu_count()``
+    jobs: Optional[int] = None
+    #: CEGAR iteration budget per property
+    max_cegar_iterations: int = 8
+    #: reuse conformance runs/extractions across instances (process-wide)
+    use_extraction_cache: bool = True
+    #: share validator + threat models across properties within a run
+    share_cegar_inputs: bool = True
+    #: custom conformance suite (defaults to ``full_suite(implementation)``)
+    cases: Optional[Sequence[TestCase]] = None
+
+    def resolved_properties(self) -> List[Property]:
+        """The property list this configuration selects, catalog order."""
+        if self.properties is not None:
+            return list(self.properties)
+        selected = list(ALL_PROPERTIES)
+        if self.category is not None:
+            if self.category not in (CATEGORY_SECURITY, CATEGORY_PRIVACY):
+                raise EngineError(f"unknown category {self.category!r}")
+            selected = [p for p in selected if p.category == self.category]
+        if self.property_ids is not None:
+            wanted = list(self.property_ids)
+            by_id = {p.identifier: p for p in selected}
+            missing = [i for i in wanted if i not in by_id]
+            if missing:
+                raise EngineError(f"unknown property ids: {missing}")
+            selected = [by_id[i] for i in wanted]
+        return selected
+
+    def resolved_jobs(self) -> int:
+        if self.jobs is not None:
+            return max(1, int(self.jobs))
+        return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide extraction cache
+# ---------------------------------------------------------------------------
+@dataclass
+class ExtractionRecord:
+    """One cached conformance run + extraction."""
+
+    implementation: str
+    fsm: FiniteStateMachine
+    extraction_seconds: float
+    coverage_percent: float
+    conformance_cases: int
+    log_lines: int
+
+
+def run_extraction(implementation: str,
+                   cases: Optional[Sequence[TestCase]] = None
+                   ) -> ExtractionRecord:
+    """Uncached pipeline front half: conformance run + Algorithm 1."""
+    if implementation not in REGISTRY:
+        raise EngineError(f"unknown implementation {implementation!r}; "
+                          f"available: {sorted(REGISTRY)}")
+    ue_class = REGISTRY[implementation]
+    suite = list(cases) if cases is not None else full_suite(implementation)
+    outcome = run_conformance(implementation, suite, instrument=True)
+    table = table_for_implementation(ue_class)
+    fsm, stats = extract_model(outcome.log_text, table,
+                               name=f"{implementation}_ue")
+    coverage = measure_coverage(ue_class, outcome.log_text, implementation)
+    return ExtractionRecord(
+        implementation=implementation,
+        fsm=fsm,
+        extraction_seconds=stats.elapsed_seconds,
+        coverage_percent=coverage.percent,
+        conformance_cases=outcome.executed,
+        log_lines=stats.log_lines,
+    )
+
+
+class ExtractionCache:
+    """Process-wide memo of conformance runs and extracted models.
+
+    Keyed by ``(implementation, suite fingerprint)``: the default suite
+    fingerprints by name, a custom ``cases`` list by its case identities,
+    so passing a different suite invalidates naturally.  The
+    ``conformance_runs`` counter exists so callers (and tests) can assert
+    that a full analysis executes exactly one conformance run per
+    implementation.
+    """
+
+    _DEFAULT_SUITE = "__default_suite__"
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._records: Dict[Tuple, ExtractionRecord] = {}
+        self.conformance_runs = 0
+        self.hits = 0
+
+    @classmethod
+    def fingerprint(cls, implementation: str,
+                    cases: Optional[Sequence[TestCase]] = None) -> Tuple:
+        if cases is None:
+            return (implementation, cls._DEFAULT_SUITE)
+        return (implementation, tuple(
+            (case.identifier,
+             getattr(case.run, "__qualname__", repr(case.run)))
+            for case in cases))
+
+    def get(self, implementation: str,
+            cases: Optional[Sequence[TestCase]] = None) -> ExtractionRecord:
+        key = self.fingerprint(implementation, cases)
+        with self._lock:
+            record = self._records.get(key)
+            if record is not None:
+                self.hits += 1
+                return record
+            record = run_extraction(implementation, cases)
+            self.conformance_runs += 1
+            self._records[key] = record
+            return record
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.conformance_runs = 0
+            self.hits = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._records),
+                    "conformance_runs": self.conformance_runs,
+                    "hits": self.hits}
+
+
+#: The process-wide singleton every pipeline entry point goes through.
+extraction_cache = ExtractionCache()
+
+
+# ---------------------------------------------------------------------------
+# Single-property verification (pure function of its arguments)
+# ---------------------------------------------------------------------------
+def _worker_name() -> str:
+    return multiprocessing.current_process().name
+
+
+def verify_one(prop: Property, implementation: str,
+               ue_fsm: FiniteStateMachine, mme_model: FiniteStateMachine,
+               max_iterations: int = 8,
+               context: Optional[CegarContext] = None) -> PropertyResult:
+    """Verify one property; the unit of work the engine schedules."""
+    if prop.kind == KIND_LTL:
+        return _verify_ltl(prop, ue_fsm, mme_model, max_iterations, context)
+    if prop.kind == KIND_TESTBED:
+        return _verify_testbed(prop, implementation)
+    raise EngineError(f"unknown property kind {prop.kind!r}")
+
+
+def _verify_ltl(prop: Property, ue_fsm: FiniteStateMachine,
+                mme_model: FiniteStateMachine, max_iterations: int,
+                context: Optional[CegarContext]) -> PropertyResult:
+    formula = prop.formula_for(EXTRACTED_VOCAB)
+    cegar: CegarResult = check_with_cegar(
+        ue_fsm, mme_model, formula, prop.threat,
+        name=prop.identifier, max_iterations=max_iterations,
+        context=context)
+    verdict = VERDICT_VERIFIED if cegar.verified else VERDICT_VIOLATED
+    evidence = ""
+    if cegar.is_attack:
+        evidence = ("realizable counterexample; adversarial steps: "
+                    + ", ".join(dict.fromkeys(
+                        cegar.attack.adversary_actions())))
+    return PropertyResult(
+        property=prop,
+        verdict=verdict,
+        counterexample=cegar.attack,
+        evidence=evidence,
+        iterations=cegar.iterations,
+        refinements=len(cegar.refinements),
+        states_explored=cegar.states_explored,
+        elapsed_seconds=cegar.elapsed_seconds,
+        worker=_worker_name(),
+    )
+
+
+def _verify_testbed(prop: Property, implementation: str) -> PropertyResult:
+    started = time.perf_counter()
+    outcome = run_attack(prop.testbed_attack, implementation)
+    elapsed = time.perf_counter() - started
+    if "not applicable" in outcome.evidence:
+        verdict = VERDICT_NOT_APPLICABLE
+    elif outcome.succeeded:
+        verdict = VERDICT_VIOLATED
+    else:
+        verdict = VERDICT_VERIFIED
+    return PropertyResult(
+        property=prop,
+        verdict=verdict,
+        evidence=outcome.evidence,
+        iterations=1,
+        elapsed_seconds=elapsed,
+        worker=_worker_name(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scheduling
+# ---------------------------------------------------------------------------
+def group_properties(properties: Sequence[Property]) -> List[List[Property]]:
+    """Partition properties into engine tasks.
+
+    LTL properties sharing a :class:`ThreatConfig` form one group so the
+    shared instrumented model (and its memoised state graph) is built
+    once per group even across process boundaries; each testbed property
+    is its own group (independent simulator runs).
+    """
+    groups: Dict[Tuple, List[Property]] = {}
+    order: List[Tuple] = []
+    for prop in properties:
+        if prop.kind == KIND_LTL:
+            key = ("ltl", threat_config_key(prop.threat))
+        else:
+            key = ("testbed", prop.identifier)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(prop)
+    return [groups[key] for key in order]
+
+
+@dataclass
+class ImplementationRun:
+    """One implementation's share of an engine invocation."""
+
+    implementation: str
+    ue_fsm: FiniteStateMachine
+    mme_model: FiniteStateMachine
+    properties: Sequence[Property]
+    max_iterations: int = 8
+    #: serial mode reuses this context (e.g. a ProChecker's persistent one)
+    context: Optional[CegarContext] = None
+
+
+# Worker-process state, installed once per worker by the pool initializer:
+# implementation -> (ue_fsm, mme_model, max_iterations, CegarContext).
+_WORKER_STATE: Dict[str, Tuple] = {}
+
+
+def _init_worker(payloads: Dict[str, Tuple]) -> None:
+    _WORKER_STATE.clear()
+    for implementation, (ue_fsm, mme_model, max_iterations) in \
+            payloads.items():
+        _WORKER_STATE[implementation] = (
+            ue_fsm, mme_model, max_iterations,
+            CegarContext(ue_fsm, mme_model))
+
+
+def _verify_group(task: Tuple[str, List[Property]]
+                  ) -> List[Tuple[str, PropertyResult]]:
+    implementation, props = task
+    ue_fsm, mme_model, max_iterations, context = \
+        _WORKER_STATE[implementation]
+    return [(prop.identifier,
+             verify_one(prop, implementation, ue_fsm, mme_model,
+                        max_iterations, context))
+            for prop in props]
+
+
+class VerificationEngine:
+    """Fans property groups out over a process pool (or runs serially).
+
+    ``jobs=1`` (or a single task) short-circuits to an in-process loop —
+    no pool, no pickling — which is also the deterministic baseline the
+    parallel path is validated against.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+
+    # ------------------------------------------------------------------
+    def verify(self, runs: Sequence[ImplementationRun]
+               ) -> Dict[str, List[PropertyResult]]:
+        """Verify every run's properties; results keep input order."""
+        if not runs:
+            raise EngineError("no implementation runs given")
+        seen = set()
+        for run in runs:
+            if run.implementation in seen:
+                raise EngineError(
+                    f"duplicate run for {run.implementation!r}")
+            seen.add(run.implementation)
+
+        tasks: List[Tuple[str, List[Property]]] = []
+        for run in runs:
+            tasks.extend((run.implementation, group)
+                         for group in group_properties(run.properties))
+
+        if self.jobs <= 1 or len(tasks) <= 1:
+            outcomes = self._verify_serial(runs)
+        else:
+            outcomes = self._verify_pooled(runs, tasks)
+
+        return {run.implementation:
+                [outcomes[(run.implementation, prop.identifier)]
+                 for prop in run.properties]
+                for run in runs}
+
+    # ------------------------------------------------------------------
+    def _verify_serial(self, runs: Sequence[ImplementationRun]
+                       ) -> Dict[Tuple[str, str], PropertyResult]:
+        outcomes: Dict[Tuple[str, str], PropertyResult] = {}
+        for run in runs:
+            context = run.context or CegarContext(run.ue_fsm, run.mme_model)
+            for prop in run.properties:
+                outcomes[(run.implementation, prop.identifier)] = \
+                    verify_one(prop, run.implementation, run.ue_fsm,
+                               run.mme_model, run.max_iterations, context)
+        return outcomes
+
+    def _verify_pooled(self, runs: Sequence[ImplementationRun],
+                       tasks: List[Tuple[str, List[Property]]]
+                       ) -> Dict[Tuple[str, str], PropertyResult]:
+        payloads = {run.implementation:
+                    (run.ue_fsm, run.mme_model, run.max_iterations)
+                    for run in runs}
+        context = self._mp_context()
+        outcomes: Dict[Tuple[str, str], PropertyResult] = {}
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)),
+                                 mp_context=context,
+                                 initializer=_init_worker,
+                                 initargs=(payloads,)) as pool:
+            for (implementation, _group), group_results in \
+                    zip(tasks, pool.map(_verify_group, tasks)):
+                for identifier, result in group_results:
+                    outcomes[(implementation, identifier)] = result
+        return outcomes
+
+    @staticmethod
+    def _mp_context():
+        """Prefer ``fork`` (cheap workers, no re-import) when available."""
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()

@@ -8,25 +8,35 @@ One :class:`ProChecker` instance analyses one implementation:
 4. for every property: either the CEGAR MC↔CPV loop (LTL properties) or
    the corresponding testbed/CPV experiment (observational properties);
 5. produce an :class:`~repro.core.report.AnalysisReport`.
+
+Stage 1+2 go through the process-wide
+:data:`~repro.core.engine.extraction_cache`, and stage 4 through the
+:class:`~repro.core.engine.VerificationEngine`, which shares the
+property-invariant CEGAR inputs and can fan the catalog out over a
+worker pool (``jobs``).  Configure runs declaratively::
+
+    config = AnalysisConfig("srsue", jobs=4, category="privacy")
+    report = ProChecker.from_config(config).analyze()
+
+or analyse several implementations through one shared pool::
+
+    reports = analyze_many(["reference", "srsue", "oai"])
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+import warnings
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..baselines import lteinspector_mme
-from ..conformance import full_suite, measure_coverage, run_conformance
-from ..extraction import extract_model, table_for_implementation
 from ..fsm import FiniteStateMachine
 from ..lte.implementations import REGISTRY
-from ..properties.catalog import ALL_PROPERTIES
-from ..properties.spec import (EXTRACTED_VOCAB, KIND_LTL, KIND_TESTBED,
-                               Property)
-from ..testbed import run_attack
-from .cegar import CegarResult, check_with_cegar
-from .report import (AnalysisReport, PropertyResult, VERDICT_NOT_APPLICABLE,
-                     VERDICT_VERIFIED, VERDICT_VIOLATED)
+from ..properties.spec import Property
+from .cegar import CegarContext
+from .engine import (AnalysisConfig, ImplementationRun, VerificationEngine,
+                     extraction_cache, run_extraction, verify_one)
+from .report import AnalysisReport, PropertyResult
 
 
 class ProCheckerError(Exception):
@@ -37,13 +47,19 @@ class ProChecker:
     """Property-guided formal verification of one LTE implementation."""
 
     def __init__(self, implementation: str,
-                 mme_model: Optional[FiniteStateMachine] = None):
+                 mme_model: Optional[FiniteStateMachine] = None,
+                 config: Optional[AnalysisConfig] = None):
         if implementation not in REGISTRY:
             raise ProCheckerError(
                 f"unknown implementation {implementation!r}; "
                 f"available: {sorted(REGISTRY)}")
+        if config is not None and config.implementation != implementation:
+            raise ProCheckerError(
+                f"config targets {config.implementation!r}, "
+                f"not {implementation!r}")
         self.implementation = implementation
         self.ue_class = REGISTRY[implementation]
+        self.config = config or AnalysisConfig(implementation=implementation)
         #: the paper uses the manually constructed open-source core
         #: network model (no access to a commercial core)
         self.mme_model = mme_model or lteinspector_mme()
@@ -52,112 +68,165 @@ class ProChecker:
         self._coverage_percent = 0.0
         self._conformance_cases = 0
         self._log_lines = 0
+        self._context: Optional[CegarContext] = None
+
+    @classmethod
+    def from_config(cls, config: AnalysisConfig) -> "ProChecker":
+        """The config-object entry point of the redesigned API."""
+        return cls(config.implementation, config=config)
 
     # ------------------------------------------------------------------
     # Stage 1+2: conformance run and model extraction
     # ------------------------------------------------------------------
     def extract(self, cases=None) -> FiniteStateMachine:
         """Run the conformance suite under instrumentation and extract
-        the implementation FSM.  Cached after the first call."""
+        the implementation FSM.
+
+        Goes through the process-wide extraction cache (unless the
+        config disables it), so repeated instances — and the other
+        implementations of an :func:`analyze_many` batch — share one
+        conformance run each.  Cached on the instance after the first
+        call; passing ``cases`` re-extracts from that custom suite.
+        """
         if self._extracted is not None and cases is None:
             return self._extracted
-        suite = list(cases) if cases is not None \
-            else full_suite(self.implementation)
-        outcome = run_conformance(self.implementation, suite,
-                                  instrument=True)
-        table = table_for_implementation(self.ue_class)
-        fsm, stats = extract_model(outcome.log_text, table,
-                                   name=f"{self.implementation}_ue")
-        coverage = measure_coverage(self.ue_class, outcome.log_text,
-                                    self.implementation)
-        self._extracted = fsm
-        self._extraction_seconds = stats.elapsed_seconds
-        self._coverage_percent = coverage.percent
-        self._conformance_cases = outcome.executed
-        self._log_lines = stats.log_lines
-        return fsm
+        suite = cases if cases is not None else self.config.cases
+        if self.config.use_extraction_cache:
+            record = extraction_cache.get(self.implementation, suite)
+        else:
+            record = run_extraction(self.implementation, suite)
+        self._extracted = record.fsm
+        self._extraction_seconds = record.extraction_seconds
+        self._coverage_percent = record.coverage_percent
+        self._conformance_cases = record.conformance_cases
+        self._log_lines = record.log_lines
+        self._context = None   # bound to the previous extraction
+        return record.fsm
 
     # ------------------------------------------------------------------
     # Stage 3+4: verification
     # ------------------------------------------------------------------
+    def _cegar_context(self,
+                      ue_fsm: FiniteStateMachine
+                      ) -> Optional[CegarContext]:
+        if not self.config.share_cegar_inputs:
+            return None
+        if self._context is None:
+            self._context = CegarContext(ue_fsm, self.mme_model)
+        return self._context
+
     def verify_property(self, prop: Property) -> PropertyResult:
         """Verify a single property against the extracted model."""
         ue_fsm = self.extract()
-        if prop.kind == KIND_LTL:
-            return self._verify_ltl(prop, ue_fsm)
-        if prop.kind == KIND_TESTBED:
-            return self._verify_testbed(prop)
-        raise ProCheckerError(f"unknown property kind {prop.kind!r}")
-
-    def _verify_ltl(self, prop: Property,
-                    ue_fsm: FiniteStateMachine) -> PropertyResult:
-        formula = prop.formula_for(EXTRACTED_VOCAB)
-        cegar: CegarResult = check_with_cegar(
-            ue_fsm, self.mme_model, formula, prop.threat,
-            name=prop.identifier)
-        verdict = VERDICT_VERIFIED if cegar.verified else VERDICT_VIOLATED
-        evidence = ""
-        if cegar.is_attack:
-            actions = [v.label for v in cegar.step_verdicts
-                       if not v.label.startswith(("adv_pass", "adv_drop"))
-                       or v.label.startswith("adv_drop")]
-            evidence = ("realizable counterexample; adversarial steps: "
-                        + ", ".join(dict.fromkeys(
-                            cegar.attack.adversary_actions())))
-        return PropertyResult(
-            property=prop,
-            verdict=verdict,
-            counterexample=cegar.attack,
-            evidence=evidence,
-            iterations=cegar.iterations,
-            refinements=len(cegar.refinements),
-            states_explored=cegar.states_explored,
-            elapsed_seconds=cegar.elapsed_seconds,
-        )
-
-    def _verify_testbed(self, prop: Property) -> PropertyResult:
-        started = time.perf_counter()
-        outcome = run_attack(prop.testbed_attack, self.implementation)
-        elapsed = time.perf_counter() - started
-        if "not applicable" in outcome.evidence:
-            verdict = VERDICT_NOT_APPLICABLE
-        elif outcome.succeeded:
-            verdict = VERDICT_VIOLATED
-        else:
-            verdict = VERDICT_VERIFIED
-        return PropertyResult(
-            property=prop,
-            verdict=verdict,
-            evidence=outcome.evidence,
-            iterations=1,
-            elapsed_seconds=elapsed,
-        )
+        return verify_one(prop, self.implementation, ue_fsm,
+                          self.mme_model,
+                          self.config.max_cegar_iterations,
+                          self._cegar_context(ue_fsm))
 
     # ------------------------------------------------------------------
     # Stage 5: the full run
     # ------------------------------------------------------------------
-    def analyze(self, properties: Optional[Sequence[Property]] = None
-                ) -> AnalysisReport:
-        """Verify every property (default: the 62-property catalog)."""
+    def analyze(self, properties: Optional[Sequence[Property]] = None,
+                jobs: Optional[int] = None) -> AnalysisReport:
+        """Verify every property the config selects (default: all 62).
+
+        ``properties``/``jobs`` override the config for this call only.
+        """
         started = time.perf_counter()
         ue_fsm = self.extract()
-        report = AnalysisReport(
+        selected = (list(properties) if properties is not None
+                    else self.config.resolved_properties())
+        engine = VerificationEngine(
+            jobs if jobs is not None else self.config.resolved_jobs())
+        run = ImplementationRun(
             implementation=self.implementation,
-            fsm_summary=ue_fsm.summary(),
+            ue_fsm=ue_fsm,
+            mme_model=self.mme_model,
+            properties=selected,
+            max_iterations=self.config.max_cegar_iterations,
+            context=self._cegar_context(ue_fsm),
+        )
+        verify_started = time.perf_counter()
+        results = engine.verify([run])[self.implementation]
+        report = self._report_skeleton(engine.jobs)
+        report.results = results
+        report.verification_seconds = time.perf_counter() - verify_started
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def _report_skeleton(self, jobs: int) -> AnalysisReport:
+        return AnalysisReport(
+            implementation=self.implementation,
+            fsm_summary=self.extract().summary(),
             extraction_seconds=self._extraction_seconds,
             coverage_percent=self._coverage_percent,
             conformance_cases=self._conformance_cases,
             log_lines=self._log_lines,
+            jobs=jobs,
         )
-        for prop in (properties if properties is not None
-                     else ALL_PROPERTIES):
-            report.results.append(self.verify_property(prop))
-        report.elapsed_seconds = time.perf_counter() - started
-        return report
+
+
+ConfigLike = Union[str, AnalysisConfig]
+
+
+def analyze_many(configs: Sequence[ConfigLike],
+                 jobs: Optional[int] = None
+                 ) -> Dict[str, AnalysisReport]:
+    """Analyse several implementations through one shared worker pool.
+
+    Each entry is an implementation name or a full
+    :class:`AnalysisConfig`.  Extractions run once each (via the
+    extraction cache); the property groups of *all* implementations are
+    interleaved in a single engine invocation, so a pool of ``jobs``
+    workers stays busy across implementation boundaries.  ``jobs``
+    defaults to the widest request among the configs.
+    """
+    resolved = [config if isinstance(config, AnalysisConfig)
+                else AnalysisConfig(implementation=config)
+                for config in configs]
+    checkers = [ProChecker.from_config(config) for config in resolved]
+    started = time.perf_counter()
+    runs: List[ImplementationRun] = []
+    for checker in checkers:
+        ue_fsm = checker.extract()
+        runs.append(ImplementationRun(
+            implementation=checker.implementation,
+            ue_fsm=ue_fsm,
+            mme_model=checker.mme_model,
+            properties=checker.config.resolved_properties(),
+            max_iterations=checker.config.max_cegar_iterations,
+            context=checker._cegar_context(ue_fsm),
+        ))
+    engine = VerificationEngine(
+        jobs if jobs is not None
+        else max(config.resolved_jobs() for config in resolved))
+    verify_started = time.perf_counter()
+    outcomes = engine.verify(runs)
+    verification_seconds = time.perf_counter() - verify_started
+    elapsed = time.perf_counter() - started
+
+    reports: Dict[str, AnalysisReport] = {}
+    for checker in checkers:
+        report = checker._report_skeleton(engine.jobs)
+        report.results = outcomes[checker.implementation]
+        report.verification_seconds = verification_seconds
+        report.elapsed_seconds = elapsed
+        reports[checker.implementation] = report
+    return reports
 
 
 def analyze_implementation(implementation: str,
                            properties: Optional[Sequence[Property]] = None
                            ) -> AnalysisReport:
-    """One-call convenience wrapper: the whole pipeline."""
-    return ProChecker(implementation).analyze(properties)
+    """Deprecated positional entry point; kept as a thin shim.
+
+    Use ``ProChecker.from_config(AnalysisConfig(implementation))`` (or
+    :func:`analyze_many`) instead.
+    """
+    warnings.warn(
+        "analyze_implementation() is deprecated; use "
+        "ProChecker.from_config(AnalysisConfig(...)).analyze() instead",
+        DeprecationWarning, stacklevel=2)
+    config = AnalysisConfig(implementation=implementation,
+                            properties=properties)
+    return ProChecker.from_config(config).analyze()

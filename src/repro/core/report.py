@@ -25,6 +25,8 @@ class PropertyResult:
     refinements: int = 0
     states_explored: int = 0
     elapsed_seconds: float = 0.0
+    #: which engine worker produced this verdict ("MainProcess" if serial)
+    worker: str = ""
 
     @property
     def violated(self) -> bool:
@@ -36,6 +38,46 @@ class PropertyResult:
             extra = f" ({self.iterations} CEGAR iterations)"
         return (f"{self.property.identifier}: {self.verdict}{extra} "
                 f"[{self.elapsed_seconds:.2f}s]")
+
+    def signature(self) -> tuple:
+        """Timing- and scheduling-independent identity of the verdict."""
+        return (self.property.identifier, self.verdict, self.evidence,
+                self.iterations, self.refinements, self.states_explored)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "property": self.property.identifier,
+            "category": self.property.category,
+            "kind": self.property.kind,
+            "attack_id": self.property.attack_id,
+            "verdict": self.verdict,
+            "evidence": self.evidence,
+            "iterations": self.iterations,
+            "refinements": self.refinements,
+            "states_explored": self.states_explored,
+            "elapsed_seconds": self.elapsed_seconds,
+            "worker": self.worker,
+            "counterexample": (self.counterexample.to_dict()
+                               if self.counterexample is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PropertyResult":
+        """Rebuild a result; the property is resolved from the catalog."""
+        from ..properties import property_by_id
+        trace = payload.get("counterexample")
+        return cls(
+            property=property_by_id(payload["property"]),
+            verdict=payload["verdict"],
+            counterexample=Trace.from_dict(trace) if trace else None,
+            evidence=payload.get("evidence", ""),
+            iterations=payload.get("iterations", 0),
+            refinements=payload.get("refinements", 0),
+            states_explored=payload.get("states_explored", 0),
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            worker=payload.get("worker", ""),
+        )
 
 
 @dataclass
@@ -50,6 +92,10 @@ class AnalysisReport:
     log_lines: int = 0
     results: List[PropertyResult] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: worker-pool width the engine used for the check phase
+    jobs: int = 1
+    #: wall-clock of the check phase alone (excludes extraction)
+    verification_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     def violated(self) -> List[PropertyResult]:
@@ -77,6 +123,59 @@ class AnalysisReport:
             "violated": len(self.violated()),
             "attacks": len(self.detected_attacks()),
         }
+
+    def verdict_signature(self) -> tuple:
+        """Canonical tuple of per-property verdicts.
+
+        Independent of timing and of how the engine scheduled the work —
+        a parallel run must produce a signature identical to a serial
+        run's (the engine's determinism contract).
+        """
+        return tuple(result.signature() for result in self.results)
+
+    def worker_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Per-worker share of the check phase (count + busy seconds)."""
+        metrics: Dict[str, Dict[str, float]] = {}
+        for result in self.results:
+            name = result.worker or "unknown"
+            entry = metrics.setdefault(
+                name, {"properties": 0, "busy_seconds": 0.0})
+            entry["properties"] += 1
+            entry["busy_seconds"] += result.elapsed_seconds
+        return metrics
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "implementation": self.implementation,
+            "fsm_summary": dict(self.fsm_summary),
+            "extraction_seconds": self.extraction_seconds,
+            "coverage_percent": self.coverage_percent,
+            "conformance_cases": self.conformance_cases,
+            "log_lines": self.log_lines,
+            "elapsed_seconds": self.elapsed_seconds,
+            "jobs": self.jobs,
+            "verification_seconds": self.verification_seconds,
+            "counts": self.counts(),
+            "detected_attacks": sorted(self.detected_attacks()),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "AnalysisReport":
+        return cls(
+            implementation=payload["implementation"],
+            fsm_summary=dict(payload.get("fsm_summary", {})),
+            extraction_seconds=payload.get("extraction_seconds", 0.0),
+            coverage_percent=payload.get("coverage_percent", 0.0),
+            conformance_cases=payload.get("conformance_cases", 0),
+            log_lines=payload.get("log_lines", 0),
+            results=[PropertyResult.from_dict(item)
+                     for item in payload.get("results", [])],
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            jobs=payload.get("jobs", 1),
+            verification_seconds=payload.get("verification_seconds", 0.0),
+        )
 
     def format_table(self) -> str:
         """Human-readable per-property table (for examples/CLI output)."""

@@ -48,13 +48,11 @@ def check_invariant(model: Model, invariant: Expr,
         violating = initial_key
     while queue and violating is None:
         key = queue.popleft()
-        state = model.unkey(key)
-        for label, successor in model.successors(state):
-            successor_key = model.key(successor)
+        for label, successor_key in model.successor_items(key):
             if successor_key in parents:
                 continue
             parents[successor_key] = (key, label)
-            if not invariant.evaluate(successor):
+            if not invariant.evaluate(model.unkey(successor_key)):
                 violating = successor_key
                 break
             queue.append(successor_key)
@@ -148,17 +146,12 @@ class _Product:
                 self.initials.append(node_id)
                 if fresh:
                     worklist.append((initial_key, buchi_state))
-        successor_cache: Dict[Tuple, List[Tuple[str, Tuple]]] = {}
         while worklist:
             model_key, buchi_state = worklist.pop()
             node_id = self.nodes[(model_key, buchi_state)]
-            if model_key not in successor_cache:
-                state = model.unkey(model_key)
-                successor_cache[model_key] = [
-                    (label, model.key(successor))
-                    for label, successor in model.successors(state)
-                ]
-            for label, successor_key in successor_cache[model_key]:
+            # successor_items memoises on the model, so properties sharing
+            # a threat-instrumented model also share its state graph.
+            for label, successor_key in model.successor_items(model_key):
                 self.model_states_seen.add(successor_key)
                 successor_state = model.unkey(successor_key)
                 for next_buchi in automaton.successors(buchi_state):

@@ -59,6 +59,24 @@ class Trace:
     def adversary_actions(self) -> List[str]:
         return [step.label for step in self.adversary_steps()]
 
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "initial_state": dict(self.initial_state),
+            "steps": [{"label": step.label, "state": dict(step.state)}
+                      for step in self.steps],
+            "loop_start": self.loop_start,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Trace":
+        return cls(
+            initial_state=dict(payload["initial_state"]),
+            steps=[Step(item["label"], item["state"])
+                   for item in payload.get("steps", [])],
+            loop_start=payload.get("loop_start"),
+        )
+
     def project(self, variables: Sequence[str]) -> List[Tuple[Value, ...]]:
         """The trace restricted to the given variables (for reporting)."""
         return [tuple(state[name] for name in variables)

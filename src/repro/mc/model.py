@@ -39,9 +39,10 @@ class Variable:
     def __post_init__(self):
         if not self.domain:
             raise ModelError(f"variable {self.name!r} has empty domain")
+        object.__setattr__(self, "_members", frozenset(self.domain))
 
     def validate(self, value: Value) -> None:
-        if value not in self.domain:
+        if value not in self._members:
             raise ModelError(
                 f"value {value!r} outside domain of {self.name!r}")
 
@@ -127,6 +128,16 @@ class Model:
         if missing:
             raise ModelError(f"variables without initial value: {missing}")
         self._order = tuple(sorted(self._by_name))
+        self._successor_cache: Dict[Tuple[Value, ...],
+                                    List[Tuple[str, Tuple[Value, ...]]]] = {}
+        self._compiled_guards: List = []
+
+    def __getstate__(self):
+        # Compiled guards are closures (unpicklable); the engine rebuilds
+        # them lazily on first use after transfer.
+        state = dict(self.__dict__)
+        state["_compiled_guards"] = []
+        return state
 
     # ------------------------------------------------------------------
     def variable(self, name: str) -> Variable:
@@ -145,6 +156,7 @@ class Model:
             self.variable(name)  # existence check
         command = Command(label, guard, updates)
         self.commands.append(command)
+        self._successor_cache.clear()
         return command
 
     # ------------------------------------------------------------------
@@ -161,7 +173,11 @@ class Model:
         return dict(self.init)
 
     def enabled_commands(self, state: Mapping[str, Value]) -> List[Command]:
-        return [c for c in self.commands if c.guard.evaluate(state)]
+        if len(self._compiled_guards) != len(self.commands):
+            self._compiled_guards = [c.guard.compile()
+                                     for c in self.commands]
+        return [c for c, guard in zip(self.commands, self._compiled_guards)
+                if guard(state)]
 
     def apply(self, state: Mapping[str, Value],
               command: Command) -> Iterator[Dict[str, Value]]:
@@ -208,6 +224,24 @@ class Model:
                 yield command.label, successor
         if not produced:
             yield "stutter", dict(state)
+
+    def successor_items(
+        self, key: Tuple[Value, ...]
+    ) -> List[Tuple[str, Tuple[Value, ...]]]:
+        """``(label, successor key)`` pairs for the state with this key.
+
+        Memoised on the model instance: the state graph is a function of
+        the commands alone, so explorations launched by different
+        properties (or different Büchi products) against the same model
+        share one expansion per state.  ``add_command`` invalidates.
+        """
+        cached = self._successor_cache.get(key)
+        if cached is None:
+            state = self.unkey(key)
+            cached = [(label, self.key(successor))
+                      for label, successor in self.successors(state)]
+            self._successor_cache[key] = cached
+        return cached
 
     def state_count_bound(self) -> int:
         """Product of domain sizes — upper bound used in scalability stats."""

@@ -9,7 +9,7 @@
 
 from .simulator import Testbed, UeStation
 from .attacker import Attacker, DropFilter
-from .attacks import AttackResult, registry, run_attack
+from .attacks import AttackOutcome, AttackResult, registry, run_attack
 from . import prior  # noqa: F401 - registers the prior attacks
 from . import experiments  # noqa: F401 - registers CPV experiments
 from .prior import PRIOR_ATTACK_IDS
@@ -19,7 +19,7 @@ from .traces import (StalenessReport, simulate_operator_trace,
 __all__ = [
     "Testbed", "UeStation",
     "Attacker", "DropFilter",
-    "AttackResult", "registry", "run_attack",
+    "AttackOutcome", "AttackResult", "registry", "run_attack",
     "PRIOR_ATTACK_IDS",
     "StalenessReport", "simulate_operator_trace", "stale_window_size",
 ]

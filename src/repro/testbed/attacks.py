@@ -29,6 +29,29 @@ class AttackResult:
     evidence: str
     details: Dict[str, object] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form (``repro attack --json``, archival)."""
+        return {
+            "attack_id": self.attack_id,
+            "implementation": self.implementation,
+            "succeeded": self.succeeded,
+            "evidence": self.evidence,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "AttackResult":
+        return cls(
+            attack_id=str(payload["attack_id"]),
+            implementation=str(payload["implementation"]),
+            succeeded=bool(payload["succeeded"]),
+            evidence=str(payload["evidence"]),
+            details=dict(payload.get("details", {})),
+        )
+
+
+# Alias matching the paper's "attack outcome" terminology.
+AttackOutcome = AttackResult
 
 AttackFn = Callable[[str], AttackResult]
 _REGISTRY: Dict[str, AttackFn] = {}

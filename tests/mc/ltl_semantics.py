@@ -98,8 +98,14 @@ def brute_force_violation(model, formula: Formula,
         if len(path_states) > max_length:
             return False
         current = path_states[-1]
+        # The word a lasso spells depends only on the state sequence, so
+        # successors reached by several commands/choices are explored once.
+        seen_keys = set()
         for _label, successor in model.successors(current):
             key = model.key(successor)
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
             if search(path_keys + [key], path_states + [successor]):
                 return True
         return False

@@ -1,0 +1,234 @@
+"""Parallel verification engine: determinism, caching, serialization.
+
+The engine's contract is that parallelism and caching are pure
+performance features: a pooled run must produce byte-identical verdicts
+to the serial path, and a full analysis must execute exactly one
+conformance run + extraction per implementation regardless of how many
+``ProChecker`` instances participate.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (AnalysisConfig, EngineError, ProChecker,
+                        ProCheckerError, analyze_implementation,
+                        analyze_many, extraction_cache, group_properties)
+from repro.cli import main as cli_main
+from repro.conformance import full_suite
+from repro.core.report import AnalysisReport, PropertyResult
+from repro.properties import ALL_PROPERTIES, property_by_id
+from repro.testbed import AttackOutcome, AttackResult, run_attack
+
+IMPLEMENTATIONS = ("reference", "srsue", "oai")
+
+
+@pytest.fixture(scope="module")
+def serial_reports():
+    return {impl: ProChecker.from_config(
+                AnalysisConfig(impl, jobs=1)).analyze()
+            for impl in IMPLEMENTATIONS}
+
+
+# ---------------------------------------------------------------------------
+# Determinism: pooled == serial
+# ---------------------------------------------------------------------------
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("implementation", IMPLEMENTATIONS)
+    def test_parallel_matches_serial(self, serial_reports, implementation):
+        parallel = ProChecker.from_config(
+            AnalysisConfig(implementation, jobs=4)).analyze()
+        serial = serial_reports[implementation]
+        assert parallel.verdict_signature() == serial.verdict_signature()
+        assert parallel.jobs == 4
+        assert serial.jobs == 1
+        assert parallel.counts() == serial.counts()
+        assert parallel.detected_attacks() == serial.detected_attacks()
+
+    def test_results_stay_in_catalog_order(self, serial_reports):
+        parallel = ProChecker.from_config(
+            AnalysisConfig("srsue", jobs=4)).analyze()
+        identifiers = [r.property.identifier for r in parallel.results]
+        assert identifiers == [p.identifier for p in ALL_PROPERTIES]
+        assert identifiers == [r.property.identifier
+                               for r in serial_reports["srsue"].results]
+
+    def test_worker_metrics_cover_all_properties(self):
+        report = ProChecker.from_config(
+            AnalysisConfig("reference", jobs=2)).analyze()
+        metrics = report.worker_metrics()
+        assert sum(m["properties"] for m in metrics.values()) == 62
+        for stats in metrics.values():
+            assert stats["busy_seconds"] >= 0.0
+
+    def test_analyze_many_matches_individual_runs(self, serial_reports):
+        reports = analyze_many(IMPLEMENTATIONS, jobs=2)
+        assert set(reports) == set(IMPLEMENTATIONS)
+        for implementation, report in reports.items():
+            assert report.verdict_signature() \
+                == serial_reports[implementation].verdict_signature()
+
+
+# ---------------------------------------------------------------------------
+# Extraction cache
+# ---------------------------------------------------------------------------
+class TestExtractionCache:
+    def test_one_conformance_run_across_instances(self):
+        extraction_cache.clear()
+        first = ProChecker("srsue").extract()
+        second = ProChecker("srsue").extract()
+        stats = extraction_cache.stats()
+        assert stats["conformance_runs"] == 1
+        assert stats["hits"] >= 1
+        assert first is second
+
+    def test_full_analysis_runs_conformance_once(self):
+        extraction_cache.clear()
+        ProChecker.from_config(AnalysisConfig("reference")).analyze()
+        assert extraction_cache.stats()["conformance_runs"] == 1
+
+    def test_custom_cases_invalidate(self):
+        extraction_cache.clear()
+        subset = full_suite("srsue")[:10]
+        default = extraction_cache.get("srsue")
+        custom = extraction_cache.get("srsue", subset)
+        assert extraction_cache.stats()["conformance_runs"] == 2
+        assert custom.conformance_cases < default.conformance_cases
+        # The same custom suite hits the cache; the default is untouched.
+        again = extraction_cache.get("srsue", subset)
+        assert again is custom
+        assert extraction_cache.stats()["conformance_runs"] == 2
+
+    def test_cache_opt_out(self):
+        extraction_cache.clear()
+        config = AnalysisConfig("reference", use_extraction_cache=False)
+        checker = ProChecker.from_config(config)
+        checker.extract()
+        assert extraction_cache.stats()["conformance_runs"] == 0
+
+
+# ---------------------------------------------------------------------------
+# AnalysisConfig
+# ---------------------------------------------------------------------------
+class TestAnalysisConfig:
+    def test_property_id_filter(self):
+        config = AnalysisConfig("reference",
+                                property_ids=("SEC-01", "PRIV-08"))
+        selected = config.resolved_properties()
+        assert [p.identifier for p in selected] == ["SEC-01", "PRIV-08"]
+
+    def test_category_filter(self):
+        config = AnalysisConfig("reference", category="privacy")
+        selected = config.resolved_properties()
+        assert selected
+        assert all(p.category == "privacy" for p in selected)
+
+    def test_unknown_property_id_rejected(self):
+        with pytest.raises(EngineError):
+            AnalysisConfig("reference",
+                           property_ids=("NOPE-1",)).resolved_properties()
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(EngineError):
+            AnalysisConfig("reference",
+                           category="astrology").resolved_properties()
+
+    def test_resolved_jobs_floor(self):
+        assert AnalysisConfig("reference", jobs=0).resolved_jobs() == 1
+        assert AnalysisConfig("reference", jobs=3).resolved_jobs() == 3
+        assert AnalysisConfig("reference").resolved_jobs() >= 1
+
+    def test_config_implementation_mismatch_rejected(self):
+        with pytest.raises(ProCheckerError):
+            ProChecker("oai", config=AnalysisConfig("srsue"))
+
+    def test_grouping_covers_catalog_without_duplicates(self):
+        groups = group_properties(ALL_PROPERTIES)
+        flattened = [p.identifier for group in groups for p in group]
+        assert sorted(flattened) \
+            == sorted(p.identifier for p in ALL_PROPERTIES)
+        assert len(groups) < len(ALL_PROPERTIES)  # LTL configs shared
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shim
+# ---------------------------------------------------------------------------
+def test_analyze_implementation_deprecated():
+    with pytest.deprecated_call():
+        report = analyze_implementation(
+            "reference", properties=[property_by_id("SEC-37")])
+    assert len(report.results) == 1
+    assert report.results[0].verdict == "verified"
+
+
+# ---------------------------------------------------------------------------
+# Serialization round-trips
+# ---------------------------------------------------------------------------
+class TestSerialization:
+    def test_property_result_round_trip(self, serial_reports):
+        report = serial_reports["srsue"]
+        for result in (report.result_for("SEC-37"),
+                       report.result_for("SEC-01")):
+            payload = json.loads(json.dumps(result.to_dict()))
+            restored = PropertyResult.from_dict(payload)
+            assert restored.signature() == result.signature()
+            if result.counterexample is not None:
+                assert restored.counterexample.initial_state \
+                    == result.counterexample.initial_state
+                assert len(restored.counterexample.steps) \
+                    == len(result.counterexample.steps)
+
+    def test_report_round_trip(self, serial_reports):
+        report = serial_reports["oai"]
+        payload = json.loads(json.dumps(report.to_dict()))
+        restored = AnalysisReport.from_dict(payload)
+        assert restored.verdict_signature() == report.verdict_signature()
+        assert restored.implementation == report.implementation
+        assert restored.jobs == report.jobs
+        assert restored.detected_attacks() == report.detected_attacks()
+
+    def test_attack_result_round_trip(self):
+        result = run_attack("I3", "srsue")
+        payload = json.loads(json.dumps(result.to_dict(), default=str))
+        restored = AttackResult.from_dict(payload)
+        assert restored.attack_id == result.attack_id
+        assert restored.succeeded == result.succeeded
+        assert restored.evidence == result.evidence
+
+    def test_attack_outcome_alias(self):
+        assert AttackOutcome is AttackResult
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_verify_json_output(self, capsys):
+        code = cli_main(["verify", "reference", "SEC-37", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["property"] == "SEC-37"
+        assert payload["verdict"] == "verified"
+
+    def test_verify_not_applicable_exit_code(self):
+        # PRIV-07 is a dash row for the reference UE in Table I.
+        assert cli_main(["verify", "reference", "PRIV-07",
+                         "--quiet"]) == 3
+
+    def test_verify_violated_exit_code(self):
+        assert cli_main(["verify", "srsue", "SEC-01", "--quiet"]) == 1
+
+    def test_attack_json_output(self, capsys):
+        code = cli_main(["attack", "P1", "reference", "--json"])
+        assert code == 1  # attack succeeded
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attack_id"] == "P1"
+        assert payload["succeeded"] is True
+
+    def test_analyze_json_output(self, capsys):
+        code = cli_main(["analyze", "reference", "--jobs", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["implementation"] == "reference"
+        assert payload["jobs"] == 2
+        assert len(payload["results"]) == 62
