@@ -6,11 +6,13 @@ against the paper's Table I, and benchmarks the pipeline.  The printed
 matrix is the reproduction of the table's filled/empty circles.
 """
 
+import json
 import os
 import time
 
 import pytest
 
+import repro.obs as obs
 from repro.core import AnalysisConfig, ProChecker, analyze_many, \
     extraction_cache
 from repro.properties.expected import (IMPLEMENTATIONS,
@@ -63,12 +65,47 @@ def test_full_pipeline(benchmark, implementation):
           f"FSM {report.fsm_summary}")
 
 
+def _emit_trajectory(reports):
+    """Write the benchmark trajectory point + the pipeline trace.
+
+    ``BENCH_table1_detection.json`` carries the per-phase timings and
+    canonical per-implementation stats of the full three-implementation
+    run; ``trace.jsonl`` is the reassembled span trace CI uploads as an
+    artifact and audits for phase completeness.
+    """
+    roots = obs.drain_spans()
+    batch_roots = [r for r in roots if r.name == "pipeline.analyze"]
+    stats_by_impl = {impl: report.stats
+                     for impl, report in reports.items()
+                     if report.stats is not None}
+    any_stats = next(iter(stats_by_impl.values()), None)
+    obs.write_trace("trace.jsonl", batch_roots or roots, any_stats)
+    point = {
+        "benchmark": "table1_detection",
+        "implementations": sorted(reports),
+        "jobs": any_stats.jobs if any_stats else 1,
+        "phases": dict(any_stats.phases) if any_stats else {},
+        "elapsed_seconds": {
+            impl: report.elapsed_seconds
+            for impl, report in sorted(reports.items())},
+        "canonical": {impl: stats.canonical_dict()
+                      for impl, stats in sorted(stats_by_impl.items())},
+    }
+    with open("BENCH_table1_detection.json", "w") as handle:
+        json.dump(point, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def test_detection_matrix_summary(benchmark):
     """Produce the full three-implementation matrix in one run."""
+    extraction_cache.clear()
+    obs.reset()
+
     def analyze_all():
         return analyze_many(IMPLEMENTATIONS)
 
     reports = benchmark.pedantic(analyze_all, rounds=1, iterations=1)
+    _emit_trajectory(reports)
     _print_matrix(reports)
     # headline numbers: 3 new protocol attacks, 6 implementation issues
     # across the two open stacks, 12 applicable prior attacks

@@ -19,13 +19,14 @@ Package map:
 - :mod:`repro.mc` — explicit-state LTL model checker (NuXmv stand-in);
 - :mod:`repro.cpv` — Dolev-Yao protocol verifier (ProVerif stand-in);
 - :mod:`repro.properties` — the 62-property catalog;
+- :mod:`repro.obs` — pipeline-wide observability (spans, metrics, sinks);
 - :mod:`repro.core` — the CEGAR loop and end-to-end pipeline;
 - :mod:`repro.testbed` — simulated SDR testbed + executable attacks;
 - :mod:`repro.baselines` — the LTEInspector models (RQ2/RQ3 baseline).
 """
 
 from .core import (AnalysisConfig, AnalysisReport, ProChecker,
-                   PropertyResult, VerificationEngine,
+                   PropertyResult, Verdict, VerificationEngine,
                    analyze_implementation, analyze_many, extraction_cache)
 from .fsm import FiniteStateMachine, Transition, check_refinement
 from .properties import ALL_PROPERTIES, catalog_summary
@@ -34,8 +35,8 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AnalysisConfig", "AnalysisReport", "ProChecker", "PropertyResult",
-    "VerificationEngine", "analyze_implementation", "analyze_many",
-    "extraction_cache",
+    "Verdict", "VerificationEngine", "analyze_implementation",
+    "analyze_many", "extraction_cache",
     "FiniteStateMachine", "Transition", "check_refinement",
     "ALL_PROPERTIES", "catalog_summary",
     "__version__",

@@ -19,8 +19,8 @@ import json
 import sys
 from typing import List, Optional
 
-from .core import (AnalysisConfig, ProChecker, VERDICT_NOT_APPLICABLE,
-                   VERDICT_VERIFIED)
+from . import obs
+from .core import AnalysisConfig, ProChecker, Verdict
 from .fsm import missing_stimuli, to_dot
 from .lte import constants as c
 from .lte.implementations import IMPLEMENTATION_NAMES
@@ -31,9 +31,30 @@ TRACE_COLUMNS = ("turn", "ue_state", "chan_dl", "chan_ul", "dl_sqn_rel",
                  "dl_count_rel", "dl_mac_valid", "dl_plain", "dl_replayed",
                  "dl_injected")
 
+#: Single source of truth for verdict → process exit code.
+EXIT_CODES = {
+    Verdict.VERIFIED: 0,
+    Verdict.VIOLATED: 1,
+    Verdict.NOT_APPLICABLE: 3,
+}
+
 
 def _emit_json(payload) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+
+
+def _emit_observability(args: argparse.Namespace, report) -> None:
+    """Honour ``--trace-out`` / ``--profile`` after a pipeline run."""
+    if getattr(args, "trace_out", None):
+        written = obs.write_trace(args.trace_out, obs.drain_spans(),
+                                  report.stats)
+        print(f"wrote {written} trace records to {args.trace_out}",
+              file=sys.stderr)
+    if getattr(args, "profile", False) and report.stats is not None:
+        # JSON mode keeps stdout machine-readable; the table goes to
+        # stderr there.
+        stream = sys.stderr if getattr(args, "json", False) else sys.stdout
+        print(report.stats.format_table(), file=stream)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -41,6 +62,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     report = ProChecker.from_config(config).analyze()
     if args.json:
         _emit_json(report.to_dict())
+        _emit_observability(args, report)
         return 0
     print(report.format_table())
     print("\nDetected attacks:")
@@ -48,6 +70,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"  {attack}")
     print(f"\n{report.jobs} worker(s), "
           f"{report.verification_seconds:.2f}s verification")
+    _emit_observability(args, report)
     return 0
 
 
@@ -82,7 +105,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         _emit_json(result.to_dict())
     else:
         print(f"{prop.identifier} ({prop.category}): {prop.description}")
-        print(f"verdict: {result.verdict} "
+        print(f"verdict: {result.outcome.value} "
               f"({result.iterations} CEGAR iterations, "
               f"{result.elapsed_seconds:.2f}s)")
         if result.evidence:
@@ -90,11 +113,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if result.counterexample is not None and not args.quiet:
             print("\ncounterexample:")
             print(result.counterexample.format(TRACE_COLUMNS))
-    if result.verdict == VERDICT_VERIFIED:
-        return 0
-    if result.verdict == VERDICT_NOT_APPLICABLE:
-        return 3
-    return 1
+    return EXIT_CODES[result.outcome]
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -122,6 +141,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     config = AnalysisConfig(args.implementation, jobs=args.jobs)
     report = ProChecker.from_config(config).analyze()
+    _emit_observability(args, report)
     dossier = build_dossier(report,
                             validate_on_testbed=not args.no_testbed)
     text = render_markdown(dossier)
@@ -195,6 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: all cores)")
     analyze.add_argument("--json", action="store_true",
                          help="emit the report as JSON")
+    analyze.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="write the span trace (JSONL) to FILE")
+    analyze.add_argument("--profile", action="store_true",
+                         help="print the PipelineStats summary table")
     analyze.set_defaults(handler=_cmd_analyze)
 
     extract = commands.add_parser(
@@ -234,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="parallel verification workers "
                              "(default: all cores)")
+    report.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write the span trace (JSONL) to FILE")
+    report.add_argument("--profile", action="store_true",
+                        help="print the PipelineStats summary table")
     report.set_defaults(handler=_cmd_report)
 
     smv = commands.add_parser(

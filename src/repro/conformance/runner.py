@@ -9,10 +9,10 @@ a TESTCASE marker for coverage accounting.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+from .. import obs
 from ..instrumentation.logfmt import LogWriter
 from ..instrumentation.runtime import RuntimeInstrumenter, TraceTargets
 from ..lte.implementations import REGISTRY
@@ -71,33 +71,37 @@ class ConformanceRunner:
         result = SuiteResult(self.implementation)
         writer = LogWriter()
         targets = TraceTargets.for_implementation(self.ue_class)
-        started = time.perf_counter()
 
         def execute_all() -> None:
             for index, case in enumerate(cases):
                 if instrument:
                     writer.testcase(case.identifier)
                 context = self._make_context(index)
-                case_started = time.perf_counter()
                 outcome = CaseOutcome(case.identifier, case.procedure,
                                       ok=True)
-                try:
-                    case.run(context)
-                except Exception as exc:  # noqa: BLE001 - verdict, not crash
-                    outcome.ok = False
-                    outcome.error = f"{type(exc).__name__}: {exc}"
+                with obs.span("conformance.case",
+                              case=case.identifier) as case_span:
+                    try:
+                        case.run(context)
+                    except Exception as exc:  # noqa: BLE001 - a verdict
+                        outcome.ok = False
+                        outcome.error = f"{type(exc).__name__}: {exc}"
                 outcome.notes = list(context.notes)
-                outcome.elapsed_seconds = time.perf_counter() - case_started
+                outcome.elapsed_seconds = case_span.duration
                 result.outcomes.append(outcome)
 
-        if instrument:
-            with RuntimeInstrumenter(writer, targets):
+        with obs.span("conformance.run",
+                      implementation=self.implementation,
+                      cases=len(cases), instrumented=instrument) as span:
+            if instrument:
+                with RuntimeInstrumenter(writer, targets):
+                    execute_all()
+            else:
                 execute_all()
-        else:
-            execute_all()
+            obs.inc("conformance.cases", len(cases))
 
         result.log_text = writer.getvalue()
-        result.elapsed_seconds = time.perf_counter() - started
+        result.elapsed_seconds = span.duration
         return result
 
 

@@ -7,8 +7,9 @@ from .engine import (AnalysisConfig, EngineError, ExtractionCache,
                      ExtractionRecord, ImplementationRun,
                      VerificationEngine, extraction_cache,
                      group_properties, run_extraction, verify_one)
-from .report import (AnalysisReport, PropertyResult, VERDICT_NOT_APPLICABLE,
-                     VERDICT_VERIFIED, VERDICT_VIOLATED)
+from .report import (AnalysisReport, PropertyResult, Verdict,
+                     VERDICT_NOT_APPLICABLE, VERDICT_VERIFIED,
+                     VERDICT_VIOLATED)
 from .prochecker import (ProChecker, ProCheckerError,
                          analyze_implementation, analyze_many)
 from .dossier import (AttackFinding, Dossier, build_dossier,
@@ -21,8 +22,8 @@ __all__ = [
     "AnalysisConfig", "EngineError", "ExtractionCache", "ExtractionRecord",
     "ImplementationRun", "VerificationEngine", "extraction_cache",
     "group_properties", "run_extraction", "verify_one",
-    "AnalysisReport", "PropertyResult", "VERDICT_NOT_APPLICABLE",
-    "VERDICT_VERIFIED", "VERDICT_VIOLATED",
+    "AnalysisReport", "PropertyResult", "Verdict",
+    "VERDICT_NOT_APPLICABLE", "VERDICT_VERIFIED", "VERDICT_VIOLATED",
     "ProChecker", "ProCheckerError", "analyze_implementation",
     "analyze_many",
     "AttackFinding", "Dossier", "build_dossier", "render_markdown",

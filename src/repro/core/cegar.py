@@ -27,10 +27,10 @@ The CPV bridge maps model-level adversary commands onto DY questions:
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..cpv.deduction import Knowledge
 from ..cpv.terms import Mac, Pair, Term, const, secret_key
 from ..fsm import FiniteStateMachine, NULL_ACTION
@@ -130,7 +130,9 @@ class CounterexampleValidator:
     """The CPV side of the loop: per-step feasibility (Section IV-B)."""
 
     def __init__(self, mme_fsm: FiniteStateMachine):
-        self.harvestable = harvestable_messages(mme_fsm)
+        with obs.span("cpv.harvest"):
+            self.harvestable = harvestable_messages(mme_fsm)
+        obs.count("cpv.validators_built")
 
     def validate(self, trace: Trace) -> List[StepVerdict]:
         verdicts: List[StepVerdict] = []
@@ -209,15 +211,23 @@ class CounterexampleValidator:
 
 
 def threat_config_key(config: ThreatConfig) -> Tuple:
-    """Hashable identity of a threat configuration.
+    """Hashable *canonical* identity of a threat configuration.
 
     Two properties whose adversaries have the same capabilities produce
     the same instrumented model, so the key doubles as the sharing key
-    for :class:`CegarContext`'s model cache.
+    for :class:`CegarContext`'s model cache.  The capability tuples are
+    sets semantically — a config listing ``(a, b)`` and one listing
+    ``(b, a)`` instrument identically — so every component is sorted:
+    field order never splits the cache (the catalog's 49 LTL properties
+    must dedup to 21 shared configurations).
     """
-    return (config.replay_dl, config.inject_dl, config.inject_ul,
-            config.allow_drop, config.internal_triggers,
-            config.refinements)
+    return (tuple(sorted(config.replay_dl)),
+            tuple(sorted(config.inject_dl)),
+            tuple(sorted(config.inject_ul)),
+            config.allow_drop,
+            tuple(sorted(config.internal_triggers)),
+            tuple(sorted((r.kind, r.message)
+                         for r in config.refinements)))
 
 
 class CegarContext:
@@ -261,11 +271,13 @@ class CegarContext:
             model = self._models.get(key)
             if model is None:
                 self.model_builds += 1
+                obs.count("cegar.model_cache_misses")
                 model = ThreatInstrumentor(self.ue_fsm, self.mme_fsm,
                                            config).build("IMP_shared")
                 self._models[key] = model
             else:
                 self.model_hits += 1
+                obs.count("cegar.model_cache_hits")
             return model
 
 
@@ -283,42 +295,47 @@ def check_with_cegar(
     ``context`` shares the property-invariant inputs (validator, base
     models) across calls; verdicts are identical with or without it.
     """
-    started = time.perf_counter()
     result = CegarResult(property_name=name, verified=False)
-    validator = context.validator if context is not None \
-        else CounterexampleValidator(mme_fsm)
-    current_config = config
+    with obs.span("cegar", property=name) as span:
+        validator = context.validator if context is not None \
+            else CounterexampleValidator(mme_fsm)
+        current_config = config
 
-    while result.iterations < max_iterations:
-        result.iterations += 1
-        if context is not None:
-            model = context.model_for(current_config)
-        else:
-            model = ThreatInstrumentor(ue_fsm, mme_fsm,
-                                       current_config).build(name)
-        formula = parse_ltl(formula_text, model.variable_names)
-        mc_result = check_ltl(model, formula, name)
-        result.mc_results.append(mc_result)
-        result.states_explored = max(result.states_explored,
-                                     mc_result.states_explored)
-        if mc_result.holds:
-            result.verified = True
-            break
-        verdicts = validator.validate(mc_result.counterexample)
-        result.step_verdicts = verdicts
-        infeasible = [v for v in verdicts if not v.feasible]
-        if not infeasible:
-            # Every adversarial step is realizable: a genuine attack.
-            result.attack = mc_result.counterexample
-            break
-        refinement = infeasible[0].refinement
-        if refinement is None or refinement in current_config.refinements:
-            # Cannot refine further; report the counterexample as-is but
-            # flag it unvalidated.
-            result.attack = mc_result.counterexample
-            break
-        result.refinements.append(refinement)
-        current_config = current_config.refined(refinement)
+        while result.iterations < max_iterations:
+            result.iterations += 1
+            obs.inc("cegar.iterations")
+            if context is not None:
+                model = context.model_for(current_config)
+            else:
+                model = ThreatInstrumentor(ue_fsm, mme_fsm,
+                                           current_config).build(name)
+            formula = parse_ltl(formula_text, model.variable_names)
+            mc_result = check_ltl(model, formula, name)
+            result.mc_results.append(mc_result)
+            result.states_explored = max(result.states_explored,
+                                         mc_result.states_explored)
+            if mc_result.holds:
+                result.verified = True
+                break
+            with obs.span("cpv.validate", property=name):
+                verdicts = validator.validate(mc_result.counterexample)
+            obs.inc("cpv.step_verdicts", len(verdicts))
+            result.step_verdicts = verdicts
+            infeasible = [v for v in verdicts if not v.feasible]
+            if not infeasible:
+                # Every adversarial step is realizable: a genuine attack.
+                result.attack = mc_result.counterexample
+                break
+            refinement = infeasible[0].refinement
+            if refinement is None \
+                    or refinement in current_config.refinements:
+                # Cannot refine further; report the counterexample as-is
+                # but flag it unvalidated.
+                result.attack = mc_result.counterexample
+                break
+            result.refinements.append(refinement)
+            obs.inc("cegar.refinements")
+            current_config = current_config.refined(refinement)
 
-    result.elapsed_seconds = time.perf_counter() - started
+    result.elapsed_seconds = span.duration
     return result

@@ -30,11 +30,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..conformance import TestCase, full_suite, measure_coverage, \
     run_conformance
 from ..extraction import extract_model, table_for_implementation
@@ -47,8 +47,7 @@ from ..properties.spec import (CATEGORY_PRIVACY, CATEGORY_SECURITY,
 from ..testbed import run_attack
 from .cegar import CegarContext, CegarResult, check_with_cegar, \
     threat_config_key
-from .report import (PropertyResult, VERDICT_NOT_APPLICABLE,
-                     VERDICT_VERIFIED, VERDICT_VIOLATED)
+from .report import PropertyResult, Verdict
 
 
 class EngineError(Exception):
@@ -136,7 +135,9 @@ def run_extraction(implementation: str,
     table = table_for_implementation(ue_class)
     fsm, stats = extract_model(outcome.log_text, table,
                                name=f"{implementation}_ue")
-    coverage = measure_coverage(ue_class, outcome.log_text, implementation)
+    with obs.span("conformance.coverage", implementation=implementation):
+        coverage = measure_coverage(ue_class, outcome.log_text,
+                                    implementation)
     return ExtractionRecord(
         implementation=implementation,
         fsm=fsm,
@@ -183,7 +184,9 @@ class ExtractionCache:
             record = self._records.get(key)
             if record is not None:
                 self.hits += 1
+                obs.count("extraction.cache_hits")
                 return record
+            obs.count("extraction.cache_misses")
             record = run_extraction(implementation, cases)
             self.conformance_runs += 1
             self._records[key] = record
@@ -217,12 +220,22 @@ def verify_one(prop: Property, implementation: str,
                ue_fsm: FiniteStateMachine, mme_model: FiniteStateMachine,
                max_iterations: int = 8,
                context: Optional[CegarContext] = None) -> PropertyResult:
-    """Verify one property; the unit of work the engine schedules."""
-    if prop.kind == KIND_LTL:
-        return _verify_ltl(prop, ue_fsm, mme_model, max_iterations, context)
-    if prop.kind == KIND_TESTBED:
-        return _verify_testbed(prop, implementation)
-    raise EngineError(f"unknown property kind {prop.kind!r}")
+    """Verify one property; the unit of work the engine schedules.
+
+    Every call happens under one ``verify.property`` span — the unit the
+    observability layer reassembles traces around after a pooled run.
+    """
+    with obs.span(obs.PROPERTY_SPAN, property=prop.identifier,
+                  implementation=implementation, kind=prop.kind) as span:
+        if prop.kind == KIND_LTL:
+            result = _verify_ltl(prop, ue_fsm, mme_model, max_iterations,
+                                 context)
+        elif prop.kind == KIND_TESTBED:
+            result = _verify_testbed(prop, implementation)
+        else:
+            raise EngineError(f"unknown property kind {prop.kind!r}")
+    obs.observe("verify.seconds", span.duration)
+    return result
 
 
 def _verify_ltl(prop: Property, ue_fsm: FiniteStateMachine,
@@ -233,7 +246,7 @@ def _verify_ltl(prop: Property, ue_fsm: FiniteStateMachine,
         ue_fsm, mme_model, formula, prop.threat,
         name=prop.identifier, max_iterations=max_iterations,
         context=context)
-    verdict = VERDICT_VERIFIED if cegar.verified else VERDICT_VIOLATED
+    outcome = Verdict.VERIFIED if cegar.verified else Verdict.VIOLATED
     evidence = ""
     if cegar.is_attack:
         evidence = ("realizable counterexample; adversarial steps: "
@@ -241,7 +254,7 @@ def _verify_ltl(prop: Property, ue_fsm: FiniteStateMachine,
                         cegar.attack.adversary_actions())))
     return PropertyResult(
         property=prop,
-        verdict=verdict,
+        outcome=outcome,
         counterexample=cegar.attack,
         evidence=evidence,
         iterations=cegar.iterations,
@@ -253,21 +266,21 @@ def _verify_ltl(prop: Property, ue_fsm: FiniteStateMachine,
 
 
 def _verify_testbed(prop: Property, implementation: str) -> PropertyResult:
-    started = time.perf_counter()
-    outcome = run_attack(prop.testbed_attack, implementation)
-    elapsed = time.perf_counter() - started
+    with obs.span("testbed.attack", attack=prop.testbed_attack) as span:
+        outcome = run_attack(prop.testbed_attack, implementation)
+        obs.inc("testbed.attacks")
     if "not applicable" in outcome.evidence:
-        verdict = VERDICT_NOT_APPLICABLE
+        result_outcome = Verdict.NOT_APPLICABLE
     elif outcome.succeeded:
-        verdict = VERDICT_VIOLATED
+        result_outcome = Verdict.VIOLATED
     else:
-        verdict = VERDICT_VERIFIED
+        result_outcome = Verdict.VERIFIED
     return PropertyResult(
         property=prop,
-        verdict=verdict,
+        outcome=result_outcome,
         evidence=outcome.evidence,
         iterations=1,
-        elapsed_seconds=elapsed,
+        elapsed_seconds=span.duration,
         worker=_worker_name(),
     )
 
@@ -316,6 +329,11 @@ _WORKER_STATE: Dict[str, Tuple] = {}
 
 
 def _init_worker(payloads: Dict[str, Tuple]) -> None:
+    # Under the ``fork`` start method the child inherits the parent's
+    # observatory — including whatever spans the parent has open.  Reset
+    # so the worker records only its own work, as fresh root spans the
+    # parent can adopt back.
+    obs.reset()
     _WORKER_STATE.clear()
     for implementation, (ue_fsm, mme_model, max_iterations) in \
             payloads.items():
@@ -325,14 +343,24 @@ def _init_worker(payloads: Dict[str, Tuple]) -> None:
 
 
 def _verify_group(task: Tuple[str, List[Property]]
-                  ) -> List[Tuple[str, PropertyResult]]:
+                  ) -> Tuple[List[Tuple[str, PropertyResult]],
+                             List[Dict], Dict]:
+    """Worker-side task: verify one group, ship results *and* telemetry.
+
+    The ``verify.property`` spans finish as roots in the worker (nothing
+    is open above them there); their serialised forms plus a drain of the
+    worker's metrics registry ride back with the results so the parent
+    can reassemble one trace and one registry for the whole run.
+    """
     implementation, props = task
     ue_fsm, mme_model, max_iterations, context = \
         _WORKER_STATE[implementation]
-    return [(prop.identifier,
-             verify_one(prop, implementation, ue_fsm, mme_model,
-                        max_iterations, context))
-            for prop in props]
+    results = [(prop.identifier,
+                verify_one(prop, implementation, ue_fsm, mme_model,
+                           max_iterations, context))
+               for prop in props]
+    spans = [span.to_dict() for span in obs.drain_spans()]
+    return results, spans, obs.metrics().drain()
 
 
 class VerificationEngine:
@@ -399,8 +427,14 @@ class VerificationEngine:
                                  mp_context=context,
                                  initializer=_init_worker,
                                  initargs=(payloads,)) as pool:
-            for (implementation, _group), group_results in \
+            # ``pool.map`` yields in task (catalog) order regardless of
+            # which worker finished first, so the reassembled trace and
+            # merged metrics are scheduling-independent.
+            for (implementation, _group), \
+                    (group_results, spans, metrics) in \
                     zip(tasks, pool.map(_verify_group, tasks)):
+                obs.adopt_spans(spans)
+                obs.metrics().merge(metrics)
                 for identifier, result in group_results:
                     outcomes[(implementation, identifier)] = result
         return outcomes

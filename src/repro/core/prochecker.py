@@ -25,13 +25,15 @@ or analyse several implementations through one shared pool::
 
 from __future__ import annotations
 
-import time
 import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
+from .. import obs
 from ..baselines import lteinspector_mme
 from ..fsm import FiniteStateMachine
 from ..lte.implementations import REGISTRY
+from ..obs.stats import PipelineStats
+from ..obs.metrics import diff_snapshots
 from ..properties.spec import Property
 from .cegar import CegarContext
 from .engine import (AnalysisConfig, ImplementationRun, VerificationEngine,
@@ -91,10 +93,12 @@ class ProChecker:
         if self._extracted is not None and cases is None:
             return self._extracted
         suite = cases if cases is not None else self.config.cases
-        if self.config.use_extraction_cache:
-            record = extraction_cache.get(self.implementation, suite)
-        else:
-            record = run_extraction(self.implementation, suite)
+        with obs.span("pipeline.extract",
+                      implementation=self.implementation):
+            if self.config.use_extraction_cache:
+                record = extraction_cache.get(self.implementation, suite)
+            else:
+                record = run_extraction(self.implementation, suite)
         self._extracted = record.fsm
         self._extraction_seconds = record.extraction_seconds
         self._coverage_percent = record.coverage_percent
@@ -132,26 +136,33 @@ class ProChecker:
 
         ``properties``/``jobs`` override the config for this call only.
         """
-        started = time.perf_counter()
-        ue_fsm = self.extract()
-        selected = (list(properties) if properties is not None
-                    else self.config.resolved_properties())
-        engine = VerificationEngine(
-            jobs if jobs is not None else self.config.resolved_jobs())
-        run = ImplementationRun(
-            implementation=self.implementation,
-            ue_fsm=ue_fsm,
-            mme_model=self.mme_model,
-            properties=selected,
-            max_iterations=self.config.max_cegar_iterations,
-            context=self._cegar_context(ue_fsm),
-        )
-        verify_started = time.perf_counter()
-        results = engine.verify([run])[self.implementation]
+        before = obs.metrics().snapshot()
+        with obs.span("pipeline.analyze",
+                      implementation=self.implementation) as root:
+            ue_fsm = self.extract()
+            selected = (list(properties) if properties is not None
+                        else self.config.resolved_properties())
+            engine = VerificationEngine(
+                jobs if jobs is not None else self.config.resolved_jobs())
+            run = ImplementationRun(
+                implementation=self.implementation,
+                ue_fsm=ue_fsm,
+                mme_model=self.mme_model,
+                properties=selected,
+                max_iterations=self.config.max_cegar_iterations,
+                context=self._cegar_context(ue_fsm),
+            )
+            with obs.span("pipeline.verify",
+                          implementation=self.implementation,
+                          jobs=engine.jobs) as vspan:
+                results = engine.verify([run])[self.implementation]
         report = self._report_skeleton(engine.jobs)
         report.results = results
-        report.verification_seconds = time.perf_counter() - verify_started
-        report.elapsed_seconds = time.perf_counter() - started
+        report.verification_seconds = vspan.duration
+        report.elapsed_seconds = root.duration
+        report.stats = PipelineStats.collect(
+            root, results, self.implementation, engine.jobs,
+            diff_snapshots(before, obs.metrics().snapshot()))
         return report
 
     def _report_skeleton(self, jobs: int) -> AnalysisReport:
@@ -185,32 +196,40 @@ def analyze_many(configs: Sequence[ConfigLike],
                 else AnalysisConfig(implementation=config)
                 for config in configs]
     checkers = [ProChecker.from_config(config) for config in resolved]
-    started = time.perf_counter()
-    runs: List[ImplementationRun] = []
-    for checker in checkers:
-        ue_fsm = checker.extract()
-        runs.append(ImplementationRun(
-            implementation=checker.implementation,
-            ue_fsm=ue_fsm,
-            mme_model=checker.mme_model,
-            properties=checker.config.resolved_properties(),
-            max_iterations=checker.config.max_cegar_iterations,
-            context=checker._cegar_context(ue_fsm),
-        ))
-    engine = VerificationEngine(
-        jobs if jobs is not None
-        else max(config.resolved_jobs() for config in resolved))
-    verify_started = time.perf_counter()
-    outcomes = engine.verify(runs)
-    verification_seconds = time.perf_counter() - verify_started
-    elapsed = time.perf_counter() - started
+    before = obs.metrics().snapshot()
+    batch = ",".join(checker.implementation for checker in checkers)
+    with obs.span("pipeline.analyze", implementation=batch) as root:
+        runs: List[ImplementationRun] = []
+        for checker in checkers:
+            ue_fsm = checker.extract()
+            runs.append(ImplementationRun(
+                implementation=checker.implementation,
+                ue_fsm=ue_fsm,
+                mme_model=checker.mme_model,
+                properties=checker.config.resolved_properties(),
+                max_iterations=checker.config.max_cegar_iterations,
+                context=checker._cegar_context(ue_fsm),
+            ))
+        engine = VerificationEngine(
+            jobs if jobs is not None
+            else max(config.resolved_jobs() for config in resolved))
+        with obs.span("pipeline.verify", implementation=batch,
+                      jobs=engine.jobs) as vspan:
+            outcomes = engine.verify(runs)
+    metrics_delta = diff_snapshots(before, obs.metrics().snapshot())
 
     reports: Dict[str, AnalysisReport] = {}
     for checker in checkers:
         report = checker._report_skeleton(engine.jobs)
         report.results = outcomes[checker.implementation]
-        report.verification_seconds = verification_seconds
-        report.elapsed_seconds = elapsed
+        report.verification_seconds = vspan.duration
+        report.elapsed_seconds = root.duration
+        # Per-implementation stats come out of the one shared trace: the
+        # collector filters property spans by their implementation
+        # attribute, so each report sees only its own rollups.
+        report.stats = PipelineStats.collect(
+            root, report.results, checker.implementation, engine.jobs,
+            metrics_delta)
         reports[checker.implementation] = report
     return reports
 

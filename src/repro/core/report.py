@@ -2,15 +2,34 @@
 
 from __future__ import annotations
 
+import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..mc import Trace
+from ..obs.stats import PipelineStats
 from ..properties.spec import Property
 
-VERDICT_VERIFIED = "verified"
-VERDICT_VIOLATED = "violated"
-VERDICT_NOT_APPLICABLE = "not-applicable"
+
+class Verdict(str, enum.Enum):
+    """The three outcomes a property verification can produce.
+
+    A ``str`` mixin keeps the enum wire- and comparison-compatible with
+    the historical string verdicts (``Verdict.VERIFIED == "verified"``),
+    while giving the CLI exit-code mapping and the report logic one
+    typed source of truth.
+    """
+
+    VERIFIED = "verified"
+    VIOLATED = "violated"
+    NOT_APPLICABLE = "not-applicable"
+
+
+#: Deprecated string aliases, kept for callers of the pre-enum API.
+VERDICT_VERIFIED = Verdict.VERIFIED
+VERDICT_VIOLATED = Verdict.VIOLATED
+VERDICT_NOT_APPLICABLE = Verdict.NOT_APPLICABLE
 
 
 @dataclass
@@ -18,7 +37,7 @@ class PropertyResult:
     """Outcome of verifying one property against one implementation."""
 
     property: Property
-    verdict: str
+    outcome: Verdict
     counterexample: Optional[Trace] = None
     evidence: str = ""
     iterations: int = 0
@@ -28,20 +47,32 @@ class PropertyResult:
     #: which engine worker produced this verdict ("MainProcess" if serial)
     worker: str = ""
 
+    def __post_init__(self):
+        self.outcome = Verdict(self.outcome)
+
+    @property
+    def verdict(self) -> str:
+        """Deprecated string alias for :attr:`outcome` (pre-enum API)."""
+        warnings.warn(
+            "PropertyResult.verdict is deprecated; use "
+            "PropertyResult.outcome (a Verdict enum) instead",
+            DeprecationWarning, stacklevel=2)
+        return self.outcome.value
+
     @property
     def violated(self) -> bool:
-        return self.verdict == VERDICT_VIOLATED
+        return self.outcome is Verdict.VIOLATED
 
     def summary(self) -> str:
         extra = ""
         if self.iterations > 1:
             extra = f" ({self.iterations} CEGAR iterations)"
-        return (f"{self.property.identifier}: {self.verdict}{extra} "
+        return (f"{self.property.identifier}: {self.outcome.value}{extra} "
                 f"[{self.elapsed_seconds:.2f}s]")
 
     def signature(self) -> tuple:
         """Timing- and scheduling-independent identity of the verdict."""
-        return (self.property.identifier, self.verdict, self.evidence,
+        return (self.property.identifier, self.outcome.value, self.evidence,
                 self.iterations, self.refinements, self.states_explored)
 
     def to_dict(self) -> Dict:
@@ -51,7 +82,7 @@ class PropertyResult:
             "category": self.property.category,
             "kind": self.property.kind,
             "attack_id": self.property.attack_id,
-            "verdict": self.verdict,
+            "verdict": self.outcome.value,
             "evidence": self.evidence,
             "iterations": self.iterations,
             "refinements": self.refinements,
@@ -69,7 +100,7 @@ class PropertyResult:
         trace = payload.get("counterexample")
         return cls(
             property=property_by_id(payload["property"]),
-            verdict=payload["verdict"],
+            outcome=Verdict(payload["verdict"]),
             counterexample=Trace.from_dict(trace) if trace else None,
             evidence=payload.get("evidence", ""),
             iterations=payload.get("iterations", 0),
@@ -96,6 +127,8 @@ class AnalysisReport:
     jobs: int = 1
     #: wall-clock of the check phase alone (excludes extraction)
     verification_seconds: float = 0.0
+    #: aggregated observability block (phases, counters, runtime metrics)
+    stats: Optional[PipelineStats] = None
 
     # ------------------------------------------------------------------
     def violated(self) -> List[PropertyResult]:
@@ -103,7 +136,7 @@ class AnalysisReport:
 
     def verified(self) -> List[PropertyResult]:
         return [r for r in self.results
-                if r.verdict == VERDICT_VERIFIED]
+                if r.outcome is Verdict.VERIFIED]
 
     def detected_attacks(self) -> Set[str]:
         """Table I view: attack ids whose property was violated."""
@@ -159,10 +192,13 @@ class AnalysisReport:
             "counts": self.counts(),
             "detected_attacks": sorted(self.detected_attacks()),
             "results": [result.to_dict() for result in self.results],
+            "stats": self.stats.to_dict() if self.stats is not None
+            else None,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "AnalysisReport":
+        stats = payload.get("stats")
         return cls(
             implementation=payload["implementation"],
             fsm_summary=dict(payload.get("fsm_summary", {})),
@@ -175,6 +211,7 @@ class AnalysisReport:
             elapsed_seconds=payload.get("elapsed_seconds", 0.0),
             jobs=payload.get("jobs", 1),
             verification_seconds=payload.get("verification_seconds", 0.0),
+            stats=PipelineStats.from_dict(stats) if stats else None,
         )
 
     def format_table(self) -> str:
@@ -189,7 +226,7 @@ class AnalysisReport:
             lines.append(
                 f"{result.property.identifier:<10} "
                 f"{result.property.category:<9} "
-                f"{result.verdict:<10} "
+                f"{result.outcome.value:<10} "
                 f"{(result.property.attack_id or '-'):<28} "
                 f"{result.elapsed_seconds:.2f}s")
         counts = self.counts()

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .. import obs
 from .deduction import Knowledge
 from .protocol import EVENT_CLAIM, ProtocolTrace
 from .terms import Term
@@ -48,6 +49,7 @@ class QueryResult:
 def check_secrecy(trace: ProtocolTrace, secret: Term,
                   initial_knowledge: Sequence[Term] = ()) -> QueryResult:
     """Does the secret stay out of the adversary's derivable knowledge?"""
+    obs.inc("cpv.queries.secrecy")
     knowledge = trace.adversary_knowledge(initial_knowledge)
     leaked = knowledge.can_construct(secret)
     return QueryResult(
@@ -66,6 +68,7 @@ def check_correspondence(trace: ProtocolTrace, consequent_label: str,
     With ``injective=True`` each consequent needs its *own* earlier
     antecedent (no reuse) — the stock formulation of replay freedom.
     """
+    obs.inc("cpv.queries.correspondence")
     used: List[int] = []
     for index, event in enumerate(trace.events):
         if event.label != consequent_label or event.kind != EVENT_CLAIM:
@@ -124,6 +127,7 @@ class FeasibilityVerdict:
 def check_action_feasible(action: AdversaryAction,
                           knowledge: Knowledge) -> QueryResult:
     """Is a single adversary action consistent with the DY assumptions?"""
+    obs.inc("cpv.queries.feasibility")
     query = f"feasible({action.describe()})"
     if action.verb in (ACTION_DROP, ACTION_PASS, ACTION_SNIFF):
         return QueryResult(query, True, "channel control suffices")

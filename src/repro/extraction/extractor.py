@@ -25,10 +25,10 @@ extracted model a strict refinement of hand-built ones (RQ2).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..fsm import NULL_ACTION, FiniteStateMachine
 from ..instrumentation.logfmt import (ENTER, GLOBAL, LOCAL, LogRecord,
                                       TESTCASE, parse_log)
@@ -89,23 +89,27 @@ class ModelExtractor:
     def extract(self, log_text: str,
                 name: str = "extracted") -> FiniteStateMachine:
         """Build the FSM from a raw log."""
-        started = time.perf_counter()
-        records = parse_log(log_text)
-        self.stats.log_lines = len(records)
-        blocks = divide_blocks(records, self.table)
-        self.stats.blocks = len(blocks)
+        with obs.span("extraction.extract", model=name) as span:
+            records = parse_log(log_text)
+            self.stats.log_lines = len(records)
+            blocks = divide_blocks(records, self.table)
+            self.stats.blocks = len(blocks)
 
-        fsm = FiniteStateMachine(name=name,
-                                 initial_state=self.table.initial_state)
-        for block in blocks:
-            transition = self._transition_from_block(block)
-            if transition is not None:
-                source, target, conditions, actions = transition
-                fsm.add_transition(source, target, conditions, actions)
+            fsm = FiniteStateMachine(
+                name=name, initial_state=self.table.initial_state)
+            for block in blocks:
+                transition = self._transition_from_block(block)
+                if transition is not None:
+                    source, target, conditions, actions = transition
+                    fsm.add_transition(source, target, conditions, actions)
 
-        self.stats.transitions = len(fsm.transitions)
-        self.stats.states = len(fsm.states)
-        self.stats.elapsed_seconds = time.perf_counter() - started
+            self.stats.transitions = len(fsm.transitions)
+            self.stats.states = len(fsm.states)
+            obs.inc("extraction.log_lines", self.stats.log_lines)
+            obs.inc("extraction.blocks", self.stats.blocks)
+            obs.inc("extraction.transitions", self.stats.transitions)
+            obs.inc("extraction.states", self.stats.states)
+        self.stats.elapsed_seconds = span.duration
         return fsm
 
     # ------------------------------------------------------------------

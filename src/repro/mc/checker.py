@@ -16,10 +16,10 @@ model-checker bounds), so the explicit approach is complete and fast here.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from .buchi import BuchiAutomaton, ltl_to_buchi
 from .counterexample import CheckResult, Step, Trace
 from .expr import And, Const, Expr, Not, Or
@@ -38,32 +38,34 @@ def check_invariant(model: Model, invariant: Expr,
                     name: str = "invariant") -> CheckResult:
     """BFS for a reachable state violating ``invariant`` (i.e. check G p)."""
     model.validate_expression(invariant)
-    start = time.perf_counter()
-    initial = model.initial_state()
-    initial_key = model.key(initial)
-    parents: Dict[Tuple, Optional[Tuple[Tuple, str]]] = {initial_key: None}
-    queue = deque([initial_key])
-    violating: Optional[Tuple] = None
-    if not invariant.evaluate(initial):
-        violating = initial_key
-    while queue and violating is None:
-        key = queue.popleft()
-        for label, successor_key in model.successor_items(key):
-            if successor_key in parents:
-                continue
-            parents[successor_key] = (key, label)
-            if not invariant.evaluate(model.unkey(successor_key)):
-                violating = successor_key
-                break
-            queue.append(successor_key)
+    with obs.span("mc.check", property=name, mode="invariant") as span:
+        initial = model.initial_state()
+        initial_key = model.key(initial)
+        parents: Dict[Tuple, Optional[Tuple[Tuple, str]]] = \
+            {initial_key: None}
+        queue = deque([initial_key])
+        violating: Optional[Tuple] = None
+        if not invariant.evaluate(initial):
+            violating = initial_key
+        while queue and violating is None:
+            key = queue.popleft()
+            for label, successor_key in model.successor_items(key):
+                if successor_key in parents:
+                    continue
+                parents[successor_key] = (key, label)
+                if not invariant.evaluate(model.unkey(successor_key)):
+                    violating = successor_key
+                    break
+                queue.append(successor_key)
 
-    elapsed = time.perf_counter() - start
-    if violating is None:
-        return CheckResult(name, holds=True, states_explored=len(parents),
-                           elapsed_seconds=elapsed)
-    trace = _path_to_trace(model, parents, violating)
-    return CheckResult(name, holds=False, counterexample=trace,
-                       states_explored=len(parents), elapsed_seconds=elapsed)
+        obs.inc("mc.checks")
+        obs.inc("mc.states_explored", len(parents))
+        trace = (None if violating is None
+                 else _path_to_trace(model, parents, violating))
+    obs.observe("mc.check_seconds", span.duration)
+    return CheckResult(name, holds=trace is None, counterexample=trace,
+                       states_explored=len(parents),
+                       elapsed_seconds=span.duration)
 
 
 def _path_to_trace(model: Model, parents, key) -> Trace:
@@ -279,59 +281,66 @@ def check_ltl(model: Model, formula: Formula,
     if invariant is not None:
         return check_invariant(model, invariant, name)
 
-    start = time.perf_counter()
-    automaton = ltl_to_buchi(formula.negate())
-    product = _Product(model, automaton)
-    accepting = product.accepting_nodes()
-    sccs = _tarjan_sccs(product.edges, product.initials)
+    with obs.span("mc.check", property=name, mode="ltl") as span:
+        automaton = ltl_to_buchi(formula.negate())
+        product = _Product(model, automaton)
+        accepting = product.accepting_nodes()
+        sccs = _tarjan_sccs(product.edges, product.initials)
 
-    witness_scc: Optional[List[int]] = None
-    for component in sccs:
-        members = set(component)
-        if not (members & accepting):
-            continue
-        if len(component) > 1:
-            witness_scc = component
-            break
-        node = component[0]
-        if any(successor == node for successor, _ in product.edges[node]):
-            witness_scc = component
-            break
+        witness_scc: Optional[List[int]] = None
+        for component in sccs:
+            members = set(component)
+            if not (members & accepting):
+                continue
+            if len(component) > 1:
+                witness_scc = component
+                break
+            node = component[0]
+            if any(successor == node
+                   for successor, _ in product.edges[node]):
+                witness_scc = component
+                break
 
-    elapsed = time.perf_counter() - start
-    result = CheckResult(
-        name, holds=witness_scc is None,
-        states_explored=len(product.model_states_seen),
-        product_states=len(product.nodes),
-        buchi_states=len(automaton.states),
-        elapsed_seconds=elapsed,
-    )
-    if witness_scc is None:
-        return result
+        obs.inc("mc.checks")
+        obs.inc("mc.states_explored", len(product.model_states_seen))
+        obs.inc("mc.product_states", len(product.nodes))
+        obs.inc("mc.buchi_states", len(automaton.states))
+        obs.gauge_max("mc.max_product_states", len(product.nodes))
 
-    members = set(witness_scc)
-    target_accepting = members & accepting
-    prefix = _bfs_path(product.edges, product.initials, target_accepting)
-    if prefix is None:  # pragma: no cover - SCC reachable by construction
-        raise CheckerError("internal error: accepting SCC unreachable")
-    anchor = prefix[-1][0]
-    cycle = _bfs_path(product.edges, [anchor], {anchor},
-                      restrict=members, skip_trivial_start=True)
-    if cycle is None:  # pragma: no cover - cycle exists by SCC membership
-        raise CheckerError("internal error: no cycle in accepting SCC")
+        result = CheckResult(
+            name, holds=witness_scc is None,
+            states_explored=len(product.model_states_seen),
+            product_states=len(product.nodes),
+            buchi_states=len(automaton.states),
+        )
+        if witness_scc is not None:
+            members = set(witness_scc)
+            target_accepting = members & accepting
+            prefix = _bfs_path(product.edges, product.initials,
+                               target_accepting)
+            if prefix is None:  # pragma: no cover - reachable by SCC
+                raise CheckerError(
+                    "internal error: accepting SCC unreachable")
+            anchor = prefix[-1][0]
+            cycle = _bfs_path(product.edges, [anchor], {anchor},
+                              restrict=members, skip_trivial_start=True)
+            if cycle is None:  # pragma: no cover - cycle exists in SCC
+                raise CheckerError(
+                    "internal error: no cycle in accepting SCC")
 
-    node_states = {}
-    for (model_key, _buchi), node_id in product.nodes.items():
-        node_states.setdefault(node_id, model.unkey(model_key))
+            node_states = {}
+            for (model_key, _buchi), node_id in product.nodes.items():
+                node_states.setdefault(node_id, model.unkey(model_key))
 
-    trace = Trace(initial_state=node_states[prefix[0][0]])
-    for node, label in prefix[1:]:
-        trace.steps.append(Step(label, node_states[node]))
-    trace.loop_start = len(trace.steps)
-    for node, label in cycle[1:]:
-        trace.steps.append(Step(label, node_states[node]))
-    # The lasso's final state equals the loop anchor; keep loop_start
-    # pointing at the anchor state index in `trace.states`.
-    result.counterexample = trace
-    result.elapsed_seconds = time.perf_counter() - start
+            trace = Trace(initial_state=node_states[prefix[0][0]])
+            for node, label in prefix[1:]:
+                trace.steps.append(Step(label, node_states[node]))
+            trace.loop_start = len(trace.steps)
+            for node, label in cycle[1:]:
+                trace.steps.append(Step(label, node_states[node]))
+            # The lasso's final state equals the loop anchor; keep
+            # loop_start pointing at the anchor state index.
+            result.counterexample = trace
+    result.elapsed_seconds = span.duration
+    obs.observe("mc.check_seconds", span.duration)
     return result

@@ -1,0 +1,42 @@
+"""Trace-completeness audit: ``python -m repro.obs.audit trace.jsonl``.
+
+Fails (exit 2) when any required pipeline phase is missing from the
+trace — the CI guard against new pipeline code that silently escapes
+instrumentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .stats import REQUIRED_PHASES, audit_trace, trace_phase_names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.audit",
+        description="verify a JSONL pipeline trace covers every phase")
+    parser.add_argument("trace", help="path to the trace.jsonl file")
+    parser.add_argument("--require", action="append", default=None,
+                        metavar="PHASE",
+                        help="override the required phase set "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    required = args.require if args.require else sorted(REQUIRED_PHASES)
+    missing = audit_trace(args.trace, required)
+    present = trace_phase_names(args.trace)
+    print(f"{args.trace}: {len(present)} distinct span names")
+    if missing:
+        print("missing pipeline phases:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    print(f"all {len(required)} required phases present")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

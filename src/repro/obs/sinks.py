@@ -1,0 +1,127 @@
+"""Pluggable trace sinks: JSONL file, human summary, in-memory.
+
+A sink consumes flat *records* (plain dicts).  :func:`iter_records`
+flattens a span forest into ``{"type": "span", ...}`` records —
+parent/child structure is preserved through ``span_id``/``parent_id``
+and ``depth`` — optionally followed by one ``{"type":
+"pipeline_stats"}`` record carrying the aggregated stats block.
+
+When no sink is attached nothing here runs: spans and metrics are
+recorded in memory either way (cheap — a handful of objects per
+property next to seconds of model checking), and emission is the only
+I/O the observability layer ever performs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .spans import Span
+from .stats import PipelineStats
+
+
+def iter_records(roots: Sequence[Span],
+                 stats: Optional[PipelineStats] = None) -> Iterator[Dict]:
+    """Flatten a span forest (plus optional stats) into sink records."""
+    next_id = 0
+    for root in roots:
+        origin = root.started
+        ids: Dict[int, int] = {}
+        parents = {id(root): None}
+        for child_span, _ in root.walk():
+            for child in child_span.children:
+                parents[id(child)] = id(child_span)
+        for span, depth in root.walk():
+            ids[id(span)] = next_id
+            parent_key = parents.get(id(span))
+            yield {
+                "type": "span",
+                "span_id": next_id,
+                "parent_id": (ids[parent_key]
+                              if parent_key is not None else None),
+                "depth": depth,
+                "name": span.name,
+                "attributes": dict(span.attributes),
+                "offset": span.started - origin,
+                "duration": span.duration,
+                "counters": dict(span.counters),
+            }
+            next_id += 1
+    if stats is not None:
+        yield {"type": "pipeline_stats", "stats": stats.to_dict()}
+
+
+class JsonlTraceSink:
+    """Writes one JSON object per line; the trace-file sink."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "w")
+        self.records_written = 0
+
+    def emit(self, record: Dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True,
+                                      default=str))
+        self._handle.write("\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class InMemorySink:
+    """Collects records in a list; the test double."""
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def emit(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def spans(self) -> List[Dict]:
+        return [r for r in self.records if r.get("type") == "span"]
+
+
+class SummarySink:
+    """Renders the human summary table for any stats records seen."""
+
+    def __init__(self, stream):
+        self.stream = stream
+
+    def emit(self, record: Dict) -> None:
+        if record.get("type") == "pipeline_stats":
+            stats = PipelineStats.from_dict(record["stats"])
+            print(stats.format_table(), file=self.stream)
+
+    def close(self) -> None:
+        pass
+
+
+def write_trace(path: str, roots: Sequence[Span],
+                stats: Optional[PipelineStats] = None) -> int:
+    """Flatten ``roots`` (+ stats) into a JSONL trace file at ``path``."""
+    with JsonlTraceSink(path) as sink:
+        for record in iter_records(roots, stats):
+            sink.emit(record)
+        return sink.records_written
+
+
+def read_trace(path: str) -> List[Dict]:
+    """Load every record from a JSONL trace file."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

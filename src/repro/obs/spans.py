@@ -1,0 +1,198 @@
+"""Hierarchical spans: the tracing half of the observability layer.
+
+A :class:`Span` is one timed region of the pipeline — a conformance run,
+an Algorithm 1 extraction, one CEGAR loop, one model-checker query — with
+a name, free-form attributes, monotonic start/duration, counters recorded
+while it was innermost, and child spans.  :class:`Tracer` maintains a
+per-thread stack of open spans so nesting falls out of lexical ``with``
+structure::
+
+    with tracer.span("cegar", property="SEC-01") as sp:
+        with tracer.span("mc.check"):
+            tracer.inc("mc.states_explored", 42)
+    sp.duration   # seconds, monotonic clock
+
+Spans cross the process-pool boundary as plain dicts
+(:meth:`Span.to_dict` / :meth:`Span.from_dict`): a worker finishes its
+spans as roots, the parent :meth:`Tracer.adopt`\\ s them under its
+currently open span, and the reassembled trace is keyed by the
+``property`` attribute the engine stamps on every verification span.
+Timing inside an adopted subtree is internally consistent (offsets are
+relative to the subtree root); durations are always comparable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Attribute key the engine stamps on per-property verification spans.
+ATTR_PROPERTY = "property"
+
+
+class Span:
+    """One finished (or still-open) timed region of the pipeline."""
+
+    __slots__ = ("name", "attributes", "started", "duration", "children",
+                 "counters")
+
+    def __init__(self, name: str,
+                 attributes: Optional[Dict[str, object]] = None,
+                 started: float = 0.0, duration: float = 0.0):
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.started = started
+        self.duration = duration
+        self.children: List["Span"] = []
+        self.counters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        """Depth-first traversal yielding ``(span, depth)`` pairs."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in this subtree (self included)."""
+        return [span for span, _ in self.walk() if span.name == name]
+
+    def total_counters(self) -> Dict[str, float]:
+        """Counters summed over the whole subtree (commutative rollup)."""
+        totals: Dict[str, float] = {}
+        for span, _ in self.walk():
+            for key, value in span.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    def to_dict(self, origin: Optional[float] = None) -> Dict:
+        """Nested dict form; offsets are relative to the subtree root."""
+        if origin is None:
+            origin = self.started
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "offset": self.started - origin,
+            "duration": self.duration,
+            "counters": dict(self.counters),
+            "children": [child.to_dict(origin) for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Span":
+        span = cls(payload["name"], payload.get("attributes"),
+                   started=payload.get("offset", 0.0),
+                   duration=payload.get("duration", 0.0))
+        span.counters = dict(payload.get("counters", {}))
+        span.children = [cls.from_dict(child)
+                         for child in payload.get("children", [])]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.attributes}, "
+                f"{self.duration:.6f}s, {len(self.children)} children)")
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        self.span.started = self._tracer._clock()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.span.duration = self._tracer._clock() - self.span.started
+        self._tracer._pop(self.span)
+        return None
+
+
+class Tracer:
+    """Per-process span recorder with per-thread nesting stacks.
+
+    Finished top-level spans accumulate as *roots* until drained (by a
+    pool worker shipping them home, a CLI sink writing the trace, or a
+    test inspecting them).  The root buffer is bounded so a long-lived
+    process that never drains cannot leak unboundedly.
+    """
+
+    MAX_ROOTS = 64
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        assert stack and stack[-1] is span, "unbalanced span exit"
+        stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self._add_root(span)
+
+    def _add_root(self, span: Span) -> None:
+        with self._lock:
+            self._roots.append(span)
+            if len(self._roots) > self.MAX_ROOTS:
+                del self._roots[:len(self._roots) - self.MAX_ROOTS]
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes) -> _SpanContext:
+        """Open a child of the current span (or a new root)."""
+        return _SpanContext(self, Span(name, attributes))
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to a counter on the innermost open span."""
+        span = self.current()
+        if span is not None:
+            span.counters[name] = span.counters.get(name, 0) + value
+
+    # ------------------------------------------------------------------
+    def adopt(self, span: Span) -> None:
+        """Graft a finished span (e.g. from a pool worker) into the trace.
+
+        Attached as a child of this thread's current span when one is
+        open, otherwise kept as a root.
+        """
+        current = self.current()
+        if current is not None:
+            current.children.append(span)
+        else:
+            self._add_root(span)
+
+    def drain(self) -> List[Span]:
+        """Remove and return every finished root span."""
+        with self._lock:
+            roots, self._roots = self._roots, []
+        return roots
+
+    def peek_roots(self) -> List[Span]:
+        """Finished roots without draining (tests, summaries)."""
+        with self._lock:
+            return list(self._roots)

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..fsm import NULL_ACTION, FiniteStateMachine
 from ..lte import constants as c
 from ..mc.expr import And, Compare, Expr, Not, Or, TRUE, conjoin
@@ -148,6 +149,14 @@ class ThreatInstrumentor:
 
     # ------------------------------------------------------------------
     def build(self, name: str = "IMP") -> Model:
+        with obs.span("threat.instrument", model=name) as span:
+            model = self._build(name)
+        obs.count("threat.models_built")
+        obs.observe("threat.build_seconds", span.duration)
+        obs.gauge_max("threat.model_commands", len(model.commands))
+        return model
+
+    def _build(self, name: str) -> Model:
         variables = [
             Variable("turn", _TURNS),
             Variable("ue_state", tuple(sorted(self.ue_fsm.states))),

@@ -4,11 +4,41 @@ import pytest
 
 from repro.baselines import lteinspector_mme
 from repro.core.cegar import (CounterexampleValidator, check_with_cegar,
-                              harvestable_messages, message_term)
+                              harvestable_messages, message_term,
+                              threat_config_key)
 from repro.cpv.deduction import Knowledge
 from repro.cpv.terms import const
 from repro.lte import constants as c
+from repro.properties import ALL_PROPERTIES
+from repro.properties.spec import KIND_LTL
 from repro.threat import ThreatConfig
+
+
+class TestThreatConfigKey:
+    def test_key_is_order_insensitive(self):
+        """Capability tuples are sets semantically: listing them in a
+        different order must not split the model cache."""
+        a = ThreatConfig(replay_dl=(c.ATTACH_ACCEPT, c.PAGING),
+                         inject_dl=(c.IDENTITY_REQUEST, c.PAGING),
+                         inject_ul=(c.ATTACH_REQUEST, c.DETACH_REQUEST))
+        b = ThreatConfig(replay_dl=(c.PAGING, c.ATTACH_ACCEPT),
+                         inject_dl=(c.PAGING, c.IDENTITY_REQUEST),
+                         inject_ul=(c.DETACH_REQUEST, c.ATTACH_REQUEST))
+        assert threat_config_key(a) == threat_config_key(b)
+
+    def test_distinct_capabilities_distinct_keys(self):
+        a = ThreatConfig(replay_dl=(c.PAGING,))
+        b = ThreatConfig(inject_dl=(c.PAGING,))
+        assert threat_config_key(a) != threat_config_key(b)
+
+    def test_catalog_dedups_49_ltl_properties_to_21_configs(self):
+        """The sharing ratio the engine's grouping (and the model cache)
+        is built on: the 49 LTL properties describe only 21 distinct
+        adversaries."""
+        ltl = [p for p in ALL_PROPERTIES if p.kind == KIND_LTL]
+        assert len(ltl) == 49
+        keys = {threat_config_key(p.threat) for p in ltl}
+        assert len(keys) == 21
 
 
 class TestMessageTerms:

@@ -36,7 +36,7 @@ class TestPipelineBasics:
     def test_single_property_verification(self):
         checker = ProChecker("reference")
         result = checker.verify_property(property_by_id("SEC-37"))
-        assert result.verdict == VERDICT_VERIFIED
+        assert result.outcome == VERDICT_VERIFIED
 
 
 class TestDetectionMatrix:
@@ -107,10 +107,10 @@ class TestVerdictQuality:
 
     def test_result_lookup(self, reports):
         result = reports["oai"].result_for("PRIV-08")
-        assert result.verdict == VERDICT_VIOLATED
+        assert result.outcome == VERDICT_VIOLATED
         with pytest.raises(KeyError):
             reports["oai"].result_for("NOPE-1")
 
     def test_not_applicable_verdict(self, reports):
         result = reports["reference"].result_for("PRIV-07")
-        assert result.verdict == VERDICT_NOT_APPLICABLE
+        assert result.outcome == VERDICT_NOT_APPLICABLE

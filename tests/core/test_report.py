@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.core.report import (AnalysisReport, PropertyResult,
-                               VERDICT_VERIFIED, VERDICT_VIOLATED)
+from repro.core.report import (AnalysisReport, PropertyResult, Verdict,
+                               VERDICT_NOT_APPLICABLE, VERDICT_VERIFIED,
+                               VERDICT_VIOLATED)
 from repro.properties import property_by_id
 from repro.threat import ThreatConfig
 from repro.properties.spec import Property, KIND_LTL
@@ -27,6 +28,37 @@ def make_report():
     report.results.append(PropertyResult(
         make_property("SEC-C", attack_id="P1"), VERDICT_VIOLATED))
     return report
+
+
+class TestVerdictEnum:
+    def test_members_and_values(self):
+        assert Verdict.VERIFIED.value == "verified"
+        assert Verdict.VIOLATED.value == "violated"
+        assert Verdict.NOT_APPLICABLE.value == "not-applicable"
+
+    def test_legacy_constants_are_enum_members(self):
+        assert VERDICT_VERIFIED is Verdict.VERIFIED
+        assert VERDICT_VIOLATED is Verdict.VIOLATED
+        assert VERDICT_NOT_APPLICABLE is Verdict.NOT_APPLICABLE
+
+    def test_string_coercion_in_constructor(self):
+        result = PropertyResult(make_property(), "violated")
+        assert result.outcome is Verdict.VIOLATED
+
+    def test_deprecated_verdict_alias(self):
+        result = PropertyResult(make_property(), Verdict.VERIFIED)
+        with pytest.deprecated_call():
+            value = result.verdict
+        assert value == "verified"
+        assert value == result.outcome.value
+
+    def test_to_dict_emits_plain_strings(self):
+        # from_dict resolves the property from the catalog, so the
+        # round-trip needs a real identifier
+        result = PropertyResult(property_by_id("SEC-37"), Verdict.VERIFIED)
+        assert result.to_dict()["verdict"] == "verified"
+        restored = PropertyResult.from_dict(result.to_dict())
+        assert restored.outcome is Verdict.VERIFIED
 
 
 class TestPropertyResult:

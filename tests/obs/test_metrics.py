@@ -1,0 +1,128 @@
+"""Metrics registry: instruments, snapshots, commutative merges."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, diff_snapshots
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.snapshot()["counters"]["hits"] == 5
+
+    def test_gauge_keeps_the_maximum(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("max_states")
+        for value in (10, 50, 20):
+            gauge.record(value)
+        assert registry.snapshot()["gauges"]["max_states"] == 50
+
+    def test_histogram_buckets_and_totals(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 99.0):
+            histogram.observe(value)
+        data = registry.snapshot()["histograms"]["seconds"]
+        assert data["counts"] == [1, 2, 1]   # last bin is +Inf overflow
+        assert data["count"] == 4
+        assert data["total"] == pytest.approx(100.05)
+
+
+class TestMergeSemantics:
+    def _registry_with(self, counter, gauge, observations):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(counter)
+        registry.gauge("g").record(gauge)
+        for value in observations:
+            registry.histogram("h", buckets=(1.0,)).observe(value)
+        return registry
+
+    def test_merge_is_commutative(self):
+        a = self._registry_with(3, 10, [0.5]).drain()
+        b = self._registry_with(4, 7, [2.0, 0.1]).drain()
+
+        ab = MetricsRegistry()
+        ab.merge(a)
+        ab.merge(b)
+        ba = MetricsRegistry()
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.snapshot() == ba.snapshot()
+        merged = ab.snapshot()
+        assert merged["counters"]["c"] == 7
+        assert merged["gauges"]["g"] == 10
+        assert merged["histograms"]["h"]["counts"] == [2, 1]
+
+    def test_merge_rejects_bucket_mismatch(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            registry.merge({"histograms": {
+                "h": {"buckets": [5.0], "counts": [1, 0],
+                      "total": 0.5, "count": 1}}})
+
+    def test_drain_resets_the_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(9)
+        payload = registry.drain()
+        assert payload["counters"]["c"] == 9
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestConcurrency:
+    def test_counter_inc_is_thread_safe_enough(self):
+        """Concurrent workers hammering one counter lose no increments.
+
+        ``Counter.inc`` runs under the GIL per bytecode, and every
+        engine-side mutation goes through the registry lock; this guards
+        the invariant the per-worker utilisation numbers rely on.
+        """
+        registry = MetricsRegistry()
+        increments, workers = 2000, 8
+
+        def work():
+            for _ in range(increments):
+                registry.counter("n").inc()
+                registry.gauge("peak").record(increments)
+                registry.histogram("obs").observe(0.01)
+
+        threads = [threading.Thread(target=work) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["n"] == increments * workers
+        assert snapshot["gauges"]["peak"] == increments
+        assert snapshot["histograms"]["obs"]["count"] \
+            == increments * workers
+
+
+class TestDiff:
+    def test_diff_reports_activity_between_snapshots(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        before = registry.snapshot()
+        registry.counter("a").inc(2)
+        registry.counter("b").inc(1)
+        registry.gauge("g").record(42)
+        registry.histogram("h", buckets=(1.0,)).observe(3.0)
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta["counters"] == {"a": 2, "b": 1}
+        assert delta["gauges"]["g"] == 42
+        assert delta["histograms"]["h"]["counts"] == [0, 1]
+        assert delta["histograms"]["h"]["count"] == 1
+
+    def test_diff_drops_idle_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet").inc(5)
+        registry.histogram("still").observe(0.1)
+        snapshot = registry.snapshot()
+        delta = diff_snapshots(snapshot, snapshot)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}

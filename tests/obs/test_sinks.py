@@ -1,0 +1,129 @@
+"""Sinks, the JSONL trace format, the audit, and the module facade."""
+
+import io
+import json
+
+import repro.obs as obs
+from repro.obs import (InMemorySink, PipelineStats, REQUIRED_PHASES, Span,
+                       SummarySink, audit_trace, iter_records, read_trace,
+                       trace_phase_names, write_trace)
+
+
+def _forest():
+    """Two roots, one with a nested child carrying counters."""
+    root = Span("pipeline.analyze", {"implementation": "reference"})
+    child = Span("verify.property", {"property": "SEC-01"})
+    child.counters["cegar.iterations"] = 2
+    grand = Span("mc.check", {"property": "SEC-01"})
+    child.children.append(grand)
+    root.children.append(child)
+    other = Span("pipeline.extract")
+    return [root, other]
+
+
+class TestRecords:
+    def test_iter_records_preserves_structure(self):
+        records = list(iter_records(_forest()))
+        assert [r["name"] for r in records] == [
+            "pipeline.analyze", "verify.property", "mc.check",
+            "pipeline.extract"]
+        by_id = {r["span_id"]: r for r in records}
+        child = records[1]
+        assert by_id[child["parent_id"]]["name"] == "pipeline.analyze"
+        assert child["depth"] == 1
+        assert child["counters"] == {"cegar.iterations": 2}
+        assert records[0]["parent_id"] is None
+        assert records[3]["parent_id"] is None
+
+    def test_stats_record_rides_last(self):
+        stats = PipelineStats(implementation="reference")
+        records = list(iter_records(_forest(), stats))
+        assert records[-1]["type"] == "pipeline_stats"
+        assert records[-1]["stats"]["implementation"] == "reference"
+
+    def test_in_memory_sink_collects(self):
+        sink = InMemorySink()
+        for record in iter_records(_forest()):
+            sink.emit(record)
+        assert len(sink.spans()) == 4
+
+    def test_summary_sink_renders_stats(self):
+        stream = io.StringIO()
+        sink = SummarySink(stream)
+        stats = PipelineStats(implementation="srsue", jobs=4)
+        for record in iter_records([], stats):
+            sink.emit(record)
+        assert "srsue" in stream.getvalue()
+
+
+class TestTraceFile:
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        stats = PipelineStats(implementation="oai",
+                              verdicts={"verified": 1})
+        written = write_trace(path, _forest(), stats)
+        records = read_trace(path)
+        assert written == len(records) == 5
+        spans = [r for r in records if r["type"] == "span"]
+        assert {r["name"] for r in spans} \
+            == {"pipeline.analyze", "verify.property", "mc.check",
+                "pipeline.extract"}
+        restored = PipelineStats.from_dict(records[-1]["stats"])
+        assert restored.verdicts == {"verified": 1}
+
+    def test_phase_names_and_audit(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, _forest())
+        names = trace_phase_names(path)
+        assert "verify.property" in names
+        missing = audit_trace(path)
+        # the synthetic forest has only 4 of the required phases
+        assert missing == sorted(
+            REQUIRED_PHASES - {"pipeline.analyze", "verify.property",
+                               "mc.check", "pipeline.extract"})
+        assert audit_trace(path, required=["mc.check"]) == []
+
+    def test_audit_cli_exit_codes(self, tmp_path, capsys):
+        from repro.obs.audit import main as audit_main
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, _forest())
+        assert audit_main([path]) == 2   # phases missing
+        assert audit_main([path, "--require", "mc.check",
+                           "--require", "pipeline.analyze"]) == 0
+
+
+class TestFacade:
+    def test_inc_mirrors_into_the_registry(self):
+        obs.reset()
+        with obs.span("phase"):
+            obs.inc("events", 3)
+        assert obs.metrics().snapshot()["counters"]["events"] == 3
+        roots = obs.drain_spans()
+        assert roots[0].counters == {"events": 3}
+
+    def test_count_is_registry_only(self):
+        obs.reset()
+        with obs.span("phase") as span:
+            obs.count("cache_hits")
+        assert span.counters == {}
+        assert obs.metrics().snapshot()["counters"]["cache_hits"] == 1
+        obs.reset()
+
+    def test_adopt_spans_grafts_worker_payloads(self):
+        obs.reset()
+        worker = Span("verify.property", {"property": "PRIV-02"})
+        worker.counters["cegar.iterations"] = 1
+        payload = json.loads(json.dumps(worker.to_dict()))
+        with obs.span("pipeline.verify") as parent:
+            obs.adopt_spans([payload])
+        assert [c.name for c in parent.children] == ["verify.property"]
+        assert parent.total_counters() == {"cegar.iterations": 1}
+        obs.reset()
+
+    def test_reset_isolates(self):
+        obs.reset()
+        obs.count("leftover")
+        first = obs.get_observatory()
+        obs.reset()
+        assert obs.get_observatory() is not first
+        assert obs.metrics().snapshot()["counters"] == {}

@@ -1,0 +1,151 @@
+"""Span layer: nesting, counters, rollup, serialization, adoption."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Span, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock for exact duration assertions."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestNesting:
+    def test_lexical_nesting_builds_the_tree(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner.a"):
+                clock.advance(0.25)
+            with tracer.span("inner.b"):
+                clock.advance(0.5)
+        assert [child.name for child in outer.children] \
+            == ["inner.a", "inner.b"]
+        assert outer.duration == pytest.approx(1.75)
+        assert outer.children[0].duration == pytest.approx(0.25)
+        assert [span.name for span, _ in outer.walk()] \
+            == ["outer", "inner.a", "inner.b"]
+
+    def test_finished_roots_accumulate_until_drained(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        roots = tracer.drain()
+        assert [root.name for root in roots] == ["first", "second"]
+        assert tracer.drain() == []
+
+    def test_root_buffer_is_bounded(self, tracer):
+        for index in range(Tracer.MAX_ROOTS + 10):
+            with tracer.span("s", index=index):
+                pass
+        roots = tracer.peek_roots()
+        assert len(roots) == Tracer.MAX_ROOTS
+        # the oldest spans were evicted, the newest kept
+        assert roots[-1].attributes["index"] == Tracer.MAX_ROOTS + 9
+
+    def test_threads_nest_independently(self, tracer):
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait()
+                with tracer.span(f"{name}.child"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(n,))
+                   for n in ("t1", "t2")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        roots = tracer.drain()
+        assert sorted(root.name for root in roots) == ["t1", "t2"]
+        for root in roots:
+            assert [c.name for c in root.children] \
+                == [f"{root.name}.child"]
+
+
+class TestCounters:
+    def test_inc_lands_on_innermost_span(self, tracer):
+        with tracer.span("outer") as outer:
+            tracer.inc("a", 1)
+            with tracer.span("inner") as inner:
+                tracer.inc("a", 2)
+                tracer.inc("b", 5)
+        assert outer.counters == {"a": 1}
+        assert inner.counters == {"a": 2, "b": 5}
+
+    def test_inc_without_open_span_is_a_noop(self, tracer):
+        tracer.inc("orphan", 7)   # must not raise
+        assert tracer.drain() == []
+
+    def test_total_counters_rolls_up_the_subtree(self, tracer):
+        with tracer.span("root") as root:
+            tracer.inc("x", 1)
+            with tracer.span("child"):
+                tracer.inc("x", 2)
+                tracer.inc("y", 3)
+            with tracer.span("child"):
+                tracer.inc("x", 4)
+        assert root.total_counters() == {"x": 7, "y": 3}
+
+
+class TestSerialization:
+    def test_to_dict_from_dict_round_trip(self, tracer, clock):
+        clock.advance(100.0)   # non-zero origin: offsets must normalise
+        with tracer.span("root", property="SEC-01") as root:
+            tracer.inc("n", 3)
+            clock.advance(1.0)
+            with tracer.span("child"):
+                clock.advance(0.5)
+        payload = json.loads(json.dumps(root.to_dict()))
+        assert payload["offset"] == 0.0
+        assert payload["children"][0]["offset"] == pytest.approx(1.0)
+        restored = Span.from_dict(payload)
+        assert restored.name == "root"
+        assert restored.attributes == {"property": "SEC-01"}
+        assert restored.counters == {"n": 3}
+        assert restored.duration == pytest.approx(1.5)
+        assert restored.children[0].name == "child"
+        assert restored.total_counters() == root.total_counters()
+
+    def test_adopt_grafts_under_the_open_span(self, tracer):
+        foreign = Span("verify.property", {"property": "SEC-09"})
+        with tracer.span("pipeline.verify") as parent:
+            tracer.adopt(foreign)
+        assert parent.children == [foreign]
+
+    def test_adopt_without_open_span_becomes_a_root(self, tracer):
+        foreign = Span("verify.property")
+        tracer.adopt(foreign)
+        assert tracer.drain() == [foreign]
+
+    def test_find_locates_spans_by_name(self, tracer):
+        with tracer.span("a") as root:
+            with tracer.span("b"):
+                with tracer.span("a"):
+                    pass
+        assert len(root.find("a")) == 2
+        assert len(root.find("b")) == 1
+        assert root.find("zzz") == []

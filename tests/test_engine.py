@@ -11,12 +11,14 @@ import json
 
 import pytest
 
+import repro.obs as obs
 from repro.core import (AnalysisConfig, EngineError, ProChecker,
                         ProCheckerError, analyze_implementation,
                         analyze_many, extraction_cache, group_properties)
 from repro.cli import main as cli_main
 from repro.conformance import full_suite
 from repro.core.report import AnalysisReport, PropertyResult
+from repro.obs import PipelineStats, audit_trace, read_trace
 from repro.properties import ALL_PROPERTIES, property_by_id
 from repro.testbed import AttackOutcome, AttackResult, run_attack
 
@@ -67,6 +69,80 @@ class TestParallelDeterminism:
         for implementation, report in reports.items():
             assert report.verdict_signature() \
                 == serial_reports[implementation].verdict_signature()
+
+
+# ---------------------------------------------------------------------------
+# Observability: stats determinism, trace reassembly, CLI emission
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def test_canonical_stats_identical_across_jobs(self, serial_reports):
+        """The ISSUE's headline contract: --jobs 4 aggregates to the
+        byte-identical canonical PipelineStats of a --jobs 1 run."""
+        parallel = ProChecker.from_config(
+            AnalysisConfig("reference", jobs=4)).analyze()
+        serial = serial_reports["reference"]
+        assert serial.stats is not None
+        assert parallel.stats is not None
+        assert parallel.stats.canonical_json() \
+            == serial.stats.canonical_json()
+        assert parallel.stats.jobs == 4
+        assert serial.stats.jobs == 1
+
+    def test_stats_cover_every_property(self, serial_reports):
+        stats = serial_reports["srsue"].stats
+        assert set(stats.properties) \
+            == {p.identifier for p in ALL_PROPERTIES}
+        assert sum(stats.verdicts.values()) == 62
+        # every LTL property runs at least one CEGAR iteration
+        assert stats.totals["cegar.iterations"] >= 49
+        assert stats.phases["verify.property"]["count"] == 62
+        assert stats.runtime["elapsed_seconds"] > 0
+
+    def test_stats_round_trip_through_report(self, serial_reports):
+        report = serial_reports["oai"]
+        payload = json.loads(json.dumps(report.to_dict()))
+        restored = AnalysisReport.from_dict(payload)
+        assert restored.stats is not None
+        assert restored.stats.canonical_json() \
+            == report.stats.canonical_json()
+        assert restored.stats.jobs == report.stats.jobs
+        assert restored.stats.phases == report.stats.phases
+
+    def test_worker_spans_reassemble_into_one_trace(self):
+        """Spans recorded inside pool workers come home and graft under
+        the parent's verify phase — one tree, keyed by property id."""
+        obs.reset()
+        extraction_cache.clear()
+        ProChecker.from_config(
+            AnalysisConfig("reference", jobs=4)).analyze()
+        roots = obs.drain_spans()
+        analyze_roots = [r for r in roots if r.name == "pipeline.analyze"]
+        assert len(analyze_roots) == 1
+        root = analyze_roots[0]
+        verify_phases = root.find("pipeline.verify")
+        assert len(verify_phases) == 1
+        property_spans = verify_phases[0].find("verify.property")
+        assert sorted(span.attributes["property"]
+                      for span in property_spans) \
+            == sorted(p.identifier for p in ALL_PROPERTIES)
+
+    def test_cli_trace_out_profile_and_audit(self, tmp_path, capsys):
+        obs.reset()
+        extraction_cache.clear()
+        trace = tmp_path / "trace.jsonl"
+        code = cli_main(["analyze", "reference", "--jobs", "2",
+                         "--trace-out", str(trace), "--profile"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "pipeline profile" in captured.out
+        assert str(trace) in captured.err
+        # a cold full run exhibits every required pipeline phase
+        assert audit_trace(str(trace)) == []
+        stats_records = [r for r in read_trace(str(trace))
+                         if r["type"] == "pipeline_stats"]
+        assert len(stats_records) == 1
+        restored = PipelineStats.from_dict(stats_records[0]["stats"])
+        assert sum(restored.verdicts.values()) == 62
 
 
 # ---------------------------------------------------------------------------
@@ -158,7 +234,7 @@ def test_analyze_implementation_deprecated():
         report = analyze_implementation(
             "reference", properties=[property_by_id("SEC-37")])
     assert len(report.results) == 1
-    assert report.results[0].verdict == "verified"
+    assert report.results[0].outcome.value == "verified"
 
 
 # ---------------------------------------------------------------------------
