@@ -19,7 +19,7 @@ import json
 import sys
 from typing import List, Optional
 
-from . import obs
+from . import faults, obs
 from .core import AnalysisConfig, ProChecker, Verdict
 from .fsm import missing_stimuli, to_dot
 from .lte import constants as c
@@ -36,6 +36,7 @@ EXIT_CODES = {
     Verdict.VERIFIED: 0,
     Verdict.VIOLATED: 1,
     Verdict.NOT_APPLICABLE: 3,
+    Verdict.ERROR: 4,
 }
 
 
@@ -58,12 +59,29 @@ def _emit_observability(args: argparse.Namespace, report) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    config = AnalysisConfig(args.implementation, jobs=args.jobs)
-    report = ProChecker.from_config(config).analyze()
+    plan = None
+    if args.inject_fault:
+        try:
+            plan = faults.FaultPlan.parse(args.inject_fault)
+        except faults.FaultSpecError as exc:
+            print(f"bad --inject-fault: {exc}", file=sys.stderr)
+            return 2
+        print(f"fault plan installed: {plan.describe()}", file=sys.stderr)
+    config = AnalysisConfig(args.implementation, jobs=args.jobs,
+                            group_timeout_seconds=args.group_timeout,
+                            fault_plan=plan)
+    try:
+        report = ProChecker.from_config(config).analyze()
+    finally:
+        if plan is not None:
+            faults.clear()
+    # A report containing checker errors is still complete (that is the
+    # crash-isolation contract) but the exit code must say so.
+    status = EXIT_CODES[Verdict.ERROR] if report.errors() else 0
     if args.json:
         _emit_json(report.to_dict())
         _emit_observability(args, report)
-        return 0
+        return status
     print(report.format_table())
     print("\nDetected attacks:")
     for attack in sorted(report.detected_attacks()):
@@ -71,7 +89,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"\n{report.jobs} worker(s), "
           f"{report.verification_seconds:.2f}s verification")
     _emit_observability(args, report)
-    return 0
+    return status
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
@@ -219,6 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the span trace (JSONL) to FILE")
     analyze.add_argument("--profile", action="store_true",
                          help="print the PipelineStats summary table")
+    analyze.add_argument("--group-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock budget per pooled property "
+                              "group (timed-out groups are retried, then "
+                              "completed serially)")
+    analyze.add_argument("--inject-fault", action="append", default=[],
+                         metavar="SITE[@KEY]:KIND[:NTH[:SCOPE]]",
+                         help="debug: install a deterministic fault, e.g. "
+                              "engine.verify_group@SEC-01:exit:1 "
+                              "(kinds: raise, hang, exit; repeatable)")
     analyze.set_defaults(handler=_cmd_analyze)
 
     extract = commands.add_parser(

@@ -5,11 +5,12 @@ from .cegar import (CegarContext, CegarResult, CounterexampleValidator,
                     message_term, threat_config_key)
 from .engine import (AnalysisConfig, EngineError, ExtractionCache,
                      ExtractionRecord, ImplementationRun,
-                     VerificationEngine, extraction_cache,
-                     group_properties, run_extraction, verify_one)
+                     VerificationEngine, exception_chain,
+                     extraction_cache, group_properties, run_extraction,
+                     verify_one)
 from .report import (AnalysisReport, PropertyResult, Verdict,
-                     VERDICT_NOT_APPLICABLE, VERDICT_VERIFIED,
-                     VERDICT_VIOLATED)
+                     VERDICT_ERROR, VERDICT_NOT_APPLICABLE,
+                     VERDICT_VERIFIED, VERDICT_VIOLATED)
 from .prochecker import (ProChecker, ProCheckerError,
                          analyze_implementation, analyze_many)
 from .dossier import (AttackFinding, Dossier, build_dossier,
@@ -20,10 +21,11 @@ __all__ = [
     "check_with_cegar", "harvestable_messages", "message_term",
     "threat_config_key",
     "AnalysisConfig", "EngineError", "ExtractionCache", "ExtractionRecord",
-    "ImplementationRun", "VerificationEngine", "extraction_cache",
-    "group_properties", "run_extraction", "verify_one",
+    "ImplementationRun", "VerificationEngine", "exception_chain",
+    "extraction_cache", "group_properties", "run_extraction", "verify_one",
     "AnalysisReport", "PropertyResult", "Verdict",
-    "VERDICT_NOT_APPLICABLE", "VERDICT_VERIFIED", "VERDICT_VIOLATED",
+    "VERDICT_ERROR", "VERDICT_NOT_APPLICABLE", "VERDICT_VERIFIED",
+    "VERDICT_VIOLATED",
     "ProChecker", "ProCheckerError", "analyze_implementation",
     "analyze_many",
     "AttackFinding", "Dossier", "build_dossier", "render_markdown",

@@ -30,7 +30,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from .. import obs
+from .. import faults, obs
 from ..cpv.deduction import Knowledge
 from ..cpv.terms import Mac, Pair, Term, const, secret_key
 from ..fsm import FiniteStateMachine, NULL_ACTION
@@ -304,6 +304,7 @@ def check_with_cegar(
         while result.iterations < max_iterations:
             result.iterations += 1
             obs.inc("cegar.iterations")
+            faults.trip("cegar.iteration", key=name)
             if context is not None:
                 model = context.model_for(current_config)
             else:

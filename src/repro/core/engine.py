@@ -23,18 +23,38 @@ This module exploits that in three layers:
 Scheduling never changes verdicts: results are reassembled in catalog
 order and every verdict is byte-identical to a serial run
 (:meth:`~repro.core.report.AnalysisReport.verdict_signature`).
+
+Fault tolerance (the crash-isolation contract): a single property's
+failure must never erase the other 61 verdicts.  Checker exceptions are
+caught at the group boundary and become :attr:`Verdict.ERROR` results
+carrying the exception chain as evidence; crashed or timed-out groups
+are retried with backoff on a rebuilt pool (a dead worker breaks the
+whole ``ProcessPoolExecutor``), and groups that exhaust their retries
+degrade to the in-process serial path, so :meth:`VerificationEngine.verify`
+always returns a complete outcome map.  Retries, timeouts, rebuilds and
+degradations are counted in the :mod:`repro.obs` metrics registry
+(``engine.group_*`` / ``engine.pool_rebuilds``).  The deterministic
+fault-injection harness (:mod:`repro.faults`) has trip points at
+``engine.verify_group`` and ``engine.verify_one`` so every one of those
+paths is exercisable on demand.
 """
 
 from __future__ import annotations
 
+import functools
+import hashlib
+import math
 import multiprocessing
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor
+import time
+import types
+from concurrent.futures import ProcessPoolExecutor, wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .. import obs
+from .. import faults, obs
 from ..conformance import TestCase, full_suite, measure_coverage, \
     run_conformance
 from ..extraction import extract_model, table_for_implementation
@@ -82,6 +102,16 @@ class AnalysisConfig:
     share_cegar_inputs: bool = True
     #: custom conformance suite (defaults to ``full_suite(implementation)``)
     cases: Optional[Sequence[TestCase]] = None
+    #: wall-clock budget for one pooled property group; ``None`` → no limit
+    group_timeout_seconds: Optional[float] = None
+    #: pooled attempts beyond the first before a group degrades to the
+    #: in-process serial fallback
+    max_group_retries: int = 2
+    #: base of the exponential backoff slept before a pooled retry round
+    retry_backoff_seconds: float = 0.05
+    #: deterministic fault plan to install for this run (debugging /
+    #: resilience testing; see :mod:`repro.faults`)
+    fault_plan: Optional[faults.FaultPlan] = None
 
     def resolved_properties(self) -> List[Property]:
         """The property list this configuration selects, catalog order."""
@@ -148,15 +178,59 @@ def run_extraction(implementation: str,
     )
 
 
+def _stable_code_bytes(code: types.CodeType) -> bytes:
+    """Deterministic byte rendering of a code object (no addresses)."""
+    parts: List[bytes] = [code.co_code]
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            parts.append(_stable_code_bytes(const))
+        else:
+            parts.append(repr(const).encode())
+    parts.append(" ".join(code.co_names).encode())
+    return b"\x00".join(parts)
+
+
+def _callable_fingerprint(fn) -> Tuple:
+    """Content-derived identity of a test-case ``run`` callable.
+
+    ``__qualname__`` alone collides for lambdas/partials defined at the
+    same site, so the fingerprint also digests the bytecode, constants,
+    defaults and closure-cell values — two behaviourally different
+    callables sharing a qualname get distinct cache keys.
+    """
+    if isinstance(fn, functools.partial):
+        return ("partial", _callable_fingerprint(fn.func),
+                repr(fn.args), repr(sorted((fn.keywords or {}).items())))
+    qualname = getattr(fn, "__qualname__", None)
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return (qualname or repr(fn),)
+    digest = hashlib.sha256(_stable_code_bytes(code))
+    digest.update(repr(getattr(fn, "__defaults__", None)).encode())
+    for cell in getattr(fn, "__closure__", None) or ():
+        try:
+            digest.update(repr(cell.cell_contents).encode())
+        except ValueError:          # pragma: no cover - unset cell
+            digest.update(b"<empty-cell>")
+    bound_self = getattr(fn, "__self__", None)
+    if bound_self is not None:
+        digest.update(repr(bound_self).encode())
+    return (qualname, digest.hexdigest())
+
+
 class ExtractionCache:
     """Process-wide memo of conformance runs and extracted models.
 
     Keyed by ``(implementation, suite fingerprint)``: the default suite
-    fingerprints by name, a custom ``cases`` list by its case identities,
-    so passing a different suite invalidates naturally.  The
-    ``conformance_runs`` counter exists so callers (and tests) can assert
-    that a full analysis executes exactly one conformance run per
-    implementation.
+    fingerprints by name, a custom ``cases`` list by its case identities
+    plus a content digest of each ``run`` callable, so passing a
+    different suite invalidates naturally.  The ``conformance_runs``
+    counter exists so callers (and tests) can assert that a full
+    analysis executes exactly one conformance run per implementation.
+
+    Concurrency: misses build under a *per-key* lock, so two threads
+    extracting different implementations proceed in parallel and only
+    same-key callers block on one build (then share its record).
     """
 
     _DEFAULT_SUITE = "__default_suite__"
@@ -164,6 +238,7 @@ class ExtractionCache:
     def __init__(self):
         self._lock = threading.RLock()
         self._records: Dict[Tuple, ExtractionRecord] = {}
+        self._building: Dict[Tuple, threading.Lock] = {}
         self.conformance_runs = 0
         self.hits = 0
 
@@ -173,28 +248,44 @@ class ExtractionCache:
         if cases is None:
             return (implementation, cls._DEFAULT_SUITE)
         return (implementation, tuple(
-            (case.identifier,
-             getattr(case.run, "__qualname__", repr(case.run)))
+            (case.identifier, _callable_fingerprint(case.run))
             for case in cases))
 
-    def get(self, implementation: str,
-            cases: Optional[Sequence[TestCase]] = None) -> ExtractionRecord:
-        key = self.fingerprint(implementation, cases)
+    def _lookup(self, key: Tuple) -> Optional[ExtractionRecord]:
         with self._lock:
             record = self._records.get(key)
             if record is not None:
                 self.hits += 1
                 obs.count("extraction.cache_hits")
+            return record
+
+    def get(self, implementation: str,
+            cases: Optional[Sequence[TestCase]] = None) -> ExtractionRecord:
+        key = self.fingerprint(implementation, cases)
+        record = self._lookup(key)
+        if record is not None:
+            return record
+        with self._lock:
+            build_lock = self._building.get(key)
+            if build_lock is None:
+                build_lock = self._building[key] = threading.Lock()
+        with build_lock:
+            # Another caller may have finished the build while we waited.
+            record = self._lookup(key)
+            if record is not None:
                 return record
             obs.count("extraction.cache_misses")
             record = run_extraction(implementation, cases)
-            self.conformance_runs += 1
-            self._records[key] = record
+            with self._lock:
+                self.conformance_runs += 1
+                self._records[key] = record
+                self._building.pop(key, None)
             return record
 
     def clear(self) -> None:
         with self._lock:
             self._records.clear()
+            self._building.clear()
             self.conformance_runs = 0
             self.hits = 0
 
@@ -225,6 +316,7 @@ def verify_one(prop: Property, implementation: str,
     Every call happens under one ``verify.property`` span — the unit the
     observability layer reassembles traces around after a pooled run.
     """
+    faults.trip("engine.verify_one", key=prop.identifier)
     with obs.span(obs.PROPERTY_SPAN, property=prop.identifier,
                   implementation=implementation, kind=prop.kind) as span:
         if prop.kind == KIND_LTL:
@@ -236,6 +328,48 @@ def verify_one(prop: Property, implementation: str,
             raise EngineError(f"unknown property kind {prop.kind!r}")
     obs.observe("verify.seconds", span.duration)
     return result
+
+
+def exception_chain(exc: BaseException) -> str:
+    """Compact, deterministic rendering of an exception and its causes."""
+    parts: List[str] = []
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        parts.append(f"{type(current).__name__}: {current}")
+        current = current.__cause__ or current.__context__
+    return " <- caused by ".join(parts)
+
+
+def error_result(prop: Property, exc: BaseException) -> PropertyResult:
+    """The crash-isolation outcome: a checker failure as a result row."""
+    obs.count("engine.property_errors")
+    return PropertyResult(
+        property=prop,
+        outcome=Verdict.ERROR,
+        evidence=f"checker error: {exception_chain(exc)}",
+        worker=_worker_name(),
+    )
+
+
+def _safe_verify_one(prop: Property, implementation: str,
+                     ue_fsm: FiniteStateMachine,
+                     mme_model: FiniteStateMachine,
+                     max_iterations: int = 8,
+                     context: Optional[CegarContext] = None
+                     ) -> PropertyResult:
+    """:func:`verify_one` with the group-boundary catch applied.
+
+    Any exception the checker raises for this property — including
+    injected faults — becomes a :attr:`Verdict.ERROR` result instead of
+    aborting the group, so every other property still gets its verdict.
+    """
+    try:
+        return verify_one(prop, implementation, ue_fsm, mme_model,
+                          max_iterations, context)
+    except Exception as exc:  # noqa: BLE001 - the isolation boundary
+        return error_result(prop, exc)
 
 
 def _verify_ltl(prop: Property, ue_fsm: FiniteStateMachine,
@@ -269,7 +403,7 @@ def _verify_testbed(prop: Property, implementation: str) -> PropertyResult:
     with obs.span("testbed.attack", attack=prop.testbed_attack) as span:
         outcome = run_attack(prop.testbed_attack, implementation)
         obs.inc("testbed.attacks")
-    if "not applicable" in outcome.evidence:
+    if not outcome.applicable:
         result_outcome = Verdict.NOT_APPLICABLE
     elif outcome.succeeded:
         result_outcome = Verdict.VIOLATED
@@ -328,12 +462,19 @@ class ImplementationRun:
 _WORKER_STATE: Dict[str, Tuple] = {}
 
 
-def _init_worker(payloads: Dict[str, Tuple]) -> None:
+def _init_worker(payloads: Dict[str, Tuple],
+                 fault_plan: Optional[Dict] = None) -> None:
     # Under the ``fork`` start method the child inherits the parent's
     # observatory — including whatever spans the parent has open.  Reset
     # so the worker records only its own work, as fresh root spans the
-    # parent can adopt back.
+    # parent can adopt back.  The fault plan is re-installed explicitly
+    # (covering non-fork start methods) and its call counters zeroed, so
+    # every fresh worker counts k-th-call triggers from zero — which is
+    # what makes a persistent fault re-fire deterministically after a
+    # pool rebuild.
     obs.reset()
+    faults.install(faults.FaultPlan.from_dict(fault_plan)
+                   if fault_plan is not None else None)
     _WORKER_STATE.clear()
     for implementation, (ue_fsm, mme_model, max_iterations) in \
             payloads.items():
@@ -351,13 +492,18 @@ def _verify_group(task: Tuple[str, List[Property]]
     is open above them there); their serialised forms plus a drain of the
     worker's metrics registry ride back with the results so the parent
     can reassemble one trace and one registry for the whole run.
+
+    Each property is verified through the group-boundary catch: a
+    checker exception errors *that property* (``Verdict.ERROR``), not
+    the group.
     """
     implementation, props = task
+    faults.trip("engine.verify_group", key=props[0].identifier)
     ue_fsm, mme_model, max_iterations, context = \
         _WORKER_STATE[implementation]
     results = [(prop.identifier,
-                verify_one(prop, implementation, ue_fsm, mme_model,
-                           max_iterations, context))
+                _safe_verify_one(prop, implementation, ue_fsm, mme_model,
+                                 max_iterations, context))
                for prop in props]
     spans = [span.to_dict() for span in obs.drain_spans()]
     return results, spans, obs.metrics().drain()
@@ -369,11 +515,27 @@ class VerificationEngine:
     ``jobs=1`` (or a single task) short-circuits to an in-process loop —
     no pool, no pickling — which is also the deterministic baseline the
     parallel path is validated against.
+
+    The pooled path is fault-tolerant: per-task futures with an optional
+    per-group timeout (``group_timeout``), bounded retries with
+    exponential backoff on a rebuilt pool for crashed/timed-out groups,
+    and graceful degradation to the in-process serial path for groups
+    that exhaust their retries.  Because every verdict is a pure
+    function of its inputs, none of this changes results — a degraded
+    run's verdicts are byte-identical to a clean run's (modulo
+    ``Verdict.ERROR`` rows for properties whose checker deterministically
+    fails everywhere).
     """
 
-    def __init__(self, jobs: Optional[int] = None):
+    def __init__(self, jobs: Optional[int] = None,
+                 group_timeout: Optional[float] = None,
+                 max_group_retries: int = 2,
+                 retry_backoff: float = 0.05):
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
+        self.group_timeout = group_timeout
+        self.max_group_retries = max(0, max_group_retries)
+        self.retry_backoff = max(0.0, retry_backoff)
 
     # ------------------------------------------------------------------
     def verify(self, runs: Sequence[ImplementationRun]
@@ -411,33 +573,164 @@ class VerificationEngine:
             context = run.context or CegarContext(run.ue_fsm, run.mme_model)
             for prop in run.properties:
                 outcomes[(run.implementation, prop.identifier)] = \
-                    verify_one(prop, run.implementation, run.ue_fsm,
-                               run.mme_model, run.max_iterations, context)
+                    _safe_verify_one(prop, run.implementation, run.ue_fsm,
+                                     run.mme_model, run.max_iterations,
+                                     context)
         return outcomes
 
+    # ------------------------------------------------------------------
     def _verify_pooled(self, runs: Sequence[ImplementationRun],
                        tasks: List[Tuple[str, List[Property]]]
                        ) -> Dict[Tuple[str, str], PropertyResult]:
         payloads = {run.implementation:
                     (run.ue_fsm, run.mme_model, run.max_iterations)
                     for run in runs}
-        context = self._mp_context()
+        plan = faults.installed()
+        plan_payload = plan.to_dict() if plan is not None else None
+        runs_by_impl = {run.implementation: run for run in runs}
         outcomes: Dict[Tuple[str, str], PropertyResult] = {}
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)),
-                                 mp_context=context,
-                                 initializer=_init_worker,
-                                 initargs=(payloads,)) as pool:
-            # ``pool.map`` yields in task (catalog) order regardless of
-            # which worker finished first, so the reassembled trace and
-            # merged metrics are scheduling-independent.
-            for (implementation, _group), \
-                    (group_results, spans, metrics) in \
-                    zip(tasks, pool.map(_verify_group, tasks)):
-                obs.adopt_spans(spans)
-                obs.metrics().merge(metrics)
-                for identifier, result in group_results:
-                    outcomes[(implementation, identifier)] = result
+
+        pending = list(range(len(tasks)))
+        attempts = {index: 0 for index in pending}
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while pending:
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(self.jobs, len(pending)),
+                        mp_context=self._mp_context(),
+                        initializer=_init_worker,
+                        initargs=(payloads, plan_payload))
+                completed, failures = self._run_round(
+                    pool, [(index, tasks[index]) for index in pending])
+                for index, (group_results, spans, metrics) in \
+                        completed.items():
+                    obs.adopt_spans(spans)
+                    obs.metrics().merge(metrics)
+                    implementation = tasks[index][0]
+                    for identifier, result in group_results:
+                        outcomes[(implementation, identifier)] = result
+
+                retry: List[int] = []
+                degrade: List[int] = []
+                for index, reason in failures:
+                    attempts[index] += 1
+                    obs.count("engine.group_crashes" if reason == "crash"
+                              else "engine.group_timeouts")
+                    if attempts[index] > self.max_group_retries:
+                        degrade.append(index)
+                    else:
+                        obs.count("engine.group_retries")
+                        retry.append(index)
+                if failures:
+                    # The pool may hold hung or dead workers — the only
+                    # safe recovery is a teardown + rebuild (a broken
+                    # ProcessPoolExecutor refuses further submissions
+                    # anyway), after a bounded backoff.
+                    self._teardown_pool(pool)
+                    pool = None
+                    obs.count("engine.pool_rebuilds")
+                    if retry and self.retry_backoff > 0:
+                        worst = max(attempts[index] for index, _ in
+                                    failures)
+                        time.sleep(min(1.0, self.retry_backoff
+                                       * (2 ** (worst - 1))))
+                for index in degrade:
+                    obs.count("engine.group_degradations")
+                    implementation, props = tasks[index]
+                    outcomes.update(self._verify_group_fallback(
+                        runs_by_impl[implementation], props))
+                # Keep submission order stable across rounds so retried
+                # groups land on workers deterministically.
+                pending = sorted(retry)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
         return outcomes
+
+    def _run_round(self, pool: ProcessPoolExecutor,
+                   batch: List[Tuple[int, Tuple[str, List[Property]]]]
+                   ) -> Tuple[Dict[int, Tuple], List[Tuple[int, str]]]:
+        """Submit one round of groups; classify every entry's fate.
+
+        Returns ``(completed, failures)`` where ``completed`` maps the
+        task index to the worker payload and ``failures`` lists
+        ``(index, "crash" | "timeout")`` entries.  A round with a
+        timeout budget gives the batch ``group_timeout`` seconds per
+        scheduling wave (``ceil(batch / workers)``); whatever has not
+        finished by then is failed as a timeout — a hung worker cannot
+        be cancelled, only torn down with the pool.
+        """
+        futures: Dict = {}
+        failures: List[Tuple[int, str]] = []
+        completed: Dict[int, Tuple] = {}
+        for position, (index, task) in enumerate(batch):
+            try:
+                futures[pool.submit(_verify_group, task)] = index
+            except BrokenProcessPool:
+                failures.extend((pending_index, "crash")
+                                for pending_index, _ in batch[position:])
+                break
+
+        deadline = None
+        if self.group_timeout is not None:
+            width = max(1, min(self.jobs, len(batch)))
+            waves = math.ceil(len(futures) / width) if futures else 1
+            deadline = time.monotonic() + self.group_timeout * waves
+
+        not_done = set(futures)
+        while not_done:
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            done, not_done = futures_wait(not_done, timeout=timeout)
+            for future in done:
+                index = futures[future]
+                try:
+                    completed[index] = future.result()
+                except Exception:  # noqa: BLE001 - crashed worker/group
+                    failures.append((index, "crash"))
+            if not done and not_done:
+                # Deadline expired with groups still queued or running.
+                for future in not_done:
+                    future.cancel()
+                    failures.append((futures[future], "timeout"))
+                break
+        return completed, failures
+
+    def _verify_group_fallback(self, run: ImplementationRun,
+                               props: Sequence[Property]
+                               ) -> Dict[Tuple[str, str], PropertyResult]:
+        """Degraded mode: verify a group in-process, serially.
+
+        Reached when a group exhausted its pooled retries.  Runs under
+        the same group-boundary catch as the workers, so even a
+        deterministic in-process failure yields ``Verdict.ERROR`` rows
+        rather than aborting the run.
+        """
+        if run.context is None:
+            run.context = CegarContext(run.ue_fsm, run.mme_model)
+        outcomes: Dict[Tuple[str, str], PropertyResult] = {}
+        with obs.span("engine.fallback",
+                      implementation=run.implementation,
+                      group=props[0].identifier):
+            for prop in props:
+                outcomes[(run.implementation, prop.identifier)] = \
+                    _safe_verify_one(prop, run.implementation, run.ue_fsm,
+                                     run.mme_model, run.max_iterations,
+                                     run.context)
+        return outcomes
+
+    @staticmethod
+    def _teardown_pool(pool: ProcessPoolExecutor) -> None:
+        """Shut a pool down hard, reclaiming hung or dead workers."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 - already dead is fine
+                pass
 
     @staticmethod
     def _mp_context():

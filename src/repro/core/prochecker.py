@@ -28,7 +28,7 @@ from __future__ import annotations
 import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
-from .. import obs
+from .. import faults, obs
 from ..baselines import lteinspector_mme
 from ..fsm import FiniteStateMachine
 from ..lte.implementations import REGISTRY
@@ -137,13 +137,18 @@ class ProChecker:
         ``properties``/``jobs`` override the config for this call only.
         """
         before = obs.metrics().snapshot()
+        if self.config.fault_plan is not None:
+            faults.install(self.config.fault_plan)
         with obs.span("pipeline.analyze",
                       implementation=self.implementation) as root:
             ue_fsm = self.extract()
             selected = (list(properties) if properties is not None
                         else self.config.resolved_properties())
             engine = VerificationEngine(
-                jobs if jobs is not None else self.config.resolved_jobs())
+                jobs if jobs is not None else self.config.resolved_jobs(),
+                group_timeout=self.config.group_timeout_seconds,
+                max_group_retries=self.config.max_group_retries,
+                retry_backoff=self.config.retry_backoff_seconds)
             run = ImplementationRun(
                 implementation=self.implementation,
                 ue_fsm=ue_fsm,
@@ -197,6 +202,18 @@ def analyze_many(configs: Sequence[ConfigLike],
                 for config in configs]
     checkers = [ProChecker.from_config(config) for config in resolved]
     before = obs.metrics().snapshot()
+    # Robustness knobs for the one shared engine come from the first
+    # config that sets each of them (``None``/default elsewhere).
+    group_timeout = next((c.group_timeout_seconds for c in resolved
+                          if c.group_timeout_seconds is not None), None)
+    max_group_retries = next((c.max_group_retries for c in resolved
+                              if c.max_group_retries != 2), 2)
+    retry_backoff = next((c.retry_backoff_seconds for c in resolved
+                          if c.retry_backoff_seconds != 0.05), 0.05)
+    plan = next((c.fault_plan for c in resolved
+                 if c.fault_plan is not None), None)
+    if plan is not None:
+        faults.install(plan)
     batch = ",".join(checker.implementation for checker in checkers)
     with obs.span("pipeline.analyze", implementation=batch) as root:
         runs: List[ImplementationRun] = []
@@ -212,7 +229,10 @@ def analyze_many(configs: Sequence[ConfigLike],
             ))
         engine = VerificationEngine(
             jobs if jobs is not None
-            else max(config.resolved_jobs() for config in resolved))
+            else max(config.resolved_jobs() for config in resolved),
+            group_timeout=group_timeout,
+            max_group_retries=max_group_retries,
+            retry_backoff=retry_backoff)
         with obs.span("pipeline.verify", implementation=batch,
                       jobs=engine.jobs) as vspan:
             outcomes = engine.verify(runs)

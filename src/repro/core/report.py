@@ -13,23 +13,32 @@ from ..properties.spec import Property
 
 
 class Verdict(str, enum.Enum):
-    """The three outcomes a property verification can produce.
+    """The outcomes a property verification can produce.
 
     A ``str`` mixin keeps the enum wire- and comparison-compatible with
     the historical string verdicts (``Verdict.VERIFIED == "verified"``),
     while giving the CLI exit-code mapping and the report logic one
     typed source of truth.
+
+    ``ERROR`` is the crash-isolation outcome: the checker itself failed
+    (exception, worker crash, exhausted retries) for this property, and
+    the exception chain is recorded in the result's ``evidence``.  It is
+    never a statement about the implementation — the paper's Table I
+    requires every property to receive *a* verdict, so an engine fault
+    must not erase the other 61.
     """
 
     VERIFIED = "verified"
     VIOLATED = "violated"
     NOT_APPLICABLE = "not-applicable"
+    ERROR = "error"
 
 
 #: Deprecated string aliases, kept for callers of the pre-enum API.
 VERDICT_VERIFIED = Verdict.VERIFIED
 VERDICT_VIOLATED = Verdict.VIOLATED
 VERDICT_NOT_APPLICABLE = Verdict.NOT_APPLICABLE
+VERDICT_ERROR = Verdict.ERROR
 
 
 @dataclass
@@ -138,6 +147,10 @@ class AnalysisReport:
         return [r for r in self.results
                 if r.outcome is Verdict.VERIFIED]
 
+    def errors(self) -> List[PropertyResult]:
+        """Properties whose *checker* failed (crash-isolation outcome)."""
+        return [r for r in self.results if r.outcome is Verdict.ERROR]
+
     def detected_attacks(self) -> Set[str]:
         """Table I view: attack ids whose property was violated."""
         return {r.property.attack_id for r in self.violated()
@@ -154,6 +167,7 @@ class AnalysisReport:
             "properties": len(self.results),
             "verified": len(self.verified()),
             "violated": len(self.violated()),
+            "errors": len(self.errors()),
             "attacks": len(self.detected_attacks()),
         }
 
@@ -230,8 +244,10 @@ class AnalysisReport:
                 f"{(result.property.attack_id or '-'):<28} "
                 f"{result.elapsed_seconds:.2f}s")
         counts = self.counts()
+        errors = (f", {counts['errors']} checker errors"
+                  if counts["errors"] else "")
         lines.append(
             f"total: {counts['properties']} properties, "
             f"{counts['verified']} verified, {counts['violated']} violated, "
-            f"{counts['attacks']} distinct attacks")
+            f"{counts['attacks']} distinct attacks{errors}")
         return "\n".join(lines)

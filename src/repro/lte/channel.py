@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Protocol
 
+from .. import obs
 from .messages import NasMessage
 
 DIR_UPLINK = "uplink"      # UE -> MME
@@ -149,5 +150,6 @@ class RadioLink:
             try:
                 messages.append(NasMessage.from_wire(frame))
             except Exception:  # noqa: BLE001 - malformed frames are skipped
+                obs.count("channel.malformed_frames")
                 continue
         return messages

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..cpv.equivalence import Frame
 from ..cpv.terms import Atom, KIND_DATA, Term, const, pair
 from ..lte.messages import NasMessage
@@ -41,7 +42,8 @@ class DropFilter:
             return frame
         try:
             message = NasMessage.from_wire(frame)
-        except Exception:  # noqa: BLE001
+        except Exception:  # noqa: BLE001 - pass unparseable frames through
+            obs.count("channel.malformed_frames")
             return frame
         if message.name in self.drop_names:
             self.dropped.append(message.name)
@@ -74,7 +76,8 @@ class Attacker:
                 continue
             try:
                 message = NasMessage.from_wire(frame)
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001 - skip unparseable captures
+                obs.count("channel.malformed_frames")
                 continue
             if message.name == message_name:
                 matches.append(frame)
@@ -125,7 +128,8 @@ class Attacker:
                 continue
             try:
                 message = NasMessage.from_wire(record.frame)
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001 - still an observation
+                obs.count("channel.malformed_frames")
                 frame.observe("unparseable", const("garbage"))
                 continue
             frame.observe(message.name, _message_term(message))

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from .. import faults
 from ..cpv.equivalence import distinguishable
 from ..lte import constants as c
 from .attacker import Attacker
@@ -28,6 +29,10 @@ class AttackResult:
     succeeded: bool
     evidence: str
     details: Dict[str, object] = field(default_factory=dict)
+    #: whether the attack's precondition holds for this implementation;
+    #: ``False`` marks the Table I "-" cells (the verdict layer keys
+    #: NOT_APPLICABLE on this flag, never on the free-form evidence)
+    applicable: bool = True
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-compatible form (``repro attack --json``, archival)."""
@@ -37,6 +42,7 @@ class AttackResult:
             "succeeded": self.succeeded,
             "evidence": self.evidence,
             "details": dict(self.details),
+            "applicable": self.applicable,
         }
 
     @classmethod
@@ -47,6 +53,7 @@ class AttackResult:
             succeeded=bool(payload["succeeded"]),
             evidence=str(payload["evidence"]),
             details=dict(payload.get("details", {})),
+            applicable=bool(payload.get("applicable", True)),
         )
 
 
@@ -74,6 +81,7 @@ def run_attack(identifier: str, implementation: str) -> AttackResult:
         fn = _REGISTRY[identifier]
     except KeyError:
         raise ValueError(f"unknown attack {identifier!r}") from None
+    faults.trip("testbed.run_attack", key=identifier)
     return fn(implementation)
 
 

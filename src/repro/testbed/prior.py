@@ -95,7 +95,8 @@ def prior_tmsi_realloc(implementation: str) -> AttackResult:
     return AttackResult(
         "PRIOR-linkability-tmsi-realloc", implementation, False,
         "not applicable: 3G TMSI reallocation procedure not part of the "
-        "evaluated NAS configuration (Table I marks this row '-')")
+        "evaluated NAS configuration (Table I marks this row '-')",
+        applicable=False)
 
 
 @attack("PRIOR-linkability-imsi-paging")
@@ -210,7 +211,8 @@ def prior_tau_reject(implementation: str) -> AttackResult:
     return AttackResult(
         "PRIOR-downgrade-tau-reject", implementation, False,
         "not applicable: RRC-level downgrade outside the NAS-layer "
-        "configuration (Table I marks this row '-')")
+        "configuration (Table I marks this row '-')",
+        applicable=False)
 
 
 @attack("PRIOR-denial-all-services")

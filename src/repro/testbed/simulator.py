@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from .. import faults
 from ..lte.channel import RadioLink
 from ..lte.hss import Hss
 from ..lte.identifiers import Subscriber, make_subscriber
@@ -76,4 +77,5 @@ class Testbed:
             station.ue.power_on()
 
     def advance(self, seconds: float) -> int:
+        faults.trip("testbed.advance")
         return self.clock.advance(seconds)

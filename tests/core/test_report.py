@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.report import (AnalysisReport, PropertyResult, Verdict,
-                               VERDICT_NOT_APPLICABLE, VERDICT_VERIFIED,
-                               VERDICT_VIOLATED)
+                               VERDICT_ERROR, VERDICT_NOT_APPLICABLE,
+                               VERDICT_VERIFIED, VERDICT_VIOLATED)
 from repro.properties import property_by_id
 from repro.threat import ThreatConfig
 from repro.properties.spec import Property, KIND_LTL
@@ -40,6 +40,14 @@ class TestVerdictEnum:
         assert VERDICT_VERIFIED is Verdict.VERIFIED
         assert VERDICT_VIOLATED is Verdict.VIOLATED
         assert VERDICT_NOT_APPLICABLE is Verdict.NOT_APPLICABLE
+        assert VERDICT_ERROR is Verdict.ERROR
+
+    def test_error_member(self):
+        assert Verdict.ERROR.value == "error"
+        result = PropertyResult(make_property(), "error",
+                                evidence="checker error: boom")
+        assert result.outcome is Verdict.ERROR
+        assert not result.violated
 
     def test_string_coercion_in_constructor(self):
         result = PropertyResult(make_property(), "violated")
@@ -92,7 +100,7 @@ class TestAnalysisReport:
     def test_counts(self):
         counts = make_report().counts()
         assert counts == {"properties": 3, "verified": 1,
-                          "violated": 2, "attacks": 1}
+                          "violated": 2, "errors": 0, "attacks": 1}
 
     def test_result_lookup(self):
         report = make_report()
@@ -106,3 +114,15 @@ class TestAnalysisReport:
         assert "SEC-A" in text
         assert "P1" in text
         assert "total: 3 properties" in text
+        assert "checker errors" not in text   # quiet when error-free
+
+    def test_error_partition_and_counts(self):
+        report = make_report()
+        report.results.append(PropertyResult(
+            make_property("SEC-D"), VERDICT_ERROR,
+            evidence="checker error: InjectedFault: boom"))
+        assert [r.property.identifier for r in report.errors()] == ["SEC-D"]
+        assert report.counts()["errors"] == 1
+        # an errored property is not a detection
+        assert report.detected_attacks() == {"P1"}
+        assert "1 checker errors" in report.format_table()

@@ -118,3 +118,32 @@ class TestHistoryAndInjection:
         link.attach_ue(lambda data: None)
         link.inject_downlink(b"\x00garbage")
         assert link.captured_messages() == []
+
+
+class TestMalformedFrameAccounting:
+    """Regression: parse failures in capture paths were swallowed with no
+    signal, so a decode regression could hide behind 'no messages'."""
+
+    @staticmethod
+    def _malformed_count():
+        import repro.obs as obs
+        return obs.metrics().snapshot()["counters"].get(
+            "channel.malformed_frames", 0)
+
+    def test_captured_messages_counts_garbage(self):
+        link = RadioLink()
+        link.attach_ue(lambda data: None)
+        link.inject_downlink(b"\x00garbage")
+        link.inject_downlink(frame())
+        before = self._malformed_count()
+        messages = link.captured_messages()
+        assert len(messages) == 1          # the valid frame still parses
+        assert self._malformed_count() == before + 1
+
+    def test_clean_capture_counts_nothing(self):
+        link = RadioLink()
+        link.attach_ue(lambda data: None)
+        link.inject_downlink(frame())
+        before = self._malformed_count()
+        link.captured_messages()
+        assert self._malformed_count() == before

@@ -7,14 +7,17 @@ conformance run + extraction per implementation regardless of how many
 ``ProChecker`` instances participate.
 """
 
+import functools
 import json
+import threading
 
 import pytest
 
 import repro.obs as obs
-from repro.core import (AnalysisConfig, EngineError, ProChecker,
-                        ProCheckerError, analyze_implementation,
-                        analyze_many, extraction_cache, group_properties)
+from repro.core import (AnalysisConfig, EngineError, ExtractionCache,
+                        ProChecker, ProCheckerError,
+                        analyze_implementation, analyze_many,
+                        extraction_cache, group_properties)
 from repro.cli import main as cli_main
 from repro.conformance import full_suite
 from repro.core.report import AnalysisReport, PropertyResult
@@ -181,6 +184,105 @@ class TestExtractionCache:
         checker = ProChecker.from_config(config)
         checker.extract()
         assert extraction_cache.stats()["conformance_runs"] == 0
+
+
+class TestExtractionCacheConcurrency:
+    """Regression: ``get`` used to hold the cache-wide lock across the
+    whole conformance run + extraction, serialising concurrent callers
+    for *different* implementations behind one build."""
+
+    def _patched_cache(self, monkeypatch, started, release):
+        from repro.core import engine as engine_module
+        from repro.core.engine import ExtractionRecord
+
+        def fake_extraction(implementation, cases=None):
+            if implementation == "slow":
+                started.set()
+                assert release.wait(timeout=10.0), "slow build never freed"
+            return ExtractionRecord(implementation, fsm=None,
+                                    extraction_seconds=0.0,
+                                    coverage_percent=0.0,
+                                    conformance_cases=0, log_lines=0)
+
+        monkeypatch.setattr(engine_module, "run_extraction",
+                            fake_extraction)
+        return ExtractionCache()
+
+    def test_different_keys_build_concurrently(self, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        cache = self._patched_cache(monkeypatch, started, release)
+        slow = threading.Thread(target=cache.get, args=("slow",))
+        slow.start()
+        try:
+            assert started.wait(timeout=10.0)
+            # the slow build is in flight and must not block this key
+            record = cache.get("fast")
+            assert record.implementation == "fast"
+            assert slow.is_alive()
+        finally:
+            release.set()
+            slow.join(timeout=10.0)
+        assert not slow.is_alive()
+        assert cache.stats()["conformance_runs"] == 2
+
+    def test_same_key_callers_share_one_build(self, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        cache = self._patched_cache(monkeypatch, started, release)
+        results = []
+        threads = [threading.Thread(
+            target=lambda: results.append(cache.get("slow")))
+            for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        assert started.wait(timeout=10.0)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(results) == 3
+        assert all(record is results[0] for record in results)
+        assert cache.stats()["conformance_runs"] == 1
+        assert cache.stats()["hits"] >= 2
+
+
+class TestSuiteFingerprint:
+    """Regression: fingerprints keyed custom suites by ``__qualname__``
+    alone, so lambdas/partials defined at the same site collided."""
+
+    @staticmethod
+    def _case(run):
+        from repro.conformance import TestCase
+        return TestCase(identifier="tc-1", procedure="attach",
+                        description="fingerprint probe", run=run)
+
+    def _fingerprint(self, run):
+        return ExtractionCache.fingerprint("srsue", [self._case(run)])
+
+    def test_same_site_lambdas_get_distinct_keys(self):
+        def factory(value):
+            return lambda ctx: value
+        assert self._fingerprint(factory(1)) != self._fingerprint(factory(2))
+
+    def test_equal_closures_get_equal_keys(self):
+        def factory(value):
+            return lambda ctx: value
+        assert self._fingerprint(factory(7)) == self._fingerprint(factory(7))
+
+    def test_same_site_partials_get_distinct_keys(self):
+        def run(value, ctx):
+            return value
+        assert self._fingerprint(functools.partial(run, 1)) \
+            != self._fingerprint(functools.partial(run, 2))
+
+    def test_default_suite_key_is_stable(self):
+        assert ExtractionCache.fingerprint("srsue") \
+            == ExtractionCache.fingerprint("srsue")
+        assert ExtractionCache.fingerprint("srsue") \
+            != ExtractionCache.fingerprint("oai")
+
+    def test_distinct_case_lists_distinct_keys(self):
+        suite = full_suite("srsue")
+        assert ExtractionCache.fingerprint("srsue", suite[:5]) \
+            != ExtractionCache.fingerprint("srsue", suite[:6])
 
 
 # ---------------------------------------------------------------------------

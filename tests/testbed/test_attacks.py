@@ -97,3 +97,67 @@ class TestPriorAttacks:
         result = run_attack(attack_id, "reference")
         assert not result.succeeded
         assert "not applicable" in result.evidence
+
+
+class TestApplicabilityFlag:
+    """The '-' rows of Table I are structured data now: verdict logic
+    keys on ``applicable``, never on the free-form evidence text."""
+
+    @pytest.mark.parametrize("attack_id", [
+        "PRIOR-linkability-tmsi-realloc", "PRIOR-downgrade-tau-reject"])
+    def test_dash_rows_flagged_not_applicable(self, attack_id):
+        result = run_attack(attack_id, "reference")
+        assert result.applicable is False
+
+    def test_applicable_rows_default_true(self):
+        result = run_attack("P1", "reference")
+        assert result.applicable is True
+
+    def test_applicable_round_trips_through_dict(self):
+        result = run_attack("PRIOR-downgrade-tau-reject", "srsue")
+        from repro.testbed import AttackResult
+        restored = AttackResult.from_dict(result.to_dict())
+        assert restored.applicable is False
+        # legacy payloads without the field default to applicable
+        legacy = result.to_dict()
+        del legacy["applicable"]
+        assert AttackResult.from_dict(legacy).applicable is True
+
+    def test_verdict_keyed_on_flag_not_evidence_text(self):
+        """An attack whose evidence merely *mentions* 'not applicable'
+        must not be classified as a dash row."""
+        from repro.core.engine import _verify_testbed
+        from repro.core.report import Verdict
+        from repro.properties import ALL_PROPERTIES
+        from repro.testbed import attacks as attacks_module
+
+        prop = next(p for p in ALL_PROPERTIES if p.kind == "testbed")
+
+        def fake(implementation):
+            return attacks_module.AttackResult(
+                prop.testbed_attack, implementation, False,
+                "defence held; note: not applicable to 5G SA mode")
+
+        original = attacks_module._REGISTRY[prop.testbed_attack]
+        attacks_module._REGISTRY[prop.testbed_attack] = fake
+        try:
+            result = _verify_testbed(prop, "reference")
+        finally:
+            attacks_module._REGISTRY[prop.testbed_attack] = original
+        assert result.outcome is Verdict.VERIFIED
+
+
+class TestDropFilterMalformedFrames:
+    def test_garbage_passes_through_and_is_counted(self):
+        import repro.obs as obs
+        from repro.testbed.attacker import DropFilter
+        from repro.lte import constants as c
+
+        drop = DropFilter((c.PAGING,), direction="downlink")
+        before = obs.metrics().snapshot()["counters"].get(
+            "channel.malformed_frames", 0)
+        assert drop.intercept("downlink", b"\x00garbage") == b"\x00garbage"
+        after = obs.metrics().snapshot()["counters"].get(
+            "channel.malformed_frames", 0)
+        assert after == before + 1
+        assert drop.dropped == []
