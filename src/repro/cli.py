@@ -9,7 +9,9 @@ Commands mirror the pipeline stages so each is scriptable on its own:
   with the counterexample trace on violation;
 - ``attack <attack-id> <impl>`` — one testbed attack script end-to-end;
 - ``gaps <impl>``     — missing-stimulus report (candidate test cases the
-  suite does not exercise — the paper's "detecting missing test cases").
+  suite does not exercise — the paper's "detecting missing test cases");
+- ``lint``            — static spec/model/implementation analysis
+  (``PCL0xx`` findings; exit 5 on gating findings).
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import faults, obs
@@ -38,6 +41,13 @@ EXIT_CODES = {
     Verdict.NOT_APPLICABLE: 3,
     Verdict.ERROR: 4,
 }
+
+#: ``repro lint`` exit code when gating (warning/error) findings remain.
+#: Distinct from the verdict codes above so CI can tell a lint failure
+#: from a property violation.
+LINT_FINDINGS_EXIT_CODE = 5
+assert LINT_FINDINGS_EXIT_CODE not in EXIT_CODES.values()
+EXIT_CODES["lint_findings"] = LINT_FINDINGS_EXIT_CODE
 
 
 def _emit_json(payload) -> None:
@@ -204,6 +214,39 @@ def _cmd_smv(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis over the catalog, the source, and the FSMs."""
+    from .lint import LintError, run_lint
+    from .lint.baseline import Baseline
+    from .lint.runner import default_baseline_path
+
+    baseline_path = (None if args.no_baseline
+                     else args.baseline or default_baseline_path())
+    try:
+        report = run_lint(
+            implementations=args.impl or None,
+            run_xcheck=not args.no_xcheck,
+            baseline_path=None if args.write_baseline else baseline_path,
+            catalog_module=args.catalog,
+        )
+    except LintError as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        # Only gating findings need suppressing; info findings (e.g. the
+        # expected Table I deviations) stay visible in every run.
+        target = args.baseline or default_baseline_path()
+        count = Baseline.write(target, report.gating)
+        print(f"wrote {count} suppression(s) to {target}")
+        return 0
+    if args.json:
+        _emit_json(report.to_dict())
+    else:
+        print(report.format_text())
+    return LINT_FINDINGS_EXIT_CODE if report.gating else 0
+
+
 def _cmd_gaps(args: argparse.Namespace) -> int:
     fsm = ProChecker(args.implementation).extract()
     gaps = missing_stimuli(fsm, alphabet=set(c.DOWNLINK_MESSAGES))
@@ -298,6 +341,32 @@ def build_parser() -> argparse.ArgumentParser:
     smv.add_argument("property_id", metavar="PROPERTY")
     smv.add_argument("-o", "--output", metavar="FILE")
     smv.set_defaults(handler=_cmd_smv)
+
+    lint = commands.add_parser(
+        "lint", help="static spec/model/implementation analysis")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the findings report as JSON")
+    lint.add_argument("--impl", action="append", default=[],
+                      choices=IMPLEMENTATION_NAMES, metavar="IMPL",
+                      help="cross-check only these implementations "
+                           "(repeatable; default: reference, srsue, oai)")
+    lint.add_argument("--no-xcheck", action="store_true",
+                      help="skip the static/dynamic cross-check family "
+                           "(no extraction run)")
+    lint.add_argument("--baseline", metavar="FILE", type=Path,
+                      default=None,
+                      help="baseline suppression file "
+                           "(default: lint-baseline.json at the repo "
+                           "root)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept all current findings into the "
+                           "baseline file and exit 0")
+    lint.add_argument("--catalog", metavar="MODULE", default=None,
+                      help="lint an alternate property-catalog module "
+                           "(must expose ALL_PROPERTIES or PROPERTIES)")
+    lint.set_defaults(handler=_cmd_lint)
 
     gaps = commands.add_parser(
         "gaps", help="suggest missing conformance test cases")

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from .. import obs
 from ..lte import constants as c
 from ..lte.channel import RadioLink
 from ..lte.hss import Hss
@@ -99,6 +100,7 @@ class TestContext:
             try:
                 message = NasMessage.from_wire(record.frame)
             except Exception:  # noqa: BLE001
+                obs.count("channel.malformed_frames")
                 continue
             if message.name == name:
                 matches.append(record.frame)

@@ -730,7 +730,7 @@ class VerificationEngine:
             try:
                 process.terminate()
             except Exception:  # noqa: BLE001 - already dead is fine
-                pass
+                obs.count("engine.worker_terminate_failures")
 
     @staticmethod
     def _mp_context():

@@ -10,7 +10,7 @@ diffs between two machines extracted from different implementations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .machine import FiniteStateMachine, Transition
 
@@ -32,7 +32,7 @@ class CoverageGap:
 
 
 def missing_stimuli(fsm: FiniteStateMachine,
-                    alphabet: Set[str] = None) -> List[CoverageGap]:
+                    alphabet: Optional[Set[str]] = None) -> List[CoverageGap]:
     """(state, message) pairs with no observed transition.
 
     ``alphabet`` defaults to the machine's own trigger set; pass the full

@@ -1,0 +1,48 @@
+"""``repro.lint`` — static spec/model/implementation analysis.
+
+Three rule families under stable ``PCL0xx`` identifiers:
+
+- **spec** (PCL01x): every catalog formula must parse and bind to the
+  threat model's declared variables and enum domains under both
+  vocabularies (:func:`lint_catalog`);
+- **xcheck** (PCL02x): static transition extraction from the NAS-layer
+  source, cross-checked against the dynamically extracted FSM
+  (:func:`lint_implementation`);
+- **hygiene** (PCL03x): repo-specific source hazards
+  (:func:`lint_source`).
+
+Run everything via :func:`run_lint` or ``python -m repro lint``.
+"""
+
+from .baseline import Baseline
+from .findings import (RULES, Finding, LintError, LintReport, Rule,
+                       Severity, sort_findings)
+from .hygiene import lint_source
+from .runner import (DEFAULT_IMPLEMENTATIONS, default_baseline_path,
+                     load_catalog, run_lint)
+from .speclint import lint_catalog
+from .staticfsm import (StaticHandler, StaticModel, static_mme_handlers,
+                        static_ue_model)
+from .xcheck import lint_implementation
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_IMPLEMENTATIONS",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Severity",
+    "StaticHandler",
+    "StaticModel",
+    "default_baseline_path",
+    "lint_catalog",
+    "lint_implementation",
+    "lint_source",
+    "load_catalog",
+    "run_lint",
+    "sort_findings",
+    "static_mme_handlers",
+    "static_ue_model",
+]

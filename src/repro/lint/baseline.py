@@ -1,0 +1,73 @@
+"""Baseline suppression file for ``repro lint``.
+
+A baseline records the fingerprints of findings that are *known and
+accepted* — typically pre-existing debt adopted when the linter was
+introduced.  Runs subtract baselined findings before gating, so the
+check only fails on regressions.  Fingerprints exclude line numbers
+(see :meth:`repro.lint.findings.Finding.fingerprint`), so entries
+survive unrelated edits.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, LintError
+
+#: Default location, repo-root relative.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """An immutable set of suppressed finding fingerprints."""
+
+    def __init__(self, fingerprints: Optional[Sequence[str]] = None):
+        self.fingerprints: Set[str] = set(fingerprints or ())
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def apply(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition ``findings`` into (kept, suppressed)."""
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            (suppressed if finding in self else kept).append(finding)
+        return kept, suppressed
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"unreadable baseline {path}: {exc}") from exc
+        if (not isinstance(payload, dict)
+                or payload.get("version") != _FORMAT_VERSION
+                or not isinstance(payload.get("suppressions"), list)):
+            raise LintError(
+                f"baseline {path} is not a version-{_FORMAT_VERSION} "
+                f"suppression file")
+        return cls([str(entry) for entry in payload["suppressions"]])
+
+    @staticmethod
+    def write(path: Path, findings: Sequence[Finding]) -> int:
+        """Write a baseline suppressing every finding in ``findings``."""
+        fingerprints = sorted({f.fingerprint() for f in findings})
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": ("Accepted repro.lint findings; regenerate with "
+                        "`repro lint --write-baseline`."),
+            "suppressions": fingerprints,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+        return len(fingerprints)

@@ -1,0 +1,227 @@
+"""Findings model for ``repro.lint``: stable rule IDs, severities, reports.
+
+Every lint rule has a stable ``PCL0xx`` identifier (ProChecker Lint) so
+baselines, CI gates and issue trackers can reference findings across
+refactors.  Rules are grouped into three families:
+
+- ``PCL01x`` — **spec lint**: the property catalog and its threat
+  vocabulary (undefined atoms, enum typos, duplicates, vacuous
+  implications, unknown threat capabilities);
+- ``PCL02x`` — **cross-check**: static transition extraction from the
+  implementation source against the dynamically extracted FSM;
+- ``PCL03x`` — **hygiene**: repo-specific source hazards.
+
+A finding's *fingerprint* deliberately excludes line numbers so baseline
+entries survive unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orderable via :attr:`rank`."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    #: severities that make ``repro lint`` exit non-zero
+    def gates(self) -> bool:
+        return self.rank >= Severity.WARNING.rank
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable identifier, family, default severity."""
+
+    identifier: str
+    family: str
+    severity: Severity
+    summary: str
+
+
+#: The rule catalog.  Identifiers are append-only: never renumber.
+RULES: Dict[str, Rule] = {}
+
+
+def _rule(identifier: str, family: str, severity: Severity,
+          summary: str) -> Rule:
+    rule = Rule(identifier, family, severity, summary)
+    if identifier in RULES:
+        raise ValueError(f"duplicate rule id {identifier}")
+    RULES[identifier] = rule
+    return rule
+
+
+FAMILY_SPEC = "spec"
+FAMILY_XCHECK = "xcheck"
+FAMILY_HYGIENE = "hygiene"
+
+# -- PCL01x: spec lint ------------------------------------------------------
+PCL010 = _rule("PCL010", FAMILY_SPEC, Severity.ERROR,
+               "property formula fails to parse or to instantiate under a "
+               "vocabulary")
+PCL011 = _rule("PCL011", FAMILY_SPEC, Severity.ERROR,
+               "formula references an atom not declared in the threat "
+               "model")
+PCL012 = _rule("PCL012", FAMILY_SPEC, Severity.ERROR,
+               "comparison against an enum literal outside the variable's "
+               "declared domain")
+PCL013 = _rule("PCL013", FAMILY_SPEC, Severity.WARNING,
+               "duplicate property: identical normalized formula and "
+               "threat configuration")
+PCL014 = _rule("PCL014", FAMILY_SPEC, Severity.ERROR,
+               "vacuous implication: antecedent unsatisfiable over the "
+               "declared domains")
+PCL015 = _rule("PCL015", FAMILY_SPEC, Severity.ERROR,
+               "threat configuration references an unknown message or "
+               "internal trigger")
+PCL016 = _rule("PCL016", FAMILY_SPEC, Severity.ERROR,
+               "testbed property names an experiment no registered attack "
+               "implements")
+
+# -- PCL02x: static/dynamic cross-check -------------------------------------
+PCL020 = _rule("PCL020", FAMILY_XCHECK, Severity.WARNING,
+               "statically declared handler never exercised by the "
+               "conformance suite")
+PCL021 = _rule("PCL021", FAMILY_XCHECK, Severity.ERROR,
+               "dynamically extracted transition with no static origin in "
+               "the implementation source")
+PCL022 = _rule("PCL022", FAMILY_XCHECK, Severity.INFO,
+               "dynamic transition arises from a seeded policy deviation "
+               "(expected Table I behaviour)")
+PCL023 = _rule("PCL023", FAMILY_XCHECK, Severity.ERROR,
+               "extracted guard predicate has no semantic mapping "
+               "(threat.predicates cannot compile it)")
+PCL024 = _rule("PCL024", FAMILY_XCHECK, Severity.ERROR,
+               "handler name has no signature-table mapping, so the "
+               "extractor can never observe it")
+
+# -- PCL03x: code hygiene ----------------------------------------------------
+PCL030 = _rule("PCL030", FAMILY_HYGIENE, Severity.WARNING,
+               "mutable default argument")
+PCL031 = _rule("PCL031", FAMILY_HYGIENE, Severity.WARNING,
+               "None default on a non-Optional annotation")
+PCL032 = _rule("PCL032", FAMILY_HYGIENE, Severity.WARNING,
+               "swallowed except without an obs.count (silent failure)")
+
+
+class LintError(Exception):
+    """Raised for unusable lint inputs (bad catalog module, bad baseline)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One concrete lint finding.
+
+    ``location`` is a stable logical anchor (``file`` or
+    ``file::object``); ``line`` is advisory and excluded from the
+    fingerprint so baselines survive unrelated edits.
+    """
+
+    rule: str
+    location: str
+    message: str
+    line: Optional[int] = None
+    details: Dict[str, str] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self):
+        if self.rule not in RULES:
+            raise LintError(f"unknown rule id {self.rule!r}")
+
+    @property
+    def severity(self) -> Severity:
+        return RULES[self.rule].severity
+
+    @property
+    def family(self) -> str:
+        return RULES[self.rule].family
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline suppression file."""
+        digest = hashlib.sha256(
+            f"{self.rule}\x00{self.location}\x00{self.message}"
+            .encode()).hexdigest()[:16]
+        return f"{self.rule}:{self.location}:{digest}"
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+        if self.line is not None:
+            payload["line"] = self.line
+        if self.details:
+            payload["details"] = dict(self.details)
+        return payload
+
+    def format(self) -> str:
+        place = self.location
+        if self.line is not None:
+            place = f"{place}:{self.line}"
+        return (f"{self.rule} [{self.severity.value}] {place}: "
+                f"{self.message}")
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Severity-major, then rule id, then location — a stable order."""
+    return sorted(findings,
+                  key=lambda f: (-f.severity.rank, f.rule, f.location,
+                                 f.message))
+
+
+@dataclass
+class LintReport:
+    """The outcome of one ``repro lint`` run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: which rule families actually ran (xcheck is skippable)
+    families: List[str] = field(default_factory=list)
+    implementations: List[str] = field(default_factory=list)
+
+    @property
+    def gating(self) -> List[Finding]:
+        """Findings that make the run fail (warning or error)."""
+        return [f for f in self.findings if f.severity.gates()]
+
+    def counts(self) -> Dict[str, int]:
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for finding in self.findings:
+            counts[finding.severity.value] += 1
+        counts["suppressed"] = len(self.suppressed)
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "findings": [f.to_dict() for f in sort_findings(self.findings)],
+            "suppressed": [f.fingerprint() for f in self.suppressed],
+            "counts": self.counts(),
+            "families": list(self.families),
+            "implementations": list(self.implementations),
+            "clean": not self.gating,
+        }
+
+    def format_text(self) -> str:
+        lines: List[str] = []
+        for finding in sort_findings(self.findings):
+            lines.append(finding.format())
+        counts = self.counts()
+        lines.append(
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info finding(s)"
+            + (f", {counts['suppressed']} baseline-suppressed"
+               if counts["suppressed"] else ""))
+        return "\n".join(lines)

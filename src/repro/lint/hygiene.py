@@ -1,0 +1,130 @@
+"""Code-hygiene lint (PCL03x): AST pass over the framework source.
+
+Three repo-specific hazards, each of which has bitten this codebase or
+its upstream inspirations:
+
+- **mutable defaults** (PCL030) share one object across every call;
+- **``x: Set[str] = None``-style defaults** (PCL031) lie to every type
+  checker and reader about ``None`` being possible;
+- **swallowed excepts** (PCL032) hide failures from the observability
+  layer — a bare ``pass``/``continue`` body with no ``obs.count`` means
+  a malformed frame or dead worker vanishes without a trace.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from .findings import Finding, LintError
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Call constructors that produce a fresh mutable object per evaluation —
+#: still shared when evaluated once at def time.
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "deque", "Counter", "OrderedDict"}
+
+#: Annotation texts for which a ``None`` default is legitimate.
+_NONE_OK_MARKERS = ("Optional", "None", "Any", "object")
+
+
+def default_source_root() -> Path:
+    """The ``src/repro`` package directory this module lives in."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_source_files(root: Optional[Path] = None) -> List[Path]:
+    root = root or default_source_root()
+    return sorted(path for path in root.rglob("*.py"))
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        function = node.func
+        name = (function.id if isinstance(function, ast.Name)
+                else function.attr if isinstance(function, ast.Attribute)
+                else None)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _allows_none(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return True   # unannotated: nothing to contradict
+    text = ast.unparse(annotation)
+    return any(marker in text for marker in _NONE_OK_MARKERS)
+
+
+def _defaults_with_args(node: _FunctionNode
+                        ) -> Iterable[Tuple[ast.arg, ast.expr]]:
+    positional = node.args.posonlyargs + node.args.args
+    for arg, default in zip(positional[len(positional)
+                                       - len(node.args.defaults):],
+                            node.args.defaults):
+        yield arg, default
+    for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+        if default is not None:
+            yield arg, default
+
+
+def _is_silent_body(body: List[ast.stmt]) -> bool:
+    """True when an except body neither records, raises, nor returns."""
+    for statement in ast.walk(ast.Module(body=body, type_ignores=[])):
+        if isinstance(statement, (ast.Raise, ast.Return, ast.Call)):
+            return False
+    return all(isinstance(statement, (ast.Pass, ast.Continue, ast.Break))
+               for statement in body)
+
+
+def _lint_tree(tree: ast.AST, location: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg, default in _defaults_with_args(node):
+                if _is_mutable_default(default):
+                    findings.append(Finding(
+                        "PCL030", f"{location}::{node.name}",
+                        f"parameter {arg.arg!r} has a mutable default "
+                        f"({ast.unparse(default)}); use None and "
+                        f"construct inside the function",
+                        line=default.lineno))
+                elif (isinstance(default, ast.Constant)
+                        and default.value is None
+                        and not _allows_none(arg.annotation)):
+                    findings.append(Finding(
+                        "PCL031", f"{location}::{node.name}",
+                        f"parameter {arg.arg!r} is annotated "
+                        f"{ast.unparse(arg.annotation)} but defaults to "
+                        f"None; annotate Optional[...]",
+                        line=default.lineno))
+        elif isinstance(node, ast.ExceptHandler):
+            if _is_silent_body(node.body):
+                findings.append(Finding(
+                    "PCL032", location,
+                    "except handler swallows the exception without an "
+                    "obs.count (silent failure)",
+                    line=node.lineno))
+    return findings
+
+
+def lint_source(root: Optional[Path] = None,
+                display_root: Optional[Path] = None) -> List[Finding]:
+    """Run the hygiene family over every ``*.py`` under ``root``."""
+    root = root or default_source_root()
+    display_root = display_root or root.parent.parent
+    findings: List[Finding] = []
+    for path in iter_source_files(root):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError) as exc:
+            raise LintError(f"cannot parse {path}: {exc}") from exc
+        try:
+            location = str(path.relative_to(display_root))
+        except ValueError:
+            location = str(path)
+        findings.extend(_lint_tree(tree, location))
+    return findings

@@ -1,0 +1,90 @@
+"""Orchestration for ``repro lint``: run families, apply the baseline."""
+
+from __future__ import annotations
+
+import importlib
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..properties.spec import Property
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .findings import (FAMILY_HYGIENE, FAMILY_SPEC, FAMILY_XCHECK, Finding,
+                       LintError, LintReport)
+from .hygiene import lint_source
+from .speclint import lint_catalog
+from .xcheck import REFERENCE_IMPLEMENTATION, lint_implementation
+
+#: Implementations the cross-check family covers by default.
+DEFAULT_IMPLEMENTATIONS = (REFERENCE_IMPLEMENTATION, "srsue", "oai")
+
+
+def load_catalog(module_name: str) -> Sequence[Property]:
+    """Import ``module_name`` and return its property catalog.
+
+    The module must expose ``ALL_PROPERTIES`` (or ``PROPERTIES``) — the
+    same convention as :mod:`repro.properties`.  Used by the CI mutation
+    smoke check to lint a deliberately broken catalog fixture.
+    """
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise LintError(
+            f"cannot import catalog module {module_name!r}: {exc}"
+        ) from exc
+    for attribute in ("ALL_PROPERTIES", "PROPERTIES"):
+        properties = getattr(module, attribute, None)
+        if properties is not None:
+            return list(properties)
+    raise LintError(
+        f"catalog module {module_name!r} defines neither ALL_PROPERTIES "
+        f"nor PROPERTIES")
+
+
+def run_lint(implementations: Optional[Sequence[str]] = None,
+             run_xcheck: bool = True,
+             baseline_path: Optional[Path] = None,
+             catalog_module: Optional[str] = None,
+             source_root: Optional[Path] = None) -> LintReport:
+    """Run the configured lint families and fold in the baseline."""
+    findings: List[Finding] = []
+    families: List[str] = [FAMILY_SPEC, FAMILY_HYGIENE]
+
+    if catalog_module is not None:
+        findings.extend(lint_catalog(load_catalog(catalog_module),
+                                     origin=catalog_module))
+    else:
+        findings.extend(lint_catalog())
+
+    findings.extend(lint_source(root=source_root))
+
+    implementations = list(implementations if implementations is not None
+                           else DEFAULT_IMPLEMENTATIONS)
+    if run_xcheck:
+        families.append(FAMILY_XCHECK)
+        reference = None
+        for implementation in implementations:
+            if implementation != REFERENCE_IMPLEMENTATION:
+                if reference is None:
+                    from ..core.prochecker import ProChecker
+                    reference = ProChecker(
+                        REFERENCE_IMPLEMENTATION).extract()
+                findings.extend(lint_implementation(
+                    implementation, reference=reference))
+            else:
+                findings.extend(lint_implementation(implementation))
+
+    baseline = (Baseline.load(baseline_path)
+                if baseline_path is not None else Baseline())
+    kept, suppressed = baseline.apply(findings)
+    return LintReport(
+        findings=kept,
+        suppressed=suppressed,
+        families=families,
+        implementations=implementations if run_xcheck else [],
+    )
+
+
+def default_baseline_path() -> Path:
+    """``lint-baseline.json`` at the repo root (src/repro/../..)."""
+    return (Path(__file__).resolve().parent.parent.parent.parent
+            / DEFAULT_BASELINE_NAME)

@@ -1,0 +1,310 @@
+"""Spec lint (PCL01x): static analysis of the property catalog.
+
+A property whose formula mentions an undeclared atom, compares a variable
+against a misspelled enum literal, or carries an unsatisfiable antecedent
+is a *silent no-op*: the checker still runs, the verdict still says
+VERIFIED, and nothing downstream notices.  This family parses every
+catalog formula under both vocabularies and resolves each atom against
+the threat model's declared variables and enum domains, exactly as the
+verification pipeline would (``parse_ltl`` + the instrumentor's variable
+table), so a formula that lints clean is guaranteed to bind to real model
+state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..baselines.lteinspector import lteinspector_mme, lteinspector_ue
+from ..extraction.signatures import INTERNAL_TRIGGERS
+from ..lte import constants as c
+from ..mc.expr import Compare, Expr, ExprError, Not, _NaryExpr, parse_expr
+from ..mc.ltl import LTLError, parse_ltl
+from ..properties.spec import (EXTRACTED_VOCAB, KIND_LTL, KIND_TESTBED,
+                               LTEINSPECTOR_VOCAB, Property)
+from ..threat.instrumentor import (COUNT_RELATIONS, NONE_MSG, SQN_RELATIONS,
+                                   TURN_ADV_DL, TURN_ADV_UL, TURN_MME,
+                                   TURN_UE)
+from .findings import Finding
+
+#: Keep brute-force satisfiability bounded; antecedents in the catalog
+#: mention <= 6 small-domain variables, far below this.
+SAT_ENUMERATION_CAP = 250_000
+
+_VOCABULARIES: Tuple[Tuple[str, Dict[str, str]], ...] = (
+    ("extracted", EXTRACTED_VOCAB),
+    ("lteinspector", LTEINSPECTOR_VOCAB),
+)
+
+
+def _vocabulary_domains(vocabulary_name: str) -> Dict[str, Tuple]:
+    """The declared variable/domain table of the instrumented model.
+
+    Mirrors :meth:`repro.threat.ThreatInstrumentor._build`, but over the
+    *full standards alphabet* rather than one extraction's subset: spec
+    lint must be runnable without a conformance run, and a property is
+    well-formed iff it binds to some standards-defined state or message.
+    """
+    if vocabulary_name == "lteinspector":
+        ue_states = tuple(sorted(lteinspector_ue().states))
+    else:
+        ue_states = tuple(sorted(c.UE_STATES))
+    return {
+        "turn": (TURN_MME, TURN_ADV_DL, TURN_UE, TURN_ADV_UL),
+        "ue_state": ue_states,
+        "mme_state": tuple(sorted(lteinspector_mme().states)),
+        "chan_dl": (NONE_MSG,) + tuple(c.DOWNLINK_MESSAGES),
+        "chan_ul": (NONE_MSG,) + tuple(c.UPLINK_MESSAGES),
+        "dl_mac_valid": (0, 1),
+        "dl_plain": (0, 1),
+        "dl_replayed": (0, 1),
+        "dl_injected": (0, 1),
+        "ul_injected": (0, 1),
+        "dl_paging_match": (0, 1),
+        "dl_sqn_rel": tuple(SQN_RELATIONS),
+        "dl_count_rel": tuple(COUNT_RELATIONS),
+    }
+
+
+def _domains_for(prop: Property, vocabulary_name: str) -> Dict[str, Tuple]:
+    domains = dict(_vocabulary_domains(vocabulary_name))
+    for message in prop.threat.replay_dl:
+        domains[f"sent_{message}"] = (0, 1)
+    return domains
+
+
+def _walk_expr(expr: Expr) -> Iterable[Expr]:
+    yield expr
+    if isinstance(expr, Not):
+        yield from _walk_expr(expr.operand)
+    elif isinstance(expr, _NaryExpr):
+        for operand in expr.operands:
+            yield from _walk_expr(operand)
+
+
+def _enum_typos(expr: Expr, domains: Dict[str, Tuple]) -> List[str]:
+    """Comparisons whose RHS literal lies outside the LHS domain."""
+    problems = []
+    for node in _walk_expr(expr):
+        if not isinstance(node, Compare) or node.right_is_var:
+            continue
+        domain = domains.get(node.left)
+        if domain is None:
+            continue  # undefined atom: PCL011's business
+        if node.right not in domain:
+            problems.append(
+                f"{node.left} {node.op} {node.right!r} can never hold: "
+                f"{node.right!r} is outside the declared domain "
+                f"{tuple(domain)!r}")
+    return problems
+
+
+_TEMPORAL_TOKEN = re.compile(r"(?<![\w.])[GFXUR](?![\w.])")
+
+
+def _antecedents(text: str) -> List[str]:
+    """The textual left operand of each ``->`` in ``text``.
+
+    The scan walks back from each ``->`` to the opening parenthesis of
+    its group (or the start of the formula), so the slice is always
+    parenthesis-balanced.  Antecedents containing temporal operators are
+    dropped — satisfiability is only decidable here for propositional
+    antecedents, which is all the catalog uses.
+    """
+    spans: List[str] = []
+    index = 0
+    while True:
+        index = text.find("->", index)
+        if index < 0:
+            break
+        if index > 0 and text[index - 1] == "<":   # part of "<->"
+            index += 2
+            continue
+        depth = 0
+        start = 0
+        for position in range(index - 1, -1, -1):
+            char = text[position]
+            if char == ")":
+                depth += 1
+            elif char == "(":
+                if depth == 0:
+                    start = position + 1
+                    break
+                depth -= 1
+        candidate = text[start:index].strip()
+        if candidate and not _TEMPORAL_TOKEN.search(candidate):
+            spans.append(candidate)
+        index += 2
+    return spans
+
+
+def _try_parse(text: str, domains: Dict[str, Tuple]) -> Optional[Expr]:
+    """Parse a propositional slice, or ``None`` if it does not stand
+    alone (PCL010/PCL011 report real parse problems on the full
+    formula)."""
+    try:
+        return parse_expr(text, domains)
+    except ExprError:
+        return None
+
+
+def _satisfiable(expr: Expr, domains: Dict[str, Tuple]) -> Optional[bool]:
+    """Brute-force satisfiability over the declared domains.
+
+    Returns ``None`` when undecidable here: unknown variables (PCL011
+    already fires) or a state space above :data:`SAT_ENUMERATION_CAP`.
+    """
+    names = sorted(expr.variables())
+    sizes = 1
+    for name in names:
+        if name not in domains:
+            return None
+        sizes *= len(domains[name])
+        if sizes > SAT_ENUMERATION_CAP:
+            return None
+    for values in itertools.product(*(domains[name] for name in names)):
+        state = dict(zip(names, values))
+        try:
+            if expr.evaluate(state):
+                return True
+        except ExprError:
+            return None
+    return False
+
+
+def _lint_formula(prop: Property, vocabulary_name: str,
+                  vocabulary: Dict[str, str],
+                  origin: str) -> List[Finding]:
+    location = f"{origin}::{prop.identifier}"
+    findings: List[Finding] = []
+    try:
+        text = prop.formula_for(vocabulary)
+    except (KeyError, ValueError) as exc:
+        return [Finding(
+            "PCL010", location,
+            f"formula template does not instantiate under the "
+            f"{vocabulary_name} vocabulary: {exc}")]
+
+    domains = _domains_for(prop, vocabulary_name)
+    try:
+        formula = parse_ltl(text, domains)
+    except (LTLError, ExprError) as exc:
+        return [Finding(
+            "PCL010", location,
+            f"formula does not parse under the {vocabulary_name} "
+            f"vocabulary: {exc}")]
+
+    for atom_expr in sorted(formula.atoms(), key=str):
+        unknown = sorted(atom_expr.variables() - set(domains))
+        for name in unknown:
+            findings.append(Finding(
+                "PCL011", location,
+                f"atom {atom_expr} references undefined variable "
+                f"{name!r} ({vocabulary_name} vocabulary)"))
+        for problem in _enum_typos(atom_expr, domains):
+            findings.append(Finding(
+                "PCL012", location,
+                f"{problem} ({vocabulary_name} vocabulary)"))
+
+    # Vacuity only makes sense once the formula binds cleanly.
+    if not findings:
+        for antecedent_text in _antecedents(text):
+            antecedent = _try_parse(antecedent_text, domains)
+            if antecedent is None:
+                continue
+            if _satisfiable(antecedent, domains) is False:
+                findings.append(Finding(
+                    "PCL014", location,
+                    f"antecedent {antecedent_text!r} is unsatisfiable "
+                    f"over the declared domains ({vocabulary_name} "
+                    f"vocabulary): the implication is vacuously true"))
+    return findings
+
+
+def _lint_threat(prop: Property, origin: str) -> List[Finding]:
+    location = f"{origin}::{prop.identifier}"
+    findings: List[Finding] = []
+    known_internal = set(INTERNAL_TRIGGERS.values())
+    checks = (
+        ("replay_dl", prop.threat.replay_dl, set(c.DOWNLINK_MESSAGES)),
+        ("inject_dl", prop.threat.inject_dl, set(c.DOWNLINK_MESSAGES)),
+        ("inject_ul", prop.threat.inject_ul, set(c.UPLINK_MESSAGES)),
+        ("internal_triggers", prop.threat.internal_triggers,
+         known_internal),
+    )
+    for key, values, universe in checks:
+        for value in values:
+            if value not in universe:
+                findings.append(Finding(
+                    "PCL015", location,
+                    f"threat config {key} names {value!r}, which is not "
+                    f"a known {'internal trigger' if key == 'internal_triggers' else 'message'}"))
+    return findings
+
+
+def _testbed_registry() -> Dict[str, object]:
+    # Imported lazily: the testbed package registers its attack scripts
+    # at import time and spec lint should not pay for that unless a
+    # testbed property actually needs resolving.
+    from ..testbed import registry
+    return registry()
+
+
+def _lint_duplicates(properties: Sequence[Property],
+                     origin: str) -> List[Finding]:
+    from ..core.cegar import threat_config_key
+
+    def _normalized(prop: Property) -> Optional[str]:
+        try:
+            text = prop.formula_for(EXTRACTED_VOCAB)
+            return str(parse_ltl(text, _domains_for(prop, "extracted")))
+        except (KeyError, ValueError, LTLError, ExprError):
+            return None  # PCL010 already fires for this property
+
+    findings: List[Finding] = []
+    seen: Dict[Tuple, str] = {}
+    for prop in properties:
+        if prop.kind != KIND_LTL:
+            continue
+        normalized = _normalized(prop)
+        if normalized is None:
+            continue
+        key = (normalized, threat_config_key(prop.threat))
+        if key in seen:
+            findings.append(Finding(
+                "PCL013", f"{origin}::{prop.identifier}",
+                f"property duplicates {seen[key]}: identical normalized "
+                f"formula and threat configuration"))
+        else:
+            seen[key] = prop.identifier
+    return findings
+
+
+def lint_catalog(properties: Optional[Sequence[Property]] = None,
+                 origin: str = "repro.properties.catalog"
+                 ) -> List[Finding]:
+    """Run the full spec-lint family over ``properties``."""
+    if properties is None:
+        from ..properties import ALL_PROPERTIES
+        properties = ALL_PROPERTIES
+
+    findings: List[Finding] = []
+    registry: Optional[Dict[str, object]] = None
+    for prop in properties:
+        if prop.kind == KIND_LTL:
+            for vocabulary_name, vocabulary in _VOCABULARIES:
+                findings.extend(_lint_formula(prop, vocabulary_name,
+                                              vocabulary, origin))
+            findings.extend(_lint_threat(prop, origin))
+        elif prop.kind == KIND_TESTBED:
+            if registry is None:
+                registry = _testbed_registry()
+            if prop.testbed_attack not in registry:
+                findings.append(Finding(
+                    "PCL016", f"{origin}::{prop.identifier}",
+                    f"testbed experiment {prop.testbed_attack!r} is not "
+                    f"implemented by any registered attack"))
+    findings.extend(_lint_duplicates(properties, origin))
+    return findings

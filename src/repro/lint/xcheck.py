@@ -1,0 +1,174 @@
+"""Cross-check lint (PCL02x): static extraction vs. the dynamic FSM.
+
+The dynamic extractor (Algorithm 1) only sees behaviour the conformance
+suite exercises; the static extractor (:mod:`repro.lint.staticfsm`) only
+sees behaviour written in the source.  Comparing the two catches defects
+neither view can see alone:
+
+- a handler with no dynamic trace is a conformance-suite gap (PCL020);
+- a dynamic transition with no static origin means the extractor — or
+  the signature tables it relies on — is attributing behaviour to the
+  wrong code (PCL021);
+- a dynamic transition whose static origin is a *seeded* policy branch
+  (srsUE / OAI Table I deviations) is expected and reported as
+  informational context, never as a failure (PCL022);
+- a guard predicate the threat layer cannot compile would silently
+  vanish from the instrumented model (PCL023);
+- a handler the dispatch/signature tables do not know is dead code the
+  extractor can never observe (PCL024).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..fsm.analysis import diff, missing_stimuli
+from ..fsm.machine import FiniteStateMachine, Transition
+from ..threat.predicates import (PredicateError, compile_predicate,
+                                 split_guard)
+from .findings import Finding
+from .staticfsm import (KIND_MESSAGE, StaticHandler, StaticModel,
+                        static_ue_model)
+
+#: The implementation whose dynamic FSM is the compliant reference.
+REFERENCE_IMPLEMENTATION = "reference"
+
+
+def _extract(implementation: str) -> FiniteStateMachine:
+    # Imported here so `repro lint --no-xcheck` never pays for the
+    # pipeline (and its conformance run) at all.
+    from ..core.prochecker import ProChecker
+    return ProChecker(implementation).extract()
+
+
+def _handler_findings(handler: StaticHandler,
+                      dynamic_triggers: Set[str],
+                      gap_count: Dict[str, int]) -> List[Finding]:
+    findings: List[Finding] = []
+    if not handler.mapped:
+        findings.append(Finding(
+            "PCL024", handler.location,
+            f"handler {handler.method!r} has no signature-table mapping "
+            f"for trigger {handler.trigger!r}; the extractor can never "
+            f"observe it", line=handler.line))
+        return findings
+    if handler.trigger not in dynamic_triggers:
+        gaps = gap_count.get(handler.trigger)
+        detail = (f" ({gaps} reachable state(s) lack the stimulus)"
+                  if gaps else "")
+        findings.append(Finding(
+            "PCL020", handler.location,
+            f"handler for {handler.trigger!r} is never exercised by the "
+            f"conformance suite{detail}", line=handler.line))
+    return findings
+
+
+def _transition_origin_finding(transition: Transition,
+                               handler: Optional[StaticHandler],
+                               location: str) -> Optional[Finding]:
+    if handler is None:
+        return Finding(
+            "PCL021", location,
+            f"dynamic transition {transition.describe()} has no static "
+            f"handler for trigger {transition.trigger!r}")
+    if (transition.target != transition.source
+            and not handler.writes_open
+            and transition.target not in handler.states_written):
+        return Finding(
+            "PCL021", location,
+            f"dynamic transition {transition.describe()} reaches "
+            f"{transition.target!r}, but {handler.method!r} only writes "
+            f"{list(handler.states_written)!r}")
+    return None
+
+
+def _guard_findings(transition: Transition, location: str) -> List[Finding]:
+    findings: List[Finding] = []
+    _, predicates = split_guard(transition.conditions)
+    for name, value in sorted(predicates.items()):
+        try:
+            compile_predicate(name, value)
+        except PredicateError as exc:
+            findings.append(Finding(
+                "PCL023", location,
+                f"guard predicate {name}={value} on "
+                f"{transition.describe()} has no semantic mapping: {exc}"))
+    return findings
+
+
+def _deviation_findings(model: StaticModel,
+                        dynamic: FiniteStateMachine,
+                        reference: FiniteStateMachine) -> List[Finding]:
+    """PCL022: implementation-only transitions tied to seeded flags."""
+    findings: List[Finding] = []
+    if not model.deviant_flags:
+        return findings
+    deviant = set(model.deviant_flags)
+    by_trigger = model.by_trigger()
+    for transition in diff(dynamic, reference).only_in_first:
+        handler = by_trigger.get(transition.trigger)
+        if handler is None:
+            continue  # PCL021 already covers this
+        involved = sorted(deviant & set(handler.policy_flags))
+        if involved:
+            findings.append(Finding(
+                "PCL022", f"{model.implementation}::{transition.trigger}",
+                f"transition {transition.describe()} deviates from the "
+                f"reference via seeded policy flag(s) "
+                f"{', '.join(involved)} (expected Table I behaviour)",
+                details={"flags": ",".join(involved)}))
+    return findings
+
+
+def lint_implementation(implementation: str,
+                        dynamic: Optional[FiniteStateMachine] = None,
+                        reference: Optional[FiniteStateMachine] = None
+                        ) -> List[Finding]:
+    """Run the full cross-check family for one UE implementation.
+
+    ``dynamic`` and ``reference`` allow tests to supply pre-built
+    machines; by default both come from the (cached) extraction
+    pipeline.
+    """
+    model = static_ue_model(implementation)
+    if dynamic is None:
+        dynamic = _extract(implementation)
+
+    findings: List[Finding] = []
+    dynamic_triggers = {t.trigger for t in dynamic.transitions}
+    gap_count: Dict[str, int] = {}
+    for gap in missing_stimuli(dynamic,
+                               {h.trigger for h in model.handlers
+                                if h.mapped and h.kind == KIND_MESSAGE}):
+        gap_count[gap.trigger] = gap_count.get(gap.trigger, 0) + 1
+
+    for handler in model.handlers:
+        findings.extend(_handler_findings(handler, dynamic_triggers,
+                                          gap_count))
+
+    by_trigger = model.by_trigger()
+
+    # Seeded deviations first: a transition explained by a seeded policy
+    # flag is expected Table I behaviour and must not double-report as a
+    # missing static origin.
+    explained: Set[Transition] = set()
+    if implementation != REFERENCE_IMPLEMENTATION:
+        if reference is None:
+            reference = _extract(REFERENCE_IMPLEMENTATION)
+        deviation_findings = _deviation_findings(model, dynamic, reference)
+        findings.extend(deviation_findings)
+        deviant = set(model.deviant_flags)
+        for transition in diff(dynamic, reference).only_in_first:
+            handler = by_trigger.get(transition.trigger)
+            if handler is not None and deviant & set(handler.policy_flags):
+                explained.add(transition)
+
+    for transition in dynamic.transitions:
+        location = f"{implementation}::{transition.trigger}"
+        if transition not in explained:
+            origin = _transition_origin_finding(
+                transition, by_trigger.get(transition.trigger), location)
+            if origin is not None:
+                findings.append(origin)
+        findings.extend(_guard_findings(transition, location))
+    return findings

@@ -61,7 +61,8 @@ class NasMessage:
         return self.sec_header in (c.SEC_HDR_INTEGRITY_CIPHERED,
                                    c.SEC_HDR_INTEGRITY_CIPHERED_NEW_CTX)
 
-    def get(self, name: str, default: FieldValue = None) -> FieldValue:
+    def get(self, name: str,
+            default: Optional[FieldValue] = None) -> Optional[FieldValue]:
         return self.fields.get(name, default)
 
     # Typed accessors: incoming fields are attacker-controlled, so the

@@ -18,7 +18,7 @@ cycled the array — "a couple of days old" in operational traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 #: COTS choice observed in the paper's experiments.

@@ -15,7 +15,7 @@ I/O the observability layer ever performs.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from .spans import Span
 from .stats import PipelineStats

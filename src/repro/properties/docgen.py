@@ -1,13 +1,15 @@
 """Generate ``docs/PROPERTIES.md`` from the catalog.
 
 Run as ``python -m repro.properties.docgen`` after editing the catalog;
-``tests/properties/test_docgen.py`` keeps the checked-in document in
-sync.
+``--check`` exits non-zero when the checked-in document is stale (the CI
+static-analysis job runs it, alongside ``tests/properties/test_docgen.py``).
 """
 
 from __future__ import annotations
 
-from typing import List
+import argparse
+import sys
+from typing import List, Optional
 
 from .catalog import ALL_PROPERTIES
 from .spec import EXTRACTED_VOCAB, KIND_LTL
@@ -60,11 +62,39 @@ def render() -> str:
     return "\n".join(lines)
 
 
-def main() -> None:  # pragma: no cover - thin file-writing wrapper
-    with open("docs/PROPERTIES.md", "w") as handle:
-        handle.write(render())
-    print("wrote docs/PROPERTIES.md")
+DEFAULT_OUTPUT = "docs/PROPERTIES.md"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.properties.docgen",
+        description="regenerate docs/PROPERTIES.md from the catalog")
+    parser.add_argument("--check", action="store_true",
+                        help="do not write; exit 1 if the checked-in "
+                             "document is stale")
+    parser.add_argument("-o", "--output", metavar="FILE",
+                        default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    text = render()
+    if args.check:
+        try:
+            with open(args.output) as handle:
+                current = handle.read()
+        except OSError as exc:
+            print(f"{args.output} unreadable: {exc}", file=sys.stderr)
+            return 1
+        if current != text:
+            print(f"{args.output} is stale; regenerate with "
+                  f"`python -m repro.properties.docgen`", file=sys.stderr)
+            return 1
+        print(f"{args.output} is up to date")
+        return 0
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

@@ -9,6 +9,7 @@ the attack registry, which these experiments share.
 
 from __future__ import annotations
 
+from .. import obs
 from ..cpv.deduction import Knowledge
 from ..cpv.equivalence import Frame, distinguishable
 from ..cpv.terms import Atom, KIND_DATA, KIND_KEY
@@ -26,6 +27,7 @@ def _channel_knowledge(testbed: Testbed, station: str) -> Knowledge:
         try:
             message = NasMessage.from_wire(record.frame)
         except Exception:  # noqa: BLE001
+            obs.count("channel.malformed_frames")
             continue
         knowledge.observe(_message_term(message))
     return knowledge
@@ -87,6 +89,7 @@ def secrecy_imsi_guti_attach(implementation: str) -> AttackResult:
         try:
             message = NasMessage.from_wire(record.frame)
         except Exception:  # noqa: BLE001
+            obs.count("channel.malformed_frames")
             continue
         knowledge.observe(_message_term(message))
     imsi_atom = Atom(f"imsi:{imsi}", KIND_DATA, public=False)
@@ -114,6 +117,7 @@ def guti_reattach(implementation: str) -> AttackResult:
         try:
             message = NasMessage.from_wire(record.frame)
         except Exception:  # noqa: BLE001
+            obs.count("channel.malformed_frames")
             continue
         if message.name == c.ATTACH_REQUEST and "imsi" in message.fields:
             used_imsi = True
@@ -145,6 +149,7 @@ def attach_replay_indistinguishable(implementation: str) -> AttackResult:
             try:
                 message = NasMessage.from_wire(record.frame)
             except Exception:  # noqa: BLE001
+                obs.count("channel.malformed_frames")
                 continue
             # The distinguisher is the response *type*; payloads are
             # subscriber-specific by construction.

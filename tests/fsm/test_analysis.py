@@ -53,6 +53,31 @@ class TestDiff:
         assert delta.only_in_second[0].trigger == "m9"
         assert len(delta.common) == 3
 
+    def test_state_only_differences(self):
+        first = make_machine()
+        first.add_state("EXTRA")
+        delta = diff(first, make_machine())
+        assert delta.states_only_in_first == {"EXTRA"}
+        assert delta.states_only_in_second == set()
+        assert not delta.identical
+
+    def test_guard_level_difference_is_transition_level(self):
+        # Same endpoints, stricter guard: both sides report the
+        # transition as unique — conditions are part of identity.
+        first = make_machine()
+        second = make_machine()
+        second.add_transition("A", "B", ("m1", "p=1", "q=1"), ("a1",))
+        delta = diff(first, second)
+        assert len(delta.only_in_second) == 1
+        assert delta.only_in_second[0].predicates == ("p=1", "q=1")
+
+    def test_diff_is_directional(self):
+        first = make_machine()
+        second = make_machine()
+        second.add_transition("C", "A", ("m9",), ("a9",))
+        assert diff(first, second).only_in_second \
+            == diff(second, first).only_in_first
+
 
 class TestMetrics:
     def test_condition_histogram(self):

@@ -1,0 +1,50 @@
+"""A deliberately broken property catalog for lint tests and CI.
+
+Each property here seeds exactly one defect class; the CI mutation smoke
+check runs ``repro lint --catalog tests.lint.bad_catalog`` and asserts a
+non-zero exit.
+"""
+
+from repro.properties.spec import Property
+from repro.threat import ThreatConfig
+
+#: Which gating rule each mutant must trip (used by the tests).
+EXPECTED_RULES = {
+    "BAD-UNDEF-ATOM": "PCL011",
+    "BAD-ENUM-TYPO": "PCL012",
+    "BAD-VACUOUS": "PCL014",
+    "BAD-THREAT-MSG": "PCL015",
+    "BAD-TESTBED": "PCL016",
+    "BAD-DUP-B": "PCL013",
+}
+
+ALL_PROPERTIES = [
+    Property("BAD-UNDEF-ATOM", "security", "ltl",
+             "references a variable the threat model never declares",
+             formula="G (bogus_variable = 1 -> "
+                     "X (chan_ul != attach_complete))"),
+    Property("BAD-ENUM-TYPO", "security", "ltl",
+             "compares chan_dl against a misspelled message name",
+             formula="G (turn = ue & chan_dl = attach_acept -> "
+                     "X (chan_ul != attach_complete))"),
+    Property("BAD-VACUOUS", "security", "ltl",
+             "antecedent requires two different states at once",
+             formula="G (ue_state = $ue_registered & "
+                     "ue_state = $ue_deregistered -> "
+                     "X (chan_ul != attach_complete))"),
+    Property("BAD-THREAT-MSG", "security", "ltl",
+             "threat config injects a message that does not exist",
+             formula="G (turn = ue -> X (chan_ul != attach_complete))",
+             threat=ThreatConfig(inject_dl=("totally_made_up_message",))),
+    Property("BAD-TESTBED", "privacy", "testbed",
+             "names an experiment no registered attack implements",
+             testbed_attack="NO-SUCH-EXPERIMENT"),
+    Property("BAD-DUP-A", "security", "ltl",
+             "first copy of a duplicated property",
+             formula="G (turn = ue & dl_plain = 1 -> "
+                     "X (chan_ul != attach_complete))"),
+    Property("BAD-DUP-B", "security", "ltl",
+             "identical formula and threat config to BAD-DUP-A",
+             formula="G (turn = ue & dl_plain = 1 -> "
+                     "X (chan_ul != attach_complete))"),
+]

@@ -1,0 +1,61 @@
+"""Baseline suppression file: write/load/apply round trips."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, Finding, LintError
+
+
+def _finding(message="msg", rule="PCL013"):
+    return Finding(rule, "catalog::SEC-01", message)
+
+
+class TestRoundTrip:
+    def test_write_then_load_suppresses(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        accepted = _finding("accepted")
+        Baseline.write(path, [accepted])
+        baseline = Baseline.load(path)
+        kept, suppressed = baseline.apply([accepted, _finding("new")])
+        assert [f.message for f in suppressed] == ["accepted"]
+        assert [f.message for f in kept] == ["new"]
+
+    def test_write_deduplicates(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        count = Baseline.write(path, [_finding(), _finding()])
+        assert count == 1
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+        assert _finding() not in baseline
+
+
+class TestValidation:
+    def test_unreadable_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "suppressions": []}))
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(["just", "a", "list"]))
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+
+class TestCheckedInBaseline:
+    def test_repo_baseline_loads(self):
+        from repro.lint import default_baseline_path
+        baseline = Baseline.load(default_baseline_path())
+        # The adopted debt: 3 intentional catalog cross-listings plus
+        # one known conformance-suite coverage gap.
+        assert len(baseline) >= 4

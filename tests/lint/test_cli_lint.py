@@ -1,0 +1,73 @@
+"""``repro lint`` CLI: exit codes, JSON output, baseline flags."""
+
+import json
+
+from repro.cli import EXIT_CODES, LINT_FINDINGS_EXIT_CODE, main
+
+
+class TestExitCodeRegistry:
+    def test_lint_code_registered(self):
+        assert EXIT_CODES["lint_findings"] == LINT_FINDINGS_EXIT_CODE
+
+    def test_lint_code_distinct_from_verdict_codes(self):
+        verdict_codes = {code for key, code in EXIT_CODES.items()
+                         if key != "lint_findings"}
+        assert LINT_FINDINGS_EXIT_CODE not in verdict_codes
+
+
+class TestSeedTree:
+    def test_clean_with_baseline(self, capsys):
+        status = main(["lint", "--no-xcheck", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["clean"] is True
+        assert payload["counts"]["suppressed"] >= 3
+
+    def test_gates_without_baseline(self, capsys):
+        # The three intentional catalog duplicates gate once the
+        # baseline is ignored.
+        status = main(["lint", "--no-xcheck", "--no-baseline", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == LINT_FINDINGS_EXIT_CODE
+        assert {f["rule"] for f in payload["findings"]} == {"PCL013"}
+
+    def test_text_output_lists_counts(self, capsys):
+        status = main(["lint", "--no-xcheck"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "error(s)" in out
+
+
+class TestMutatedCatalog:
+    def test_mutations_detected_with_rule_ids(self, capsys):
+        status = main(["lint", "--no-xcheck", "--no-baseline", "--json",
+                       "--catalog", "tests.lint.bad_catalog"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == LINT_FINDINGS_EXIT_CODE
+        rules = {f["rule"] for f in payload["findings"]}
+        assert {"PCL011", "PCL012", "PCL014", "PCL015",
+                "PCL016", "PCL013"} <= rules
+
+    def test_bad_catalog_module_is_an_error(self, capsys):
+        status = main(["lint", "--no-xcheck",
+                       "--catalog", "tests.lint.no_such_module"])
+        assert status == 2
+        assert "lint failed" in capsys.readouterr().err
+
+
+class TestBaselineWorkflow:
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        status = main(["lint", "--no-xcheck", "--write-baseline",
+                       "--baseline", str(baseline),
+                       "--catalog", "tests.lint.bad_catalog"])
+        assert status == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        status = main(["lint", "--no-xcheck", "--json",
+                       "--baseline", str(baseline),
+                       "--catalog", "tests.lint.bad_catalog"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["clean"] is True
+        assert payload["counts"]["suppressed"] > 0

@@ -1,0 +1,82 @@
+"""Findings model: rule registry, fingerprints, report semantics."""
+
+import pytest
+
+from repro.lint import Finding, LintError, LintReport, RULES, Severity
+from repro.lint.findings import sort_findings
+
+
+class TestRules:
+    def test_registry_covers_all_families(self):
+        families = {rule.family for rule in RULES.values()}
+        assert families == {"spec", "xcheck", "hygiene"}
+
+    def test_identifiers_match_family_numbering(self):
+        for identifier, rule in RULES.items():
+            assert identifier.startswith("PCL0")
+            digit = identifier[4]
+            assert {"1": "spec", "2": "xcheck",
+                    "3": "hygiene"}[digit] == rule.family
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(LintError):
+            Finding("PCL999", "somewhere", "nonsense")
+
+
+class TestSeverity:
+    def test_gating(self):
+        assert Severity.ERROR.gates()
+        assert Severity.WARNING.gates()
+        assert not Severity.INFO.gates()
+
+    def test_rank_order(self):
+        assert (Severity.ERROR.rank > Severity.WARNING.rank
+                > Severity.INFO.rank)
+
+
+class TestFingerprint:
+    def test_line_number_excluded(self):
+        first = Finding("PCL030", "a.py::f", "mutable default", line=10)
+        second = Finding("PCL030", "a.py::f", "mutable default", line=99)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_message_included(self):
+        first = Finding("PCL030", "a.py::f", "one thing")
+        second = Finding("PCL030", "a.py::f", "another thing")
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_prefix_is_rule_and_location(self):
+        finding = Finding("PCL011", "catalog::SEC-01", "boom")
+        assert finding.fingerprint().startswith("PCL011:catalog::SEC-01:")
+
+
+class TestReport:
+    def _finding(self, rule="PCL011"):
+        return Finding(rule, "loc", "msg")
+
+    def test_info_does_not_gate(self):
+        report = LintReport(findings=[self._finding("PCL022")])
+        assert not report.gating
+        assert report.to_dict()["clean"] is True
+
+    def test_warning_gates(self):
+        report = LintReport(findings=[self._finding("PCL013")])
+        assert report.gating
+        assert report.to_dict()["clean"] is False
+
+    def test_counts(self):
+        report = LintReport(
+            findings=[self._finding("PCL011"), self._finding("PCL022")],
+            suppressed=[self._finding("PCL013")])
+        assert report.counts() == {"error": 1, "warning": 0, "info": 1,
+                                   "suppressed": 1}
+
+    def test_sort_severity_major(self):
+        ordered = sort_findings([self._finding("PCL022"),
+                                 self._finding("PCL013"),
+                                 self._finding("PCL011")])
+        assert [f.rule for f in ordered] == ["PCL011", "PCL013", "PCL022"]
+
+    def test_format_text_mentions_counts(self):
+        report = LintReport(findings=[self._finding("PCL011")])
+        assert "1 error(s)" in report.format_text()

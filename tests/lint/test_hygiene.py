@@ -1,0 +1,127 @@
+"""Hygiene family (PCL03x) on fixture trees and the real source."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintError, lint_source
+
+
+def _lint_snippet(tmp_path, source):
+    (tmp_path / "module.py").write_text(textwrap.dedent(source))
+    return lint_source(root=tmp_path, display_root=tmp_path)
+
+
+class TestMutableDefault:
+    def test_literal_default_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(items=[]):
+                return items
+        """)
+        assert [f.rule for f in findings] == ["PCL030"]
+        assert "items" in findings[0].message
+
+    def test_constructor_default_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(cache=dict()):
+                return cache
+        """)
+        assert [f.rule for f in findings] == ["PCL030"]
+
+    def test_keyword_only_default_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(*, extras={}):
+                return extras
+        """)
+        assert [f.rule for f in findings] == ["PCL030"]
+
+    def test_none_default_not_flagged_as_mutable(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            from typing import Optional, Set
+
+            def f(items: Optional[Set[str]] = None):
+                return items
+        """)
+        assert findings == []
+
+
+class TestNonOptionalNoneDefault:
+    def test_bare_container_annotation_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            from typing import Set
+
+            def f(alphabet: Set[str] = None):
+                return alphabet
+        """)
+        assert [f.rule for f in findings] == ["PCL031"]
+        assert "alphabet" in findings[0].message
+
+    def test_union_none_annotation_allowed(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(alphabet: "set[str] | None" = None):
+                return alphabet
+        """)
+        assert findings == []
+
+    def test_unannotated_none_default_allowed(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(alphabet=None):
+                return alphabet
+        """)
+        assert findings == []
+
+
+class TestSwallowedExcept:
+    def test_bare_pass_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    pass
+        """)
+        assert [f.rule for f in findings] == ["PCL032"]
+
+    def test_continue_in_loop_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(xs):
+                for x in xs:
+                    try:
+                        risky(x)
+                    except ValueError:
+                        continue
+        """)
+        assert [f.rule for f in findings] == ["PCL032"]
+
+    def test_obs_count_not_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(xs):
+                for x in xs:
+                    try:
+                        risky(x)
+                    except ValueError:
+                        obs.count("channel.malformed_frames")
+                        continue
+        """)
+        assert findings == []
+
+    def test_reraise_not_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    raise
+        """)
+        assert findings == []
+
+
+class TestRealTree:
+    def test_seed_source_is_clean(self):
+        assert lint_source() == [], [
+            f.format() for f in lint_source()]
+
+    def test_unparseable_file_raises(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        with pytest.raises(LintError):
+            lint_source(root=tmp_path)

@@ -1,0 +1,67 @@
+"""Spec-lint family (PCL01x) over the real catalog and seeded mutants."""
+
+from repro.lint import lint_catalog
+from repro.properties import ALL_PROPERTIES
+
+from . import bad_catalog
+
+
+def _by_identifier(findings, identifier):
+    return [f for f in findings if f.location.endswith(f"::{identifier}")]
+
+
+class TestSeedCatalog:
+    def test_no_errors_on_seed_catalog(self):
+        findings = lint_catalog()
+        assert not [f for f in findings
+                    if f.severity.value == "error"], [
+            f.format() for f in findings]
+
+    def test_known_duplicates_are_the_only_findings(self):
+        # Three properties are intentional security/privacy
+        # cross-listings; they are baselined, not silenced.
+        findings = lint_catalog()
+        assert {f.rule for f in findings} <= {"PCL013"}
+
+    def test_every_ltl_formula_instantiates_both_vocabularies(self):
+        from repro.properties.spec import (EXTRACTED_VOCAB,
+                                           LTEINSPECTOR_VOCAB)
+        for prop in ALL_PROPERTIES:
+            if prop.kind == "ltl":
+                prop.formula_for(EXTRACTED_VOCAB)
+                prop.formula_for(LTEINSPECTOR_VOCAB)
+
+
+class TestMutatedCatalog:
+    def setup_method(self):
+        self.findings = lint_catalog(bad_catalog.ALL_PROPERTIES,
+                                     origin="tests.lint.bad_catalog")
+
+    def test_each_mutant_trips_its_rule(self):
+        for identifier, rule in bad_catalog.EXPECTED_RULES.items():
+            mine = _by_identifier(self.findings, identifier)
+            assert rule in {f.rule for f in mine}, (
+                f"{identifier}: expected {rule}, got "
+                f"{[f.format() for f in mine]}")
+
+    def test_no_spurious_findings_on_clean_mutant_fields(self):
+        # BAD-DUP-A is clean (its twin carries the duplicate finding).
+        assert not _by_identifier(self.findings, "BAD-DUP-A")
+
+    def test_undefined_atom_names_the_variable(self):
+        finding = _by_identifier(self.findings, "BAD-UNDEF-ATOM")[0]
+        assert "bogus_variable" in finding.message
+
+    def test_enum_typo_shows_the_domain(self):
+        mine = _by_identifier(self.findings, "BAD-ENUM-TYPO")
+        typo = [f for f in mine if f.rule == "PCL012"][0]
+        assert "attach_acept" in typo.message
+
+    def test_vacuous_implication_detected_under_both_vocabularies(self):
+        mine = [f for f in _by_identifier(self.findings, "BAD-VACUOUS")
+                if f.rule == "PCL014"]
+        messages = " ".join(f.message for f in mine)
+        assert "extracted" in messages and "lteinspector" in messages
+
+    def test_findings_gate(self):
+        assert any(f.severity.gates() for f in self.findings)

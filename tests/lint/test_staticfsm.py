@@ -1,0 +1,70 @@
+"""Static transition extraction from the NAS-layer source (AST walk)."""
+
+from repro.lint import static_mme_handlers, static_ue_model
+from repro.lte import constants as c
+
+
+class TestReferenceModel:
+    def setup_method(self):
+        self.model = static_ue_model("reference")
+
+    def test_all_downlink_messages_have_handlers(self):
+        message_triggers = {h.trigger for h in self.model.handlers
+                            if h.kind == "message"}
+        assert message_triggers == set(c.DOWNLINK_MESSAGES)
+
+    def test_internal_triggers_have_handlers(self):
+        internal = {h.trigger for h in self.model.handlers
+                    if h.kind == "internal"}
+        assert "internal_power_on" in internal
+        assert "internal_detach" in internal
+
+    def test_all_handlers_mapped(self):
+        assert all(h.mapped for h in self.model.handlers)
+
+    def test_reference_has_no_deviant_flags(self):
+        assert self.model.deviant_flags == ()
+
+    def test_attach_accept_writes_registered(self):
+        handler = self.model.by_trigger()[c.ATTACH_ACCEPT]
+        assert c.EMM_REGISTERED in handler.states_written
+
+    def test_attach_accept_sends_complete(self):
+        handler = self.model.by_trigger()[c.ATTACH_ACCEPT]
+        assert c.ATTACH_COMPLETE in handler.actions
+
+    def test_dispatch_alias_resolved_to_canonical_message(self):
+        # _recv_tau_accept_impl handles tracking_area_update_accept; the
+        # trigger must be the canonical message name, not the method
+        # fragment.
+        assert c.TAU_ACCEPT in self.model.by_trigger()
+        assert "tau_accept" not in self.model.by_trigger()
+
+    def test_policy_flags_propagate_through_helpers(self):
+        # _gate_protected -> _check_dl_count reads enforce_dl_count;
+        # every protected-message handler must inherit it transitively.
+        handler = self.model.by_trigger()[c.EMM_INFORMATION]
+        assert "enforce_dl_count" in handler.policy_flags
+
+
+class TestSeededImplementations:
+    def test_srsue_deviant_flags(self):
+        flags = set(static_ue_model("srsue").deviant_flags)
+        assert {"accept_equal_sqn", "enforce_dl_count",
+                "require_auth_after_reject"} <= flags
+
+    def test_oai_deviant_flags(self):
+        flags = set(static_ue_model("oai").deviant_flags)
+        assert {"replay_accept_last_only", "accept_plain_after_ctx",
+                "respond_identity_always"} <= flags
+
+
+class TestMmeHandlers:
+    def test_uplink_coverage(self):
+        triggers = {h.trigger for h in static_mme_handlers()}
+        assert triggers <= set(c.UPLINK_MESSAGES)
+        assert c.ATTACH_REQUEST in triggers
+
+    def test_handlers_carry_actions(self):
+        by_trigger = {h.trigger: h for h in static_mme_handlers()}
+        assert by_trigger[c.ATTACH_REQUEST].actions

@@ -1,0 +1,96 @@
+"""Cross-check family (PCL02x): static extraction vs. the dynamic FSM."""
+
+from repro.core import ProChecker
+from repro.fsm import FiniteStateMachine
+from repro.lint import lint_implementation
+from repro.lte import constants as c
+
+
+def _extract(implementation):
+    return ProChecker(implementation).extract()
+
+
+class TestReferenceImplementation:
+    def test_clean(self):
+        assert lint_implementation("reference") == []
+
+
+class TestSeededDeviations:
+    def test_srsue_deviations_are_info_not_errors(self):
+        findings = lint_implementation("srsue",
+                                       reference=_extract("reference"))
+        assert findings, "seeded srsUE deviations must surface"
+        assert {f.rule for f in findings} == {"PCL022"}
+        assert all(not f.severity.gates() for f in findings)
+
+    def test_srsue_equal_sqn_deviation_named(self):
+        findings = lint_implementation("srsue",
+                                       reference=_extract("reference"))
+        messages = " ".join(f.message for f in findings)
+        assert "accept_equal_sqn" in messages
+
+    def test_oai_identity_deviation_named(self):
+        findings = [f for f in lint_implementation(
+            "oai", reference=_extract("reference"))
+            if f.rule == "PCL022"]
+        messages = " ".join(f.message for f in findings)
+        assert "respond_identity_always" in messages
+
+
+class TestSyntheticMachines:
+    def _machine(self, transitions):
+        fsm = FiniteStateMachine(name="synthetic",
+                                 initial_state=c.EMM_DEREGISTERED)
+        for source, target, conditions, actions in transitions:
+            fsm.add_transition(source, target, conditions, actions)
+        return fsm
+
+    def test_unknown_trigger_is_missing_static_origin(self):
+        dynamic = self._machine([
+            (c.EMM_DEREGISTERED, c.EMM_DEREGISTERED,
+             ("message_from_nowhere",), ("null_action",)),
+        ])
+        findings = lint_implementation("reference", dynamic=dynamic)
+        assert any(f.rule == "PCL021"
+                   and "message_from_nowhere" in f.message
+                   for f in findings)
+
+    def test_unwritable_target_is_missing_static_origin(self):
+        dynamic = self._machine([
+            (c.EMM_DEREGISTERED, "EMM_STATE_NO_HANDLER_WRITES",
+             (c.ATTACH_ACCEPT,), ("null_action",)),
+        ])
+        findings = lint_implementation("reference", dynamic=dynamic)
+        assert any(f.rule == "PCL021"
+                   and "EMM_STATE_NO_HANDLER_WRITES" in f.message
+                   for f in findings)
+
+    def test_self_loop_needs_no_state_write(self):
+        dynamic = self._machine([
+            (c.EMM_DEREGISTERED, c.EMM_DEREGISTERED,
+             (c.IDENTITY_REQUEST,), (c.IDENTITY_RESPONSE,)),
+        ])
+        findings = lint_implementation("reference", dynamic=dynamic)
+        assert not [f for f in findings if f.rule == "PCL021"]
+
+    def test_unknown_guard_predicate(self):
+        dynamic = self._machine([
+            (c.EMM_DEREGISTERED, c.EMM_DEREGISTERED,
+             (c.IDENTITY_REQUEST, "made_up_predicate=1"),
+             (c.IDENTITY_RESPONSE,)),
+        ])
+        findings = lint_implementation("reference", dynamic=dynamic)
+        assert any(f.rule == "PCL023"
+                   and "made_up_predicate" in f.message
+                   for f in findings)
+
+    def test_unexercised_handlers_reported(self):
+        dynamic = self._machine([
+            (c.EMM_DEREGISTERED, c.EMM_DEREGISTERED,
+             (c.IDENTITY_REQUEST,), (c.IDENTITY_RESPONSE,)),
+        ])
+        findings = lint_implementation("reference", dynamic=dynamic)
+        never_exercised = {f for f in findings if f.rule == "PCL020"}
+        # Every message handler except identity_request lacks coverage
+        # in this one-transition machine.
+        assert len(never_exercised) >= len(c.DOWNLINK_MESSAGES) - 1

@@ -2,7 +2,7 @@
 
 import pathlib
 
-from repro.properties.docgen import render
+from repro.properties.docgen import main, render
 
 DOC = pathlib.Path(__file__).resolve().parents[2] / "docs/PROPERTIES.md"
 
@@ -16,3 +16,25 @@ def test_document_covers_all_properties():
     text = DOC.read_text()
     for prop in ALL_PROPERTIES:
         assert f"## {prop.identifier} " in text
+
+
+class TestCheckMode:
+    def test_check_passes_on_current_document(self, capsys):
+        assert main(["--check", "-o", str(DOC)]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_check_fails_on_stale_document(self, tmp_path, capsys):
+        stale = tmp_path / "PROPERTIES.md"
+        stale.write_text(render() + "\nstale trailing edit\n")
+        assert main(["--check", "-o", str(stale)]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_check_fails_on_missing_document(self, tmp_path, capsys):
+        absent = tmp_path / "absent.md"
+        assert main(["--check", "-o", str(absent)]) == 1
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_write_mode_regenerates(self, tmp_path):
+        target = tmp_path / "PROPERTIES.md"
+        assert main(["-o", str(target)]) == 0
+        assert target.read_text() == render()
