@@ -26,6 +26,7 @@ from . import faults, obs
 from .core import AnalysisConfig, ProChecker, Verdict
 from .fsm import missing_stimuli, to_dot
 from .lte import constants as c
+from .lte.channel import ChaosConfig, ChaosConfigError
 from .lte.implementations import IMPLEMENTATION_NAMES
 from .properties import ALL_PROPERTIES, property_by_id
 from .testbed import registry, run_attack
@@ -54,6 +55,35 @@ def _emit_json(payload) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True, default=str))
 
 
+def _add_chaos_options(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--chaos*`` flags of ``analyze`` and ``extract``."""
+    parser.add_argument("--chaos", nargs="?", const="default", default=None,
+                        metavar="SPEC",
+                        help="impair the radio link deterministically, "
+                             "e.g. --chaos drop=0.05,dup=0.02 or bare "
+                             "--chaos for the default profile "
+                             "(downlink drop 0.05); dl./ul. prefixes "
+                             "scope a rate to one direction")
+    parser.add_argument("--chaos-seed", type=int, default=0, metavar="S",
+                        help="chaos PRNG seed (default 0); same seed + "
+                             "same spec = identical impairment schedule")
+    parser.add_argument("--chaos-runs", type=int, default=1, metavar="N",
+                        help="with N >= 2, extract a consensus FSM over "
+                             "N runs under seeds S..S+N-1 and report "
+                             "run-to-run stability")
+
+
+def _parse_chaos(args: argparse.Namespace) -> Optional[ChaosConfig]:
+    """Resolve the ``--chaos*`` flags; raises ChaosConfigError."""
+    if args.chaos is None:
+        if args.chaos_runs != 1:
+            raise ChaosConfigError("--chaos-runs needs --chaos")
+        return None
+    if args.chaos_runs < 1:
+        raise ChaosConfigError("--chaos-runs must be >= 1")
+    return ChaosConfig.parse(args.chaos, seed=args.chaos_seed)
+
+
 def _emit_observability(args: argparse.Namespace, report) -> None:
     """Honour ``--trace-out`` / ``--profile`` after a pipeline run."""
     if getattr(args, "trace_out", None):
@@ -77,9 +107,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print(f"bad --inject-fault: {exc}", file=sys.stderr)
             return 2
         print(f"fault plan installed: {plan.describe()}", file=sys.stderr)
+    try:
+        chaos = _parse_chaos(args)
+    except ChaosConfigError as exc:
+        print(f"bad --chaos: {exc}", file=sys.stderr)
+        return 2
+    if chaos is not None:
+        print(f"chaos channel enabled: {chaos.describe()}",
+              file=sys.stderr)
     config = AnalysisConfig(args.implementation, jobs=args.jobs,
                             group_timeout_seconds=args.group_timeout,
-                            fault_plan=plan)
+                            fault_plan=plan,
+                            chaos=chaos, chaos_runs=args.chaos_runs)
     try:
         report = ProChecker.from_config(config).analyze()
     finally:
@@ -103,18 +142,58 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
-    fsm = ProChecker(args.implementation).extract()
+    try:
+        chaos = _parse_chaos(args)
+    except ChaosConfigError as exc:
+        print(f"bad --chaos: {exc}", file=sys.stderr)
+        return 2
+    config = AnalysisConfig(args.implementation, chaos=chaos,
+                            chaos_runs=args.chaos_runs)
+    checker = ProChecker.from_config(config)
+    fsm = checker.extract()
+    stability = checker.stability
+    # An unstable consensus (quarantined transitions, or a clean model
+    # that no longer embeds) is the CI-gating outcome of this command.
+    status = 0 if stability is None or stability.stable else 1
+    if args.stability_out:
+        if stability is None:
+            print("--stability-out needs --chaos with --chaos-runs >= 2",
+                  file=sys.stderr)
+            return 2
+        with open(args.stability_out, "w") as handle:
+            json.dump(stability.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote stability report to {args.stability_out}",
+              file=sys.stderr)
     if args.dot:
         with open(args.dot, "w") as handle:
             handle.write(to_dot(fsm))
         print(f"wrote {len(fsm.transitions)}-transition model to "
               f"{args.dot}")
-        return 0
+        return status
+    if args.json:
+        payload = {
+            "implementation": args.implementation,
+            "fsm_summary": fsm.summary(),
+            "fingerprint": fsm.fingerprint(),
+            "transitions": [t.describe() for t in sorted(fsm.transitions)],
+            "stability": (stability.to_dict()
+                          if stability is not None else None),
+        }
+        _emit_json(payload)
+        return status
     print(f"{fsm.name}: {len(fsm.states)} states, "
           f"{len(fsm.transitions)} transitions")
     for transition in sorted(fsm.transitions):
         print(f"  {transition.describe()}")
-    return 0
+    if stability is not None:
+        flag = "stable" if stability.stable else "UNSTABLE"
+        print(f"consensus over {stability.runs} chaos runs: {flag} "
+              f"({len(stability.quarantined)} quarantined, "
+              f"{len(stability.flaky)} flaky, fingerprint agreement "
+              f"{stability.fingerprint_agreement:.2f})")
+    return status
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -290,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="debug: install a deterministic fault, e.g. "
                               "engine.verify_group@SEC-01:exit:1 "
                               "(kinds: raise, hang, exit; repeatable)")
+    _add_chaos_options(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 
     extract = commands.add_parser(
@@ -297,6 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
     extract.add_argument("--dot", metavar="FILE",
                          help="write the Graphviz-like model to FILE")
+    extract.add_argument("--json", action="store_true",
+                         help="emit the FSM (and any stability report) "
+                              "as JSON")
+    extract.add_argument("--stability-out", metavar="FILE", default=None,
+                         help="write the consensus stability report "
+                              "(JSON) to FILE; needs --chaos-runs >= 2")
+    _add_chaos_options(extract)
     extract.set_defaults(handler=_cmd_extract)
 
     verify = commands.add_parser(

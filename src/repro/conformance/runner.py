@@ -10,11 +10,12 @@ a TESTCASE marker for coverage accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from .. import obs
 from ..instrumentation.logfmt import LogWriter
 from ..instrumentation.runtime import RuntimeInstrumenter, TraceTargets
+from ..lte.channel import ChaosConfig
 from ..lte.implementations import REGISTRY
 from .testcase import TestCase, TestContext
 
@@ -55,15 +56,20 @@ class SuiteResult:
 class ConformanceRunner:
     """Runs a suite of test cases against one implementation."""
 
-    def __init__(self, implementation: str):
+    def __init__(self, implementation: str,
+                 chaos: Optional[ChaosConfig] = None):
         if implementation not in REGISTRY:
             raise ValueError(f"unknown implementation {implementation!r}")
         self.implementation = implementation
         self.ue_class = REGISTRY[implementation]
+        self.chaos = chaos
 
-    def _make_context(self, index: int) -> TestContext:
+    def _make_context(self, index: int, case: TestCase) -> TestContext:
         msin = str(index + 1).zfill(9)
-        return TestContext(self.ue_class, msin=msin)
+        # The chaos stream is keyed by case identifier, not index, so a
+        # case keeps its impairment schedule if the catalog is reordered.
+        return TestContext(self.ue_class, msin=msin, chaos=self.chaos,
+                           chaos_stream=case.identifier)
 
     def run(self, cases: Sequence[TestCase],
             instrument: bool = True) -> SuiteResult:
@@ -76,7 +82,7 @@ class ConformanceRunner:
             for index, case in enumerate(cases):
                 if instrument:
                     writer.testcase(case.identifier)
-                context = self._make_context(index)
+                context = self._make_context(index, case)
                 outcome = CaseOutcome(case.identifier, case.procedure,
                                       ok=True)
                 with obs.span("conformance.case",
@@ -92,7 +98,9 @@ class ConformanceRunner:
 
         with obs.span("conformance.run",
                       implementation=self.implementation,
-                      cases=len(cases), instrumented=instrument) as span:
+                      cases=len(cases), instrumented=instrument,
+                      chaos=(self.chaos.describe() if self.chaos
+                             else "")) as span:
             if instrument:
                 with RuntimeInstrumenter(writer, targets):
                     execute_all()
@@ -106,6 +114,8 @@ class ConformanceRunner:
 
 
 def run_conformance(implementation: str, cases: Sequence[TestCase],
-                    instrument: bool = True) -> SuiteResult:
+                    instrument: bool = True,
+                    chaos: Optional[ChaosConfig] = None) -> SuiteResult:
     """Convenience wrapper used by the pipeline and the benchmarks."""
-    return ConformanceRunner(implementation).run(cases, instrument)
+    return ConformanceRunner(implementation, chaos=chaos).run(cases,
+                                                              instrument)

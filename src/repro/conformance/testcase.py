@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 from .. import obs
 from ..lte import constants as c
-from ..lte.channel import RadioLink
+from ..lte.channel import ChaosConfig, RadioLink
 from ..lte.hss import Hss
 from ..lte.identifiers import Subscriber, make_subscriber
 from ..lte.messages import NasMessage
@@ -50,10 +50,19 @@ class TestCase:
 class TestContext:
     """Everything one test-case execution needs."""
 
+    #: Cap on retransmission-timer firings the chaos settle loop will
+    #: drive per attach — far above the worst case (five supervised
+    #: messages x five sends each) but finite, so a wedged procedure
+    #: terminates the case instead of spinning.
+    SETTLE_LIMIT = 64
+
     def __init__(self, ue_factory: Callable[..., object],
-                 msin: str = "000000001"):
+                 msin: str = "000000001",
+                 chaos: Optional[ChaosConfig] = None,
+                 chaos_stream: str = ""):
         self.clock = SimClock()
-        self.link = RadioLink()
+        self.link = RadioLink(chaos=chaos,
+                              chaos_stream=chaos_stream or msin)
         self.subscriber: Subscriber = make_subscriber(msin)
         self.hss = Hss()
         self.hss.provision(self.subscriber)
@@ -64,12 +73,37 @@ class TestContext:
     # ------------------------------------------------------------------
     # Drive
     # ------------------------------------------------------------------
+    #: UE states in which the attach procedure is still in flight and a
+    #: pending retransmission timer is the only way it can progress.
+    _ATTACH_TRANSIENT_STATES = (
+        c.EMM_REGISTERED_INITIATED,
+        c.EMM_REGISTERED_INITIATED_AUTHENTICATED,
+        c.EMM_REGISTERED_INITIATED_SECURE,
+    )
+
     def attach(self) -> None:
-        """Run the full attach procedure (Fig. 1, happy path)."""
+        """Run the full attach procedure (Fig. 1, happy path).
+
+        Under chaos, a dropped supervised message leaves the procedure
+        waiting on a retransmission timer: fire pending expiries until
+        the attach settles (the absorption loop).  On a perfect link
+        (no chaos) the loop never runs — clean-run behaviour and logs
+        are bit-for-bit unchanged.
+        """
         self.ue.power_on()
+        if self.link.chaos is not None:
+            self._settle_attach()
         if self.ue.emm_state != c.EMM_REGISTERED:
             self.notes.append(
                 f"attach ended in {self.ue.emm_state}")
+
+    def _settle_attach(self) -> None:
+        rounds = 0
+        while (self.ue.emm_state in self._ATTACH_TRANSIENT_STATES
+               and self.clock.pending()
+               and rounds < self.SETTLE_LIMIT):
+            self.clock.fire_next()
+            rounds += 1
 
     def advance(self, seconds: float) -> int:
         return self.clock.advance(seconds)

@@ -57,8 +57,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import faults, obs
 from ..conformance import TestCase, full_suite, measure_coverage, \
     run_conformance
-from ..extraction import extract_model, table_for_implementation
+from ..extraction import (StabilityReport, consensus_extract,
+                          extract_model, table_for_implementation)
 from ..fsm import FiniteStateMachine
+from ..lte.channel import ChaosConfig
 from ..lte.implementations import REGISTRY
 from ..properties.catalog import ALL_PROPERTIES
 from ..properties.spec import (CATEGORY_PRIVACY, CATEGORY_SECURITY,
@@ -112,6 +114,12 @@ class AnalysisConfig:
     #: deterministic fault plan to install for this run (debugging /
     #: resilience testing; see :mod:`repro.faults`)
     fault_plan: Optional[faults.FaultPlan] = None
+    #: seeded radio-link impairment schedule for the conformance run
+    #: (``None`` → perfect link; see :class:`repro.lte.channel.ChaosConfig`)
+    chaos: Optional[ChaosConfig] = None
+    #: with chaos: number of distinct-seed runs merged by the consensus
+    #: extractor (1 → single perturbed run, no consensus machinery)
+    chaos_runs: int = 1
 
     def resolved_properties(self) -> List[Property]:
         """The property list this configuration selects, catalog order."""
@@ -150,31 +158,58 @@ class ExtractionRecord:
     coverage_percent: float
     conformance_cases: int
     log_lines: int
+    #: consensus-extraction evidence; only set for chaos runs with
+    #: ``chaos_runs >= 2``
+    stability: Optional[StabilityReport] = None
 
 
 def run_extraction(implementation: str,
-                   cases: Optional[Sequence[TestCase]] = None
-                   ) -> ExtractionRecord:
-    """Uncached pipeline front half: conformance run + Algorithm 1."""
+                   cases: Optional[Sequence[TestCase]] = None,
+                   chaos: Optional[ChaosConfig] = None,
+                   chaos_runs: int = 1) -> ExtractionRecord:
+    """Uncached pipeline front half: conformance run + Algorithm 1.
+
+    With ``chaos`` set and ``chaos_runs >= 2``, the front half becomes a
+    consensus extraction (:func:`repro.extraction.consensus_extract`):
+    N distinct-seed perturbed runs merged into a majority machine, with
+    the clean-run FSM (from the shared cache) as the subgraph baseline.
+    """
     if implementation not in REGISTRY:
         raise EngineError(f"unknown implementation {implementation!r}; "
                           f"available: {sorted(REGISTRY)}")
     ue_class = REGISTRY[implementation]
     suite = list(cases) if cases is not None else full_suite(implementation)
-    outcome = run_conformance(implementation, suite, instrument=True)
     table = table_for_implementation(ue_class)
-    fsm, stats = extract_model(outcome.log_text, table,
-                               name=f"{implementation}_ue")
+    stability: Optional[StabilityReport] = None
+    if chaos is not None and chaos_runs >= 2:
+        clean = extraction_cache.get(implementation, cases)
+        consensus = consensus_extract(implementation, chaos, chaos_runs,
+                                      cases=suite, clean_fsm=clean.fsm)
+        fsm = consensus.fsm
+        stability = consensus.report
+        log_text = consensus.log_text
+        extraction_seconds = consensus.extraction_seconds
+        conformance_cases = consensus.conformance_cases
+        log_lines = consensus.log_lines
+    else:
+        outcome = run_conformance(implementation, suite, instrument=True,
+                                  chaos=chaos)
+        fsm, stats = extract_model(outcome.log_text, table,
+                                   name=f"{implementation}_ue")
+        log_text = outcome.log_text
+        extraction_seconds = stats.elapsed_seconds
+        conformance_cases = outcome.executed
+        log_lines = stats.log_lines
     with obs.span("conformance.coverage", implementation=implementation):
-        coverage = measure_coverage(ue_class, outcome.log_text,
-                                    implementation)
+        coverage = measure_coverage(ue_class, log_text, implementation)
     return ExtractionRecord(
         implementation=implementation,
         fsm=fsm,
-        extraction_seconds=stats.elapsed_seconds,
+        extraction_seconds=extraction_seconds,
         coverage_percent=coverage.percent,
-        conformance_cases=outcome.executed,
-        log_lines=stats.log_lines,
+        conformance_cases=conformance_cases,
+        log_lines=log_lines,
+        stability=stability,
     )
 
 
@@ -244,12 +279,20 @@ class ExtractionCache:
 
     @classmethod
     def fingerprint(cls, implementation: str,
-                    cases: Optional[Sequence[TestCase]] = None) -> Tuple:
+                    cases: Optional[Sequence[TestCase]] = None,
+                    chaos: Optional[ChaosConfig] = None,
+                    chaos_runs: int = 1) -> Tuple:
         if cases is None:
-            return (implementation, cls._DEFAULT_SUITE)
-        return (implementation, tuple(
-            (case.identifier, _callable_fingerprint(case.run))
-            for case in cases))
+            key: Tuple = (implementation, cls._DEFAULT_SUITE)
+        else:
+            key = (implementation, tuple(
+                (case.identifier, _callable_fingerprint(case.run))
+                for case in cases))
+        if chaos is not None:
+            # ChaosConfig is a frozen dataclass of hashable fields, so
+            # the instance itself is a sound cache-key component.
+            key = key + ("chaos", chaos, chaos_runs)
+        return key
 
     def _lookup(self, key: Tuple) -> Optional[ExtractionRecord]:
         with self._lock:
@@ -260,8 +303,10 @@ class ExtractionCache:
             return record
 
     def get(self, implementation: str,
-            cases: Optional[Sequence[TestCase]] = None) -> ExtractionRecord:
-        key = self.fingerprint(implementation, cases)
+            cases: Optional[Sequence[TestCase]] = None,
+            chaos: Optional[ChaosConfig] = None,
+            chaos_runs: int = 1) -> ExtractionRecord:
+        key = self.fingerprint(implementation, cases, chaos, chaos_runs)
         record = self._lookup(key)
         if record is not None:
             return record
@@ -275,7 +320,8 @@ class ExtractionCache:
             if record is not None:
                 return record
             obs.count("extraction.cache_misses")
-            record = run_extraction(implementation, cases)
+            record = run_extraction(implementation, cases, chaos=chaos,
+                                    chaos_runs=chaos_runs)
             with self._lock:
                 self.conformance_runs += 1
                 self._records[key] = record

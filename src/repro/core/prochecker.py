@@ -70,12 +70,19 @@ class ProChecker:
         self._coverage_percent = 0.0
         self._conformance_cases = 0
         self._log_lines = 0
+        self._stability = None
         self._context: Optional[CegarContext] = None
 
     @classmethod
     def from_config(cls, config: AnalysisConfig) -> "ProChecker":
         """The config-object entry point of the redesigned API."""
         return cls(config.implementation, config=config)
+
+    @property
+    def stability(self):
+        """The consensus :class:`~repro.extraction.StabilityReport` of
+        the last extraction, or ``None`` for single-run extractions."""
+        return self._stability
 
     # ------------------------------------------------------------------
     # Stage 1+2: conformance run and model extraction
@@ -96,14 +103,21 @@ class ProChecker:
         with obs.span("pipeline.extract",
                       implementation=self.implementation):
             if self.config.use_extraction_cache:
-                record = extraction_cache.get(self.implementation, suite)
+                record = extraction_cache.get(
+                    self.implementation, suite,
+                    chaos=self.config.chaos,
+                    chaos_runs=self.config.chaos_runs)
             else:
-                record = run_extraction(self.implementation, suite)
+                record = run_extraction(
+                    self.implementation, suite,
+                    chaos=self.config.chaos,
+                    chaos_runs=self.config.chaos_runs)
         self._extracted = record.fsm
         self._extraction_seconds = record.extraction_seconds
         self._coverage_percent = record.coverage_percent
         self._conformance_cases = record.conformance_cases
         self._log_lines = record.log_lines
+        self._stability = record.stability
         self._context = None   # bound to the previous extraction
         return record.fsm
 
@@ -179,6 +193,8 @@ class ProChecker:
             conformance_cases=self._conformance_cases,
             log_lines=self._log_lines,
             jobs=jobs,
+            stability=(self._stability.to_dict()
+                       if self._stability is not None else None),
         )
 
 

@@ -138,6 +138,10 @@ class AnalysisReport:
     verification_seconds: float = 0.0
     #: aggregated observability block (phases, counters, runtime metrics)
     stats: Optional[PipelineStats] = None
+    #: consensus-extraction stability evidence (chaos runs only); not
+    #: part of :meth:`verdict_signature` — link noise must never change
+    #: what the analysis *concluded*, only how confident the model is
+    stability: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     def violated(self) -> List[PropertyResult]:
@@ -208,6 +212,8 @@ class AnalysisReport:
             "results": [result.to_dict() for result in self.results],
             "stats": self.stats.to_dict() if self.stats is not None
             else None,
+            "stability": (dict(self.stability)
+                          if self.stability is not None else None),
         }
 
     @classmethod
@@ -226,6 +232,7 @@ class AnalysisReport:
             jobs=payload.get("jobs", 1),
             verification_seconds=payload.get("verification_seconds", 0.0),
             stats=PipelineStats.from_dict(stats) if stats else None,
+            stability=payload.get("stability"),
         )
 
     def format_table(self) -> str:

@@ -3,7 +3,9 @@
 - :mod:`repro.extraction.signatures` — the standards/implementation
   signature tables (state names, handler prefixes, condition variables);
 - :mod:`repro.extraction.extractor` — block division and transition
-  reconstruction.
+  reconstruction;
+- :mod:`repro.extraction.consensus` — noise-tolerant multi-run
+  extraction under chaos-perturbed radio links.
 """
 
 from .signatures import (DEFAULT_CONDITION_VARIABLES, INTERNAL_TRIGGERS,
@@ -11,9 +13,14 @@ from .signatures import (DEFAULT_CONDITION_VARIABLES, INTERNAL_TRIGGERS,
                          table_for_implementation)
 from .extractor import (ExtractionStats, ModelExtractor, divide_blocks,
                         extract_model)
+from .consensus import (ConsensusError, ConsensusExtraction,
+                        StabilityReport, TransitionSupport,
+                        consensus_extract, merge_with_support)
 
 __all__ = [
     "DEFAULT_CONDITION_VARIABLES", "INTERNAL_TRIGGERS", "SignatureTable",
     "mme_table", "table_for_implementation",
     "ExtractionStats", "ModelExtractor", "divide_blocks", "extract_model",
+    "ConsensusError", "ConsensusExtraction", "StabilityReport",
+    "TransitionSupport", "consensus_extract", "merge_with_support",
 ]

@@ -103,6 +103,11 @@ class ModelExtractor:
                     source, target, conditions, actions = transition
                     fsm.add_transition(source, target, conditions, actions)
 
+            # Canonical transition order: the extracted machine is a
+            # function of the *set* of observed behaviours, never of the
+            # order blocks happened to appear in the log (chaos-perturbed
+            # logs interleave retransmissions differently per seed).
+            fsm.transitions.sort()
             self.stats.transitions = len(fsm.transitions)
             self.stats.states = len(fsm.states)
             obs.inc("extraction.log_lines", self.stats.log_lines)

@@ -10,7 +10,9 @@ dependency-free layer:
   ``"engine.verify_group"``), an optional *key* (e.g. a property
   identifier, so only the group that verifies ``SEC-01`` is hit), a
   *kind* (``raise`` / ``hang`` / ``exit``) and the 1-based call index
-  ``nth`` at which it fires;
+  ``nth`` at which it fires (``nth=0`` fires on *every* matching call —
+  e.g. ``channel.impair@downlink:attach_accept:raise:0:all`` suppresses
+  a downlink message persistently to drive a timer to its abort limit);
 - a :class:`FaultPlan` bundles specs and is installed process-wide
   (:func:`install`); pool workers re-install the parent's plan and
   reset their call counters in the pool initializer, so the k-th call
@@ -86,8 +88,9 @@ class FaultSpec:
         if self.scope not in SCOPES:
             raise FaultSpecError(
                 f"unknown fault scope {self.scope!r}; one of {SCOPES}")
-        if self.nth < 1:
-            raise FaultSpecError("nth is 1-based and must be >= 1")
+        if self.nth < 0:
+            raise FaultSpecError(
+                "nth is 1-based and must be >= 1 (or 0 for every call)")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -96,12 +99,21 @@ class FaultSpec:
 
         Examples: ``engine.verify_group@SEC-01:exit:1``,
         ``cegar.iteration:raise:3:all``, ``testbed.run_attack@P1:hang``.
+
+        The key may itself contain colons (the ``channel.impair`` site
+        keys faults by ``direction:message``), so the spec is split at
+        the first component that names a fault kind.
         """
-        parts = text.split(":")
-        if len(parts) < 2 or len(parts) > 4:
+        fragments = text.split(":")
+        kind_index = next(
+            (index for index, fragment in enumerate(fragments[1:], 1)
+             if fragment in KINDS), None)
+        if kind_index is None or len(fragments) - kind_index > 3:
             raise FaultSpecError(
                 f"bad fault spec {text!r}; expected "
                 f"site[@key]:kind[:nth[:scope]]")
+        parts = ([":".join(fragments[:kind_index])]
+                 + fragments[kind_index:])
         site_part, kind = parts[0], parts[1]
         key: Optional[str] = None
         if "@" in site_part:
@@ -212,7 +224,8 @@ def trip(site: str, key: Optional[str] = None) -> None:
     Counting is deterministic per process: every call matching a spec's
     ``(site, key)`` filter increments that spec's private counter, and
     the spec fires exactly when the counter reaches ``nth`` (in an
-    allowed scope).  No plan installed → one attribute read.
+    allowed scope).  ``nth=0`` fires on every matching call.  No plan
+    installed → one attribute read.
     """
     plan = _plan
     if plan is None:
@@ -228,7 +241,7 @@ def trip(site: str, key: Optional[str] = None) -> None:
                 continue
             count = _counts.get(index, 0) + 1
             _counts[index] = count
-            if count != spec.nth:
+            if spec.nth != 0 and count != spec.nth:
                 continue
             if spec.scope == SCOPE_WORKER and not _in_worker_process():
                 continue
@@ -239,10 +252,10 @@ def trip(site: str, key: Optional[str] = None) -> None:
 
 def _fire(spec: FaultSpec, site: str, key: Optional[str]) -> None:
     target = f"{site}@{key}" if key else site
+    when = "every call" if spec.nth == 0 else f"call #{spec.nth}"
     if spec.kind == KIND_RAISE:
         raise InjectedFault(
-            f"injected fault: {spec.kind} at {target} "
-            f"(call #{spec.nth})")
+            f"injected fault: {spec.kind} at {target} ({when})")
     if spec.kind == KIND_HANG:
         time.sleep(spec.hang_seconds)
         return

@@ -17,6 +17,7 @@ analysis of RQ2 compares them.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
@@ -247,6 +248,23 @@ class FiniteStateMachine:
             extra_conditions=set(self.extra_conditions),
             extra_actions=set(self.extra_actions),
         )
+
+    def fingerprint(self) -> str:
+        """Content hash of the machine's behaviour.
+
+        Covers the initial state and the *sorted* transition set —
+        independent of the machine's name, of transition insertion order
+        and of unreferenced extra vocabulary, so two extractions agree
+        iff they observed the same behaviours.  This is the identity the
+        consensus extractor compares across chaos seeds.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.initial_state.encode())
+        for transition in sorted(self.transitions):
+            digest.update(repr((transition.source, transition.target,
+                                transition.conditions,
+                                transition.actions)).encode())
+        return digest.hexdigest()
 
     def summary(self) -> Dict[str, int]:
         """Size metrics used in the RQ2 model comparison."""

@@ -145,6 +145,17 @@ PLAIN_DOWNLINK = (
     ATTACH_REJECT, TAU_REJECT, SERVICE_REJECT, PAGING,
 )
 
+#: Downlink messages whose delivery during the attach procedure is
+#: supervised by an MME retransmission timer (T3470 / T3460 / T3450,
+#: TS 24.301 Section 10.2): bounded loss of any of these is absorbed by
+#: the retransmission discipline rather than wedging the procedure.
+#: This is the default scope for channel chaos impairments — see
+#: :class:`repro.lte.channel.ChaosConfig`.
+ATTACH_SUPERVISED_DOWNLINK = (
+    IDENTITY_REQUEST, AUTHENTICATION_REQUEST, SECURITY_MODE_COMMAND,
+    ATTACH_ACCEPT,
+)
+
 #: Replay scope per downlink message (used by the CPV feasibility bridge):
 #: - ``global``: verifies across sessions (AUTN under permanent K) — an
 #:   adversary may harvest it days in advance (the P1 capture phase);

@@ -45,9 +45,11 @@ class OaiLikeUe(UeNas):
 
     def __init__(self, subscriber: Subscriber, link: RadioLink,
                  clock: Optional[SimClock] = None,
-                 policy: Optional[UePolicy] = None):
+                 policy: Optional[UePolicy] = None,
+                 t3410_duration: float = 15.0):
         super().__init__(subscriber, link, clock=clock,
-                         policy=policy or oai_policy())
+                         policy=policy or oai_policy(),
+                         t3410_duration=t3410_duration)
 
 
 synthesize_handlers(OaiLikeUe)

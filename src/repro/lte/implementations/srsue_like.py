@@ -47,9 +47,11 @@ class SrsueLikeUe(UeNas):
 
     def __init__(self, subscriber: Subscriber, link: RadioLink,
                  clock: Optional[SimClock] = None,
-                 policy: Optional[UePolicy] = None):
+                 policy: Optional[UePolicy] = None,
+                 t3410_duration: float = 15.0):
         super().__init__(subscriber, link, clock=clock,
-                         policy=policy or srsue_policy())
+                         policy=policy or srsue_policy(),
+                         t3410_duration=t3410_duration)
 
 
 synthesize_handlers(SrsueLikeUe)

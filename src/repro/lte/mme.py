@@ -47,18 +47,21 @@ class MmeNas:
                  clock: Optional[SimClock] = None,
                  allocator: Optional[GutiAllocator] = None,
                  t3450_duration: float = 6.0,
-                 t3460_duration: float = 6.0):
+                 t3460_duration: float = 6.0,
+                 t3470_duration: float = 6.0):
         self.hss = hss
         self.link = link
         self.clock = clock or SimClock()
         self.allocator = allocator or GutiAllocator()
         self.t3450_duration = t3450_duration
         self.t3460_duration = t3460_duration
+        self.t3470_duration = t3470_duration
 
         self.emm_state = c.MME_DEREGISTERED
         self.has_security_ctx = 0
         self.t3450_retx = 0
         self.t3460_retx = 0
+        self.t3470_retx = 0
         self.t3555_retx = 0
 
         self.session_imsi: Optional[str] = None
@@ -96,7 +99,10 @@ class MmeNas:
             imsi = self.known_gutis[guti]
         if not imsi:
             # Unknown temporary identity: ask for the permanent one.
+            # Supervised by T3470 (TS 24.301 Section 5.4.4.3).
             self.emm_state = c.MME_COMMON_PROCEDURE_INITIATED
+            self.t3470_retx = 0
+            self._arm_t3470({"identity_type": "imsi"})
             self._send(c.IDENTITY_REQUEST, {"identity_type": "imsi"})
             return
         self.session_imsi = imsi
@@ -104,6 +110,8 @@ class MmeNas:
         self._start_authentication()
 
     def recv_identity_response(self, msg: NasMessage) -> None:
+        self.clock.stop(c.T3470)
+        self.t3470_retx = 0
         imsi = msg.get_str("imsi")
         if not imsi:
             self._send(c.ATTACH_REJECT, {"cause": c.CAUSE_IMSI_UNKNOWN})
@@ -145,9 +153,13 @@ class MmeNas:
         self.security_ctx = SecurityContext(
             kasme=self.pending_vector.kasme)
         self.has_security_ctx = 1
-        self._send(c.SECURITY_MODE_COMMAND,
-                   {"selected_eia": "eia1", "selected_eea": "eea0"},
-                   protected=True)
+        # T3460 also supervises the SMC phase (TS 24.301 Section 5.4.3.2):
+        # a lost SECURITY MODE COMMAND is retransmitted, not wedged.
+        smc_fields = {"selected_eia": "eia1", "selected_eea": "eea0"}
+        self.t3460_retx = 0
+        self._arm_t3460(smc_fields, name=c.SECURITY_MODE_COMMAND,
+                        protected=True)
+        self._send(c.SECURITY_MODE_COMMAND, smc_fields, protected=True)
 
     def recv_auth_mac_failure(self, msg: NasMessage) -> None:
         self.clock.stop(c.T3460)
@@ -172,6 +184,8 @@ class MmeNas:
     def recv_security_mode_complete(self, msg: NasMessage) -> None:
         if not self._verify_uplink(msg):
             return
+        self.clock.stop(c.T3460)
+        self.t3460_retx = 0
         guti = self.allocator.allocate(
             _imsi_from_string(self.session_imsi))
         self.current_guti = guti
@@ -184,6 +198,8 @@ class MmeNas:
                    protected=True)
 
     def recv_security_mode_reject(self, msg: NasMessage) -> None:
+        self.clock.stop(c.T3460)
+        self.t3460_retx = 0
         self._note("smc_rejected_by_ue", "")
         self.emm_state = c.MME_DEREGISTERED
 
@@ -314,19 +330,38 @@ class MmeNas:
 
         self.clock.start(c.T3450, self.t3450_duration, on_expiry)
 
-    def _arm_t3460(self, request: Dict[str, object]) -> None:
+    def _arm_t3460(self, request: Dict[str, object],
+                   name: str = c.AUTHENTICATION_REQUEST,
+                   protected: bool = False) -> None:
         def on_expiry():
             limit = c.TIMER_MAX_RETRANSMISSIONS[c.T3460]
             if self.t3460_retx < limit:
                 self.t3460_retx += 1
-                self._send(c.AUTHENTICATION_REQUEST, request)
-                self._arm_t3460(request)
+                self._send(name, request, protected=protected)
+                self._arm_t3460(request, name=name, protected=protected)
             else:
-                self.aborted_procedures.append(c.AUTHENTICATION_REQUEST)
-                self._note("procedure_aborted", "authentication")
+                self.aborted_procedures.append(name)
+                self._note("procedure_aborted",
+                           "authentication"
+                           if name == c.AUTHENTICATION_REQUEST
+                           else "security_mode_control")
                 self.t3460_retx = 0
 
         self.clock.start(c.T3460, self.t3460_duration, on_expiry)
+
+    def _arm_t3470(self, request: Dict[str, object]) -> None:
+        def on_expiry():
+            limit = c.TIMER_MAX_RETRANSMISSIONS[c.T3470]
+            if self.t3470_retx < limit:
+                self.t3470_retx += 1
+                self._send(c.IDENTITY_REQUEST, request)
+                self._arm_t3470(request)
+            else:
+                self.aborted_procedures.append(c.IDENTITY_REQUEST)
+                self._note("procedure_aborted", "identification")
+                self.t3470_retx = 0
+
+        self.clock.start(c.T3470, self.t3470_duration, on_expiry)
 
     # ------------------------------------------------------------------
     def _verify_uplink(self, msg: NasMessage) -> bool:

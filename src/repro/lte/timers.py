@@ -67,7 +67,19 @@ class SimClock:
         return name in self._active
 
     def advance(self, duration: float) -> int:
-        """Move time forward, firing due timers in order; returns count."""
+        """Move time forward, firing due timers in order; returns count.
+
+        Timers sharing a deadline fire in arming order (FIFO, via the
+        monotone sequence number in the heap entry).
+
+        Exception contract: if a callback raises, the exception
+        propagates and the clock lands *exactly* at the failed timer's
+        deadline — ``now`` was set before the callback ran, the failed
+        timer is already disarmed, and every later timer stays armed in
+        the heap.  A subsequent ``advance``/``fire_next`` resumes from
+        that instant, firing any timers that were due in the aborted
+        window next.
+        """
         if duration < 0:
             raise TimerError("cannot advance time backwards")
         target = self._now + duration
@@ -84,7 +96,12 @@ class SimClock:
         return fired
 
     def fire_next(self) -> Optional[str]:
-        """Jump to and fire the next pending expiry (for test drivers)."""
+        """Jump to and fire the next pending expiry (for test drivers).
+
+        Shares :meth:`advance`'s exception contract: a raising callback
+        leaves the clock at the failed timer's deadline with all later
+        timers armed.
+        """
         while self._heap:
             deadline, _, timer = heapq.heappop(self._heap)
             if timer.cancelled:

@@ -103,11 +103,13 @@ class UeNas:
 
     def __init__(self, subscriber: Subscriber, link: RadioLink,
                  clock: Optional[SimClock] = None,
-                 policy: Optional[UePolicy] = None):
+                 policy: Optional[UePolicy] = None,
+                 t3410_duration: float = 15.0):
         self.subscriber = subscriber
         self.link = link
         self.clock = clock or SimClock()
         self.policy = policy or UePolicy()
+        self.t3410_duration = t3410_duration
 
         # -- protocol globals (instrumented) -----------------------------
         self.emm_state = c.EMM_DEREGISTERED
@@ -251,20 +253,31 @@ class UeNas:
         self._arm_t3410(fields)
         self._send(c.ATTACH_REQUEST, fields)
 
+    #: States in which an expiring T3410 still owns the attach procedure:
+    #: any attach-in-progress state, not just the initial one — a lost
+    #: SECURITY MODE COMMAND leaves the UE authenticated but unattached,
+    #: and the retransmitted ATTACH REQUEST must restart from there too.
+    _T3410_RETRANSMIT_STATES = (
+        c.EMM_REGISTERED_INITIATED,
+        c.EMM_REGISTERED_INITIATED_AUTHENTICATED,
+        c.EMM_REGISTERED_INITIATED_SECURE,
+    )
+
     def _arm_t3410(self, fields: Dict[str, object]) -> None:
         def on_expiry():
-            if self.emm_state != c.EMM_REGISTERED_INITIATED:
+            if self.emm_state not in self._T3410_RETRANSMIT_STATES:
                 return   # the procedure moved on; nothing to retransmit
             limit = c.TIMER_MAX_RETRANSMISSIONS[c.T3410]
             if self._t3410_retx < limit:
                 self._t3410_retx += 1
+                self.emm_state = c.EMM_REGISTERED_INITIATED
                 self._arm_t3410(fields)
                 self._send(c.ATTACH_REQUEST, fields)
             else:
                 self._note("attach_timeout", "T3410 exhausted")
                 self.emm_state = c.EMM_DEREGISTERED_ATTACH_NEEDED
 
-        self.clock.start(c.T3410, 15.0, on_expiry)
+        self.clock.start(c.T3410, self.t3410_duration, on_expiry)
 
     def initiate_detach(self) -> None:
         self.emm_state = c.EMM_DEREGISTERED_INITIATED

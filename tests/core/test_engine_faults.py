@@ -70,7 +70,7 @@ class TestFaultSpec:
         assert spec.scope == faults.SCOPE_WORKER
 
     @pytest.mark.parametrize("bad", [
-        "no-kind", "site:frobnicate", "site:raise:zero", "site:raise:0",
+        "no-kind", "site:frobnicate", "site:raise:zero", "site:raise:-1",
         "a:raise:1:everywhere", "a:raise:1:all:extra", ":raise",
     ])
     def test_parse_rejects_malformed(self, bad):
@@ -86,6 +86,13 @@ class TestFaultSpec:
 
 
 class TestTrip:
+    def test_nth_zero_fires_on_every_matching_call(self):
+        faults.install(faults.FaultPlan.parse(["site.x@k:raise:0:all"]))
+        for _ in range(3):
+            with pytest.raises(faults.InjectedFault):
+                faults.trip("site.x", key="k")
+        faults.trip("site.x", key="other")   # key mismatch: never fires
+
     def test_fires_on_nth_matching_call_only(self):
         faults.install(faults.FaultPlan.parse(["site.x@k:raise:3:all"]))
         faults.trip("site.x", key="k")

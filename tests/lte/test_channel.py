@@ -1,7 +1,11 @@
-"""Radio link tests: queued delivery, interception, injection."""
+"""Radio link tests: queued delivery, interception, injection, chaos."""
 
+import pytest
+
+from repro import faults, obs
 from repro.lte import constants as c
-from repro.lte.channel import RadioLink
+from repro.lte.channel import (ChaosConfig, ChaosConfigError,
+                               ImpairmentRates, RadioLink)
 from repro.lte.messages import NasMessage
 
 
@@ -147,3 +151,268 @@ class TestMalformedFrameAccounting:
         before = self._malformed_count()
         link.captured_messages()
         assert self._malformed_count() == before
+
+
+def _counter(name):
+    return obs.metrics().snapshot()["counters"].get(name, 0)
+
+
+def _chaos(**kwargs):
+    """A scope=all config (every frame eligible) for unit tests."""
+    kwargs.setdefault("messages", None)
+    return ChaosConfig(**kwargs)
+
+
+class TestChaosConfig:
+    def test_default_is_downlink_drop_on_supervised_messages(self):
+        config = ChaosConfig.default(seed=7)
+        assert config.downlink.drop == 0.05
+        assert not config.uplink.any()
+        assert config.seed == 7
+        assert config.messages == c.ATTACH_SUPERVISED_DOWNLINK
+
+    def test_parse_default_literal(self):
+        assert ChaosConfig.parse("default", seed=3) == ChaosConfig.default(
+            seed=3)
+
+    def test_parse_rates_prefixes_and_scope(self):
+        config = ChaosConfig.parse(
+            "drop=0.1,dl.dup=0.2,ul.corrupt=0.05,scope=all,delay_rounds=2")
+        assert config.uplink.drop == 0.1
+        assert config.downlink.drop == 0.1
+        assert config.downlink.duplicate == 0.2
+        assert config.uplink.duplicate == 0.0
+        assert config.uplink.corrupt == 0.05
+        assert config.messages is None
+        assert config.delay_rounds == 2
+
+    @pytest.mark.parametrize("bad", [
+        "bogus=1", "drop", "drop=lots", "scope=sometimes",
+        "delay_rounds=two", "drop=1.5", "drop=0.7,dup=0.7",
+        "delay_rounds=0",
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ChaosConfigError):
+            ChaosConfig.parse(bad)
+
+    def test_rate_outside_unit_interval_rejected(self):
+        with pytest.raises(ChaosConfigError):
+            ImpairmentRates(drop=-0.1)
+
+    def test_round_trip_and_with_seed(self):
+        config = ChaosConfig.parse("drop=0.1,scope=all", seed=5)
+        assert ChaosConfig.from_dict(config.to_dict()) == config
+        assert config.with_seed(9) == ChaosConfig.parse(
+            "drop=0.1,scope=all", seed=9)
+        assert "seed=5" in config.describe()
+
+
+class TestChaosImpairments:
+    """Each impairment at rate 1.0, scope=all, so behaviour is exact."""
+
+    def test_drop_suppresses_delivery_with_provenance(self):
+        link = RadioLink(chaos=_chaos(downlink=ImpairmentRates(drop=1.0)))
+        received = []
+        link.attach_ue(received.append)
+        before = _counter("channel.chaos.dropped")
+        assert not link.send_downlink(frame())
+        assert received == []
+        assert link.history[-1].impairment == "drop"
+        assert not link.history[-1].delivered
+        assert _counter("channel.chaos.dropped") == before + 1
+
+    def test_duplicate_delivers_twice(self):
+        link = RadioLink(
+            chaos=_chaos(downlink=ImpairmentRates(duplicate=1.0)))
+        received = []
+        link.attach_ue(received.append)
+        assert link.send_downlink(frame())
+        assert len(received) == 2
+        assert received[0] == received[1]
+        assert [r.impairment for r in link.history] == [None, "duplicate"]
+
+    def test_corrupt_flips_wire_bytes_but_history_keeps_original(self):
+        original = frame()
+        link = RadioLink(
+            chaos=_chaos(downlink=ImpairmentRates(corrupt=1.0)))
+        received = []
+        link.attach_ue(received.append)
+        assert link.send_downlink(original)
+        assert received[0] != original
+        assert len(received[0]) == len(original)
+        assert link.history[-1].frame == original
+        assert link.history[-1].impairment == "corrupt"
+
+    def test_delay_defers_to_a_later_pump_round(self):
+        # Delay applies to PAGING only; the REJECT send then pumps the
+        # held PAGING out, so it arrives second despite being sent first.
+        config = ChaosConfig(downlink=ImpairmentRates(delay=1.0),
+                             messages=(c.PAGING,))
+        link = RadioLink(chaos=config)
+        received = []
+        link.attach_ue(received.append)
+        link.send_downlink(frame(c.PAGING))
+        assert received == []
+        link.send_downlink(frame(c.ATTACH_REJECT))
+        names = [NasMessage.from_wire(data).name for data in received]
+        assert names == [c.ATTACH_REJECT, c.PAGING]
+        assert link.history[-1].impairment == "delay"
+
+    def test_reorder_defers_behind_current_stimulus(self):
+        # UE's uplink response is reorder-held; MME's second downlink
+        # (sent from its own handler) overtakes it.
+        config = ChaosConfig(uplink=ImpairmentRates(reorder=1.0),
+                             messages=(c.ATTACH_REQUEST,))
+        link = RadioLink(chaos=config)
+        order = []
+
+        def ue_handler(data):
+            order.append(("ue", NasMessage.from_wire(data).name))
+            if NasMessage.from_wire(data).name == c.PAGING:
+                link.send_uplink(frame(c.ATTACH_REQUEST, imsi="1"))
+                link.send_uplink(frame(c.DETACH_REQUEST))
+
+        def mme_handler(data):
+            order.append(("mme", NasMessage.from_wire(data).name))
+
+        link.attach_ue(ue_handler)
+        link.attach_mme(mme_handler)
+        link.send_downlink(frame(c.PAGING))
+        assert order == [("ue", c.PAGING), ("mme", c.DETACH_REQUEST),
+                         ("mme", c.ATTACH_REQUEST)]
+
+    def test_messages_filter_exempts_other_traffic(self):
+        link = RadioLink(chaos=ChaosConfig(
+            downlink=ImpairmentRates(drop=1.0)))  # default attach scope
+        received = []
+        link.attach_ue(received.append)
+        assert link.send_downlink(frame(c.PAGING))
+        assert len(received) == 1
+        assert not link.send_downlink(frame(c.ATTACH_ACCEPT))
+        assert len(received) == 1
+
+    def test_interceptor_sees_post_impairment_frame(self):
+        original = frame()
+        seen = []
+
+        class Tap:
+            def intercept(self, direction, data):
+                seen.append(data)
+                return data
+
+        link = RadioLink(
+            chaos=_chaos(downlink=ImpairmentRates(corrupt=1.0)))
+        link.interceptor = Tap()
+        link.attach_ue(lambda data: None)
+        link.send_downlink(original)
+        assert seen and seen[0] != original
+
+    def test_injection_bypasses_chaos(self):
+        link = RadioLink(chaos=_chaos(downlink=ImpairmentRates(drop=1.0)))
+        received = []
+        link.attach_ue(received.append)
+        assert link.inject_downlink(frame())
+        assert len(received) == 1
+
+
+class TestChaosDeterminism:
+    @staticmethod
+    def _schedule(seed, stream, count=40):
+        link = RadioLink(
+            chaos=_chaos(downlink=ImpairmentRates(drop=0.5), seed=seed),
+            chaos_stream=stream)
+        link.attach_ue(lambda data: None)
+        for _ in range(count):
+            link.send_downlink(frame())
+        return [(r.delivered, r.impairment) for r in link.history]
+
+    def test_same_seed_same_stream_identical_history(self):
+        assert self._schedule(1, "case-a") == self._schedule(1, "case-a")
+
+    def test_distinct_seeds_differ(self):
+        assert self._schedule(1, "case-a") != self._schedule(2, "case-a")
+
+    def test_distinct_streams_decorrelated(self):
+        assert self._schedule(1, "case-a") != self._schedule(1, "case-b")
+
+    def test_ineligible_frames_consume_no_randomness(self):
+        # A non-matching frame in the middle must not shift the schedule.
+        config = ChaosConfig(downlink=ImpairmentRates(drop=0.5),
+                             messages=(c.PAGING,), seed=1)
+        plain, interleaved = [], []
+        for bucket, inject_other in ((plain, False), (interleaved, True)):
+            link = RadioLink(chaos=config, chaos_stream="s")
+            link.attach_ue(lambda data: None)
+            for index in range(20):
+                if inject_other and index == 10:
+                    link.send_downlink(frame(c.ATTACH_REJECT))
+                link.send_downlink(frame(c.PAGING))
+            bucket.extend(
+                (r.delivered, r.impairment) for r in link.history
+                if NasMessage.from_wire(r.frame).name == c.PAGING)
+        assert plain == interleaved
+
+
+class TestFaultImpairSite:
+    def test_raise_fault_drops_exactly_the_keyed_message(self):
+        faults.install(faults.FaultPlan.parse(
+            [f"channel.impair@downlink:{c.ATTACH_ACCEPT}:raise:0:all"]))
+        try:
+            link = RadioLink()
+            received = []
+            link.attach_ue(received.append)
+            assert not link.send_downlink(frame(c.ATTACH_ACCEPT))
+            assert not link.send_downlink(frame(c.ATTACH_ACCEPT))
+            assert link.send_downlink(frame(c.PAGING))
+        finally:
+            faults.clear()
+        assert len(received) == 1
+        assert [r.impairment for r in link.history] == [
+            "fault", "fault", None]
+
+
+class TestPumpAbort:
+    """Regression: a raising handler used to leave queued frames behind,
+    which then delivered inside the *next* stimulus's handler block."""
+
+    def test_abort_clears_pending_and_counts_them(self):
+        link = RadioLink()
+        mme_received = []
+
+        def ue_handler(data):
+            link.send_uplink(frame(c.ATTACH_REQUEST, imsi="1"))
+            link.send_uplink(frame(c.DETACH_REQUEST))
+            raise RuntimeError("handler crashed")
+
+        link.attach_ue(ue_handler)
+        link.attach_mme(mme_received.append)
+        before = _counter("channel.aborted_deliveries")
+        with pytest.raises(RuntimeError, match="handler crashed"):
+            link.send_downlink(frame(c.PAGING))
+        # Both queued uplinks were abandoned, counted, and must not
+        # surface during any later traffic.
+        assert mme_received == []
+        assert _counter("channel.aborted_deliveries") == before + 2
+        link.attach_ue(lambda data: None)
+        link.send_downlink(frame(c.PAGING))
+        assert mme_received == []
+
+    def test_abort_clears_held_and_delayed_frames(self):
+        config = ChaosConfig(uplink=ImpairmentRates(reorder=0.5,
+                                                    delay=0.5),
+                             messages=(c.ATTACH_REQUEST,), seed=0)
+        link = RadioLink(chaos=config)
+        mme_received = []
+
+        def ue_handler(data):
+            for _ in range(6):   # a mix of reorder and delay holds
+                link.send_uplink(frame(c.ATTACH_REQUEST, imsi="1"))
+            raise RuntimeError("boom")
+
+        link.attach_ue(ue_handler)
+        link.attach_mme(mme_received.append)
+        with pytest.raises(RuntimeError):
+            link.send_downlink(frame(c.PAGING))
+        link.attach_ue(lambda data: None)
+        link.send_downlink(frame(c.PAGING))
+        assert mme_received == []

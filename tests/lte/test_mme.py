@@ -213,3 +213,141 @@ class TestNetworkInitiated:
                 if m.name == c.AUTHENTICATION_REQUEST]
         assert len(sent) == 5
         assert c.AUTHENTICATION_REQUEST in harness.mme.aborted_procedures
+
+
+class TestTimerExhaustionUnderFrameLoss:
+    """TS 24.301 Section 10.2: each supervised downlink is retransmitted
+    on expiry up to TIMER_MAX_RETRANSMISSIONS and the procedure aborts on
+    the next expiry.  Unlike the detach_ue-based tests above, these drive
+    the timers through *actual* downlink frame loss (the ``channel.impair``
+    fault site drops every copy on the wire) with the peer UE attached."""
+
+    @staticmethod
+    def _drop_every(message):
+        from repro import faults
+        faults.install(faults.FaultPlan.parse(
+            [f"channel.impair@downlink:{message}:raise:0:all"]))
+
+    @staticmethod
+    def _cleanup():
+        from repro import faults
+        faults.clear()
+
+    def _sent(self, harness, name):
+        return [m for m in harness.link.captured_messages("downlink")
+                if m.name == name]
+
+    def test_t3450_guti_reallocation_exhausts_and_aborts(self):
+        harness = Harness().attach()
+        old_guti = str(harness.ue.current_guti)
+        self._drop_every(c.GUTI_REALLOCATION_COMMAND)
+        try:
+            harness.mme.initiate_guti_reallocation()
+            for _ in range(6):
+                harness.clock.advance(10.0)
+        finally:
+            self._cleanup()
+        sent = self._sent(harness, c.GUTI_REALLOCATION_COMMAND)
+        limit = c.TIMER_MAX_RETRANSMISSIONS[c.T3450]
+        assert len(sent) == limit + 1               # initial + 4 retx
+        # Every retransmission carries the identical payload.
+        assert all(m.fields == sent[0].fields for m in sent)
+        assert harness.mme.aborted_procedures == [
+            c.GUTI_REALLOCATION_COMMAND]
+        assert not harness.clock.is_running(c.T3450)
+        # The UE never saw a command: it keeps the old identity.
+        assert str(harness.ue.current_guti) == old_guti
+
+    def test_t3450_attach_accept_exhausts_and_aborts(self):
+        harness = Harness()
+        self._drop_every(c.ATTACH_ACCEPT)
+        try:
+            harness.ue.power_on()
+            harness.clock.stop(c.T3410)   # isolate the MME supervision
+            for _ in range(6):
+                harness.clock.advance(10.0)
+        finally:
+            self._cleanup()
+        sent = self._sent(harness, c.ATTACH_ACCEPT)
+        assert len(sent) == c.TIMER_MAX_RETRANSMISSIONS[c.T3450] + 1
+        assert all(m.fields == sent[0].fields for m in sent)
+        assert harness.mme.aborted_procedures == [c.ATTACH_ACCEPT]
+        assert harness.mme.emm_state != c.MME_REGISTERED
+
+    def test_t3460_authentication_exhausts_and_aborts(self):
+        harness = Harness()
+        self._drop_every(c.AUTHENTICATION_REQUEST)
+        try:
+            harness.ue.power_on()
+            harness.clock.stop(c.T3410)
+            for _ in range(6):
+                harness.clock.advance(10.0)
+        finally:
+            self._cleanup()
+        sent = self._sent(harness, c.AUTHENTICATION_REQUEST)
+        assert len(sent) == c.TIMER_MAX_RETRANSMISSIONS[c.T3460] + 1
+        # Same vector on every copy: rand/autn never change mid-attempt.
+        assert all(m.fields == sent[0].fields for m in sent)
+        assert harness.mme.aborted_procedures == [c.AUTHENTICATION_REQUEST]
+        assert not harness.clock.is_running(c.T3460)
+
+    def test_t3460_security_mode_command_exhausts_and_aborts(self):
+        harness = Harness()
+        self._drop_every(c.SECURITY_MODE_COMMAND)
+        try:
+            harness.ue.power_on()
+            harness.clock.stop(c.T3410)
+            for _ in range(6):
+                harness.clock.advance(10.0)
+        finally:
+            self._cleanup()
+        sent = self._sent(harness, c.SECURITY_MODE_COMMAND)
+        assert len(sent) == c.TIMER_MAX_RETRANSMISSIONS[c.T3460] + 1
+        assert all(m.fields == sent[0].fields for m in sent)
+        assert harness.mme.aborted_procedures == [c.SECURITY_MODE_COMMAND]
+        assert any(e.kind == "procedure_aborted"
+                   and e.detail == "security_mode_control"
+                   for e in harness.mme.events)
+
+    def test_t3470_identity_request_exhausts_and_aborts(self):
+        harness = Harness()
+        self._drop_every(c.IDENTITY_REQUEST)
+        try:
+            harness.inject_uplink(c.ATTACH_REQUEST,
+                                  guti="00101-0001-01-ffffffff")
+            assert harness.clock.is_running(c.T3470)
+            for _ in range(6):
+                harness.clock.advance(10.0)
+        finally:
+            self._cleanup()
+        sent = self._sent(harness, c.IDENTITY_REQUEST)
+        assert len(sent) == c.TIMER_MAX_RETRANSMISSIONS[c.T3470] + 1
+        assert all(m.fields == sent[0].fields for m in sent)
+        assert harness.mme.aborted_procedures == [c.IDENTITY_REQUEST]
+        assert not harness.clock.is_running(c.T3470)
+
+    def test_delivered_response_resets_supervision(self):
+        """A *delivered* retransmission completes the procedure: drop
+        only the first two SECURITY MODE COMMAND copies."""
+        from repro import faults
+        faults.install(faults.FaultPlan.of(
+            faults.FaultSpec(site="channel.impair",
+                             key=f"downlink:{c.SECURITY_MODE_COMMAND}",
+                             kind=faults.KIND_RAISE, nth=1,
+                             scope=faults.SCOPE_ALL),
+            faults.FaultSpec(site="channel.impair",
+                             key=f"downlink:{c.SECURITY_MODE_COMMAND}",
+                             kind=faults.KIND_RAISE, nth=2,
+                             scope=faults.SCOPE_ALL)))
+        try:
+            harness = Harness()
+            harness.ue.power_on()
+            harness.clock.stop(c.T3410)
+            for _ in range(6):
+                harness.clock.advance(10.0)
+        finally:
+            self._cleanup()
+        # Third copy got through; the UE answered and attach completed.
+        assert harness.mme.aborted_procedures == []
+        assert harness.mme.emm_state == c.MME_REGISTERED
+        assert harness.ue.emm_state == c.EMM_REGISTERED

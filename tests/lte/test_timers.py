@@ -78,3 +78,67 @@ class TestSimClock:
             clock.advance(-1)
         with pytest.raises(TimerError):
             clock.start("T", -1, lambda: None)
+
+
+class TestAdvanceExceptionContract:
+    """Satellite: a raising callback must leave the clock consistent."""
+
+    def test_clock_lands_at_failed_deadline_with_later_timers_armed(self):
+        clock = SimClock()
+        fired = []
+        clock.start("ok", 1.0, lambda: fired.append("ok"))
+
+        def explode():
+            raise RuntimeError("callback failed")
+
+        clock.start("bad", 2.0, explode)
+        clock.start("late", 3.0, lambda: fired.append("late"))
+        with pytest.raises(RuntimeError, match="callback failed"):
+            clock.advance(10.0)
+        assert fired == ["ok"]
+        assert clock.now == 2.0                 # exactly the failed deadline
+        assert not clock.is_running("bad")      # failed timer is disarmed
+        assert clock.pending() == ["late"]      # later timers stay armed
+        clock.advance(10.0)                     # resume from that instant
+        assert fired == ["ok", "late"]
+        assert clock.now == 12.0
+
+    def test_fire_next_shares_the_contract(self):
+        clock = SimClock()
+
+        def explode():
+            raise RuntimeError("boom")
+
+        clock.start("bad", 1.0, explode)
+        clock.start("late", 2.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            clock.fire_next()
+        assert clock.now == 1.0
+        assert clock.pending() == ["late"]
+        assert clock.fire_next() == "late"
+
+    def test_same_deadline_fifo_order(self):
+        clock = SimClock()
+        fired = []
+        for name in ("first", "second", "third"):
+            clock.start(name, 5.0, lambda name=name: fired.append(name))
+        clock.advance(5.0)
+        assert fired == ["first", "second", "third"]
+
+    def test_same_deadline_fifo_survives_mid_batch_exception(self):
+        clock = SimClock()
+        fired = []
+        clock.start("first", 5.0, lambda: fired.append("first"))
+
+        def explode():
+            fired.append("second")
+            raise RuntimeError("boom")
+
+        clock.start("second", 5.0, explode)
+        clock.start("third", 5.0, lambda: fired.append("third"))
+        with pytest.raises(RuntimeError):
+            clock.advance(5.0)
+        assert fired == ["first", "second"]
+        assert clock.now == 5.0
+        clock.advance(0.0)                      # the rest of the batch
+        assert fired == ["first", "second", "third"]

@@ -353,3 +353,63 @@ class TestOtherProcedures:
         harness = Harness()
         harness.ue.air_msg_handler(b"\x00\x01")
         assert any(e.kind == "malformed_frame" for e in harness.ue.events)
+
+
+class TestT3410MidProcedure:
+    """T3410 owns the whole attach procedure: a retransmission must also
+    fire from the mid-procedure states a lost downlink strands the UE in
+    (authenticated or secured but never accepted).  The MME's own T3460
+    supervision is stopped in these tests to isolate the UE side."""
+
+    @staticmethod
+    def _drop(message, nth):
+        from repro import faults
+        faults.install(faults.FaultPlan.parse(
+            [f"channel.impair@downlink:{message}:raise:{nth}:all"]))
+
+    def test_retransmits_from_authenticated_state_and_recovers(self):
+        harness = Harness()
+        self._drop(c.SECURITY_MODE_COMMAND, nth=1)   # first SMC only
+        try:
+            harness.ue.power_on()
+        finally:
+            from repro import faults
+            faults.clear()
+        # The lost SMC strands the UE mid-procedure, authenticated.
+        assert (harness.ue.emm_state
+                == c.EMM_REGISTERED_INITIATED_AUTHENTICATED)
+        assert harness.clock.is_running(c.T3410)
+        harness.clock.stop(c.T3460)            # isolate UE supervision
+        assert harness.clock.fire_next() == c.T3410
+        # The retransmitted ATTACH REQUEST restarted the procedure and
+        # the second SECURITY MODE COMMAND went through.
+        assert harness.uplink_names().count(c.ATTACH_REQUEST) == 2
+        assert harness.ue.emm_state == c.EMM_REGISTERED
+
+    def test_aborts_from_mid_procedure_state_after_limit(self):
+        harness = Harness()
+        self._drop(c.SECURITY_MODE_COMMAND, nth=0)   # every SMC lost
+        try:
+            harness.ue.power_on()
+            fired = 0
+            while harness.clock.is_running(c.T3410):
+                harness.clock.stop(c.T3460)    # isolate UE supervision
+                harness.clock.fire_next()
+                fired += 1
+        finally:
+            from repro import faults
+            faults.clear()
+        limit = c.TIMER_MAX_RETRANSMISSIONS[c.T3410]
+        assert fired == limit + 1                 # 4 retx + the abort
+        assert harness.uplink_names().count(c.ATTACH_REQUEST) == limit + 1
+        assert harness.ue.emm_state == c.EMM_DEREGISTERED_ATTACH_NEEDED
+
+    def test_expiry_in_registered_state_is_a_no_op(self):
+        harness = Harness().attach()
+        # Defensive: a stale T3410 callback after attach completion must
+        # not resend anything (the clock stops it, but the guard is the
+        # contract).
+        harness.ue._arm_t3410({"imsi": str(harness.subscriber.imsi)})
+        harness.clock.fire_next()
+        assert harness.uplink_names().count(c.ATTACH_REQUEST) == 1
+        assert harness.ue.emm_state == c.EMM_REGISTERED

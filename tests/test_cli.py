@@ -63,3 +63,54 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "candidate missing test cases" in output
         assert "drive the implementation" in output
+
+
+class TestChaosFlags:
+    def test_parser_accepts_bare_and_valued_chaos(self):
+        parser = build_parser()
+        bare = parser.parse_args(["extract", "srsue", "--chaos"])
+        assert bare.chaos == "default"
+        valued = parser.parse_args(
+            ["analyze", "srsue", "--chaos", "drop=0.1,dup=0.02",
+             "--chaos-seed", "4", "--chaos-runs", "3"])
+        assert valued.chaos == "drop=0.1,dup=0.02"
+        assert valued.chaos_seed == 4
+        assert valued.chaos_runs == 3
+
+    def test_chaos_runs_without_chaos_rejected(self, capsys):
+        assert main(["extract", "srsue", "--chaos-runs", "3"]) == 2
+        assert "--chaos" in capsys.readouterr().err
+
+    def test_bad_chaos_spec_rejected(self, capsys):
+        assert main(["extract", "srsue", "--chaos", "bogus=1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_extract_chaos_json_reports_stability(self, capsys):
+        import json
+        assert main(["extract", "reference", "--chaos",
+                     "--chaos-runs", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stability"]["stable"] is True
+        assert payload["stability"]["quarantined"] == []
+        assert payload["fingerprint"]
+
+    def test_extract_stability_out_writes_report(self, tmp_path, capsys):
+        import json
+        target = tmp_path / "stability.json"
+        assert main(["extract", "reference", "--chaos", "--chaos-seed",
+                     "2", "--chaos-runs", "2",
+                     "--stability-out", str(target)]) == 0
+        capsys.readouterr()
+        data = json.loads(target.read_text())
+        assert data["seeds"] == [2, 3]
+        assert data["stable"] is True
+
+    def test_stability_out_requires_consensus(self, capsys):
+        assert main(["extract", "reference",
+                     "--stability-out", "/tmp/nope.json"]) == 2
+
+    def test_unstable_consensus_exits_one(self, capsys):
+        assert main(["extract", "reference", "--chaos",
+                     "dl.drop=0.5,ul.drop=0.2,scope=all",
+                     "--chaos-seed", "3", "--chaos-runs", "3"]) == 1
+        assert "UNSTABLE" in capsys.readouterr().out

@@ -195,7 +195,8 @@ class TestExtractionCacheConcurrency:
         from repro.core import engine as engine_module
         from repro.core.engine import ExtractionRecord
 
-        def fake_extraction(implementation, cases=None):
+        def fake_extraction(implementation, cases=None, chaos=None,
+                            chaos_runs=1):
             if implementation == "slow":
                 started.set()
                 assert release.wait(timeout=10.0), "slow build never freed"
@@ -410,3 +411,42 @@ class TestCli:
         assert payload["implementation"] == "reference"
         assert payload["jobs"] == 2
         assert len(payload["results"]) == 62
+
+
+class TestExtractionCacheChaosKeys:
+    """Chaos extractions are cached under their own (config, runs) key,
+    never aliasing the clean entry."""
+
+    def test_chaos_key_distinct_from_clean(self):
+        from repro.lte.channel import ChaosConfig
+
+        extraction_cache.clear()
+        clean = extraction_cache.get("reference")
+        chaotic = extraction_cache.get(
+            "reference", chaos=ChaosConfig.default(), chaos_runs=2)
+        assert chaotic is not clean
+        assert clean.stability is None
+        assert chaotic.stability is not None
+        assert chaotic.stability.runs == 2
+
+    def test_same_chaos_config_hits_the_cache(self):
+        from repro.lte.channel import ChaosConfig
+
+        extraction_cache.clear()
+        first = extraction_cache.get(
+            "reference", chaos=ChaosConfig.default(), chaos_runs=2)
+        hits_before = extraction_cache.stats()["hits"]
+        second = extraction_cache.get(
+            "reference", chaos=ChaosConfig.default(), chaos_runs=2)
+        assert second is first
+        assert extraction_cache.stats()["hits"] == hits_before + 1
+
+    def test_different_seed_is_a_different_key(self):
+        from repro.lte.channel import ChaosConfig
+
+        extraction_cache.clear()
+        first = extraction_cache.get(
+            "reference", chaos=ChaosConfig.default(seed=0), chaos_runs=2)
+        other = extraction_cache.get(
+            "reference", chaos=ChaosConfig.default(seed=9), chaos_runs=2)
+        assert other is not first
