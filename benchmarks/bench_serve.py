@@ -1,0 +1,124 @@
+"""Service-mode throughput: jobs/minute, cold versus store-hit.
+
+Boots the in-process :class:`~repro.serve.AnalysisService` at 1/2/4
+workers, pushes a batch of distinct small analysis jobs through it cold,
+then resubmits the identical batch so every job is a content-addressed
+store hit.  The headline numbers land in
+``BENCH_serve_throughput.json``:
+
+- cold jobs/minute scales with the worker count (the queue actually
+  parallelises);
+- store-hit jobs/minute is orders of magnitude above cold (a hit is an
+  O(1) JSON read — no extraction, no model checking);
+- every hit reports empty work counters (the zero-work contract).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core import AnalysisConfig, extraction_cache
+from repro.serve import AnalysisService, JobStatus
+from repro.store import ResultStore
+
+#: Distinct (implementation, property-slice) jobs: small enough to keep
+#: the benchmark minutes-scale, varied enough to exercise the queue.
+JOB_CONFIGS = [
+    ("reference", ["SEC-01", "SEC-02"]),
+    ("reference", ["SEC-03", "SEC-04"]),
+    ("srsue", ["SEC-01", "SEC-02"]),
+    ("srsue", ["SEC-03", "SEC-04"]),
+    ("oai", ["SEC-01", "SEC-02"]),
+    ("oai", ["SEC-03", "SEC-04"]),
+]
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _drain(service, job_ids, timeout=300.0):
+    deadline = time.monotonic() + timeout
+    records = []
+    for job_id in job_ids:
+        while time.monotonic() < deadline:
+            record = service.job(job_id)
+            if record.status in (JobStatus.DONE, JobStatus.FAILED):
+                records.append(record)
+                break
+            time.sleep(0.01)
+        else:
+            raise AssertionError(f"job {job_id} did not finish")
+    return records
+
+
+def _run_batch(service):
+    """Submit every job config; returns (records, elapsed_seconds)."""
+    start = time.perf_counter()
+    submitted = []
+    for implementation, property_ids in JOB_CONFIGS:
+        config = AnalysisConfig(implementation, property_ids=property_ids,
+                                jobs=1)
+        submitted.append(service.submit(config.to_dict()).job_id)
+    records = _drain(service, submitted)
+    return records, time.perf_counter() - start
+
+
+def _jobs_per_minute(count, seconds):
+    return round(count / seconds * 60.0, 2) if seconds > 0 else None
+
+
+def test_serve_throughput(tmp_path, benchmark):
+    point = {"benchmark": "serve_throughput",
+             "job_count": len(JOB_CONFIGS), "runs": {}}
+
+    def measure_all():
+        for workers in WORKER_COUNTS:
+            # A fresh store and a cold extraction cache per worker count:
+            # each cold batch pays the full pipeline price.
+            extraction_cache.clear()
+            service = AnalysisService(
+                ResultStore(tmp_path / f"store-w{workers}"),
+                workers=workers, default_engine_jobs=1)
+            service.start()
+            try:
+                cold, cold_seconds = _run_batch(service)
+                assert all(r.status is JobStatus.DONE for r in cold)
+                assert not any(r.store_hit for r in cold)
+
+                hits, hit_seconds = _run_batch(service)
+                assert all(r.store_hit for r in hits)
+                assert all(r.counters == {} for r in hits)
+            finally:
+                service.stop()
+            point["runs"][str(workers)] = {
+                "workers": workers,
+                "cold_seconds": round(cold_seconds, 3),
+                "cold_jobs_per_minute": _jobs_per_minute(
+                    len(cold), cold_seconds),
+                "store_hit_seconds": round(hit_seconds, 3),
+                "store_hit_jobs_per_minute": _jobs_per_minute(
+                    len(hits), hit_seconds),
+            }
+        return point
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    runs = point["runs"]
+    for entry in runs.values():
+        assert (entry["store_hit_jobs_per_minute"]
+                > entry["cold_jobs_per_minute"] * 10), (
+            "store hits should be >=10x cold throughput", entry)
+    point["speedup_store_hit_vs_cold"] = {
+        key: round(entry["store_hit_jobs_per_minute"]
+                   / entry["cold_jobs_per_minute"], 1)
+        for key, entry in runs.items()}
+
+    with open("BENCH_serve_throughput.json", "w") as handle:
+        json.dump(point, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\nserve throughput (jobs/minute):")
+    for key in sorted(runs, key=int):
+        entry = runs[key]
+        print(f"  {entry['workers']} worker(s): "
+              f"cold {entry['cold_jobs_per_minute']}, "
+              f"store-hit {entry['store_hit_jobs_per_minute']}")

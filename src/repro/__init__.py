@@ -27,16 +27,17 @@ Package map:
 
 from .core import (AnalysisConfig, AnalysisReport, ProChecker,
                    PropertyResult, Verdict, VerificationEngine,
-                   analyze_implementation, analyze_many, extraction_cache)
+                   analyze_many, extraction_cache)
 from .fsm import FiniteStateMachine, Transition, check_refinement
 from .properties import ALL_PROPERTIES, catalog_summary
+from .schema import SCHEMA_VERSION, SchemaVersionError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisConfig", "AnalysisReport", "ProChecker", "PropertyResult",
-    "Verdict", "VerificationEngine", "analyze_implementation",
-    "analyze_many", "extraction_cache",
+    "SCHEMA_VERSION", "SchemaVersionError", "Verdict",
+    "VerificationEngine", "analyze_many", "extraction_cache",
     "FiniteStateMachine", "Transition", "check_refinement",
     "ALL_PROPERTIES", "catalog_summary",
     "__version__",

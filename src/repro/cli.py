@@ -11,7 +11,15 @@ Commands mirror the pipeline stages so each is scriptable on its own:
 - ``gaps <impl>``     — missing-stimulus report (candidate test cases the
   suite does not exercise — the paper's "detecting missing test cases");
 - ``lint``            — static spec/model/implementation analysis
-  (``PCL0xx`` findings; exit 5 on gating findings).
+  (``PCL0xx`` findings; exit 5 on gating findings);
+- ``serve``           — long-running service mode: analysis jobs over the
+  ``/v1`` HTTP JSON API, a worker fleet, and a persistent
+  content-addressed result store.
+
+Every subcommand that emits a result supports ``--json``; every JSON
+payload is stamped with the wire-format ``schema_version``
+(:mod:`repro.schema`).  The exit-code table is generated into
+``docs/CLI.md`` by ``python -m repro.docgen``.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from . import faults, obs
+from . import faults, obs, schema
 from .core import AnalysisConfig, ProChecker, Verdict
 from .fsm import missing_stimuli, to_dot
 from .lte import constants as c
@@ -50,8 +58,35 @@ LINT_FINDINGS_EXIT_CODE = 5
 assert LINT_FINDINGS_EXIT_CODE not in EXIT_CODES.values()
 EXIT_CODES["lint_findings"] = LINT_FINDINGS_EXIT_CODE
 
+#: One-line meaning per exit code — the single source the generated
+#: ``docs/CLI.md`` table (``python -m repro.docgen``) renders from.
+#: Exit code 2 is argparse/usage failure by Unix convention.
+EXIT_CODE_MEANINGS = {
+    0: ("success", "analysis completed; no violation, gating finding "
+                   "or checker error to signal"),
+    1: ("violated", "a property was violated / an attack succeeded / "
+                    "an unstable consensus extraction"),
+    2: ("usage", "bad arguments: unknown property or attack id, "
+                 "malformed --chaos/--inject-fault spec"),
+    3: ("not-applicable", "the verified property does not apply to "
+                          "this implementation"),
+    4: ("checker-error", "the report is complete but contains "
+                         "Verdict.ERROR rows (crash isolation)"),
+    5: ("lint-findings", "repro lint found gating (warning/error) "
+                         "findings beyond the baseline"),
+}
+
 
 def _emit_json(payload) -> None:
+    """Print a machine-readable result, stamped with the wire version.
+
+    Every JSON payload a subcommand emits crosses a process boundary,
+    so it carries ``schema_version`` exactly like the HTTP API's
+    responses do; payloads whose ``to_dict`` already stamped themselves
+    pass through unchanged.
+    """
+    if isinstance(payload, dict) and schema.SCHEMA_KEY not in payload:
+        payload = schema.stamp(dict(payload))
     print(json.dumps(payload, indent=2, sort_keys=True, default=str))
 
 
@@ -251,6 +286,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     _emit_observability(args, report)
     dossier = build_dossier(report,
                             validate_on_testbed=not args.no_testbed)
+    if args.json:
+        _emit_json(dossier.to_dict())
+        return 0
     text = render_markdown(dossier)
     if args.output:
         with open(args.output, "w") as handle:
@@ -284,6 +322,13 @@ def _cmd_smv(args: argparse.Namespace) -> int:
     formula = parse_ltl(prop.formula_for(EXTRACTED_VOCAB),
                         model.variable_names)
     text = to_smv(model, [(prop.identifier, formula)])
+    if args.json:
+        _emit_json({
+            "implementation": args.implementation,
+            "property": prop.identifier,
+            "smv": text,
+        })
+        return 0
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -329,6 +374,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_gaps(args: argparse.Namespace) -> int:
     fsm = ProChecker(args.implementation).extract()
     gaps = missing_stimuli(fsm, alphabet=set(c.DOWNLINK_MESSAGES))
+    if args.json:
+        _emit_json({
+            "implementation": args.implementation,
+            "total": len(gaps),
+            "gaps": [{"state": gap.state, "trigger": gap.trigger,
+                      "suggested_test_case": gap.suggested_test_case()}
+                     for gap in gaps[:args.limit]],
+        })
+        return 0
     print(f"{len(gaps)} (state, stimulus) pairs with no observed "
           f"behaviour — candidate missing test cases:")
     for gap in gaps[:args.limit]:
@@ -336,6 +390,34 @@ def _cmd_gaps(args: argparse.Namespace) -> int:
     if len(gaps) > args.limit:
         print(f"  ... and {len(gaps) - args.limit} more "
               f"(raise --limit to see them)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Long-running service mode: HTTP /v1 API + worker fleet + store."""
+    from .serve import AnalysisService, create_server
+    from .store import ResultStore
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store_dir)
+    service = AnalysisService(store, workers=args.workers,
+                              default_engine_jobs=args.jobs)
+    service.start()
+    server = create_server(args.host, args.port, service,
+                           quiet=not args.verbose)
+    print(f"repro serve: listening on http://{args.host}:{server.port} "
+          f"({args.workers} worker(s), store at {store.root})",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
     return 0
 
 
@@ -420,6 +502,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the span trace (JSONL) to FILE")
     report.add_argument("--profile", action="store_true",
                         help="print the PipelineStats summary table")
+    report.add_argument("--json", action="store_true",
+                        help="emit the dossier as JSON")
     report.set_defaults(handler=_cmd_report)
 
     smv = commands.add_parser(
@@ -427,6 +511,8 @@ def build_parser() -> argparse.ArgumentParser:
     smv.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
     smv.add_argument("property_id", metavar="PROPERTY")
     smv.add_argument("-o", "--output", metavar="FILE")
+    smv.add_argument("--json", action="store_true",
+                     help="emit the SMV module as JSON")
     smv.set_defaults(handler=_cmd_smv)
 
     lint = commands.add_parser(
@@ -459,7 +545,28 @@ def build_parser() -> argparse.ArgumentParser:
         "gaps", help="suggest missing conformance test cases")
     gaps.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
     gaps.add_argument("--limit", type=int, default=15)
+    gaps.add_argument("--json", action="store_true",
+                      help="emit the gap report as JSON")
     gaps.set_defaults(handler=_cmd_gaps)
+
+    serve = commands.add_parser(
+        "serve", help="run the analysis service (HTTP /v1 JSON API)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8373, metavar="N",
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(default 8373)")
+    serve.add_argument("--workers", "-w", type=int, default=2, metavar="K",
+                       help="analysis worker threads (default 2)")
+    serve.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                       help="engine process-pool width per job when the "
+                            "job does not specify one (default 1)")
+    serve.add_argument("--store-dir", metavar="DIR", default=".repro-store",
+                       help="content-addressed result store directory "
+                            "(default .repro-store)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -11,8 +11,7 @@ from .engine import (AnalysisConfig, EngineError, ExtractionCache,
 from .report import (AnalysisReport, PropertyResult, Verdict,
                      VERDICT_ERROR, VERDICT_NOT_APPLICABLE,
                      VERDICT_VERIFIED, VERDICT_VIOLATED)
-from .prochecker import (ProChecker, ProCheckerError,
-                         analyze_implementation, analyze_many)
+from .prochecker import ProChecker, ProCheckerError, analyze_many
 from .dossier import (AttackFinding, Dossier, build_dossier,
                       render_markdown)
 
@@ -26,7 +25,6 @@ __all__ = [
     "AnalysisReport", "PropertyResult", "Verdict",
     "VERDICT_ERROR", "VERDICT_NOT_APPLICABLE", "VERDICT_VERIFIED",
     "VERDICT_VIOLATED",
-    "ProChecker", "ProCheckerError", "analyze_implementation",
-    "analyze_many",
+    "ProChecker", "ProCheckerError", "analyze_many",
     "AttackFinding", "Dossier", "build_dossier", "render_markdown",
 ]

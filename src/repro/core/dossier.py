@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import schema
 from ..mc import Trace
 from ..testbed import registry, run_attack
 from .report import AnalysisReport, PropertyResult
@@ -45,6 +46,21 @@ class AttackFinding:
         return sorted({result.property.category
                        for result in self.properties})
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form (nested results carry their own version)."""
+        return {
+            "attack_id": self.attack_id,
+            "implementation": self.implementation,
+            "categories": self.categories,
+            "properties": [result.to_dict()
+                           for result in self.properties],
+            "counterexample": (self.counterexample.to_dict()
+                               if self.counterexample is not None
+                               else None),
+            "testbed_validated": self.testbed_validated,
+            "testbed_evidence": self.testbed_evidence,
+        }
+
 
 @dataclass
 class Dossier:
@@ -60,6 +76,16 @@ class Dossier:
             if finding.attack_id == attack_id:
                 return finding
         raise KeyError(attack_id)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form for ``repro report --json``."""
+        return schema.stamp({
+            "implementation": self.implementation,
+            "verified_count": self.verified_count,
+            "property_count": self.property_count,
+            "findings": [finding.to_dict()
+                         for finding in self.findings],
+        })
 
 
 def build_dossier(report: AnalysisReport,

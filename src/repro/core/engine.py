@@ -54,7 +54,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .. import faults, obs
+from .. import faults, obs, schema
 from ..conformance import TestCase, full_suite, measure_coverage, \
     run_conformance
 from ..extraction import (StabilityReport, consensus_extract,
@@ -143,6 +143,86 @@ class AnalysisConfig:
         if self.jobs is not None:
             return max(1, int(self.jobs))
         return max(1, os.cpu_count() or 1)
+
+    # ------------------------------------------------------------------
+    # Wire form (the job payload of ``POST /v1/jobs``)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-ready job payload (round-trips via :meth:`from_dict`).
+
+        Explicit :class:`Property` objects are narrowed to their catalog
+        identifiers; configs carrying non-catalog properties or a custom
+        ``cases`` suite hold live callables and cannot cross a process
+        boundary — serialising one raises :class:`EngineError`.
+        """
+        property_ids = (list(self.property_ids)
+                        if self.property_ids is not None else None)
+        if self.properties is not None:
+            from ..properties import property_by_id
+            for prop in self.properties:
+                try:
+                    catalog_prop = property_by_id(prop.identifier)
+                except KeyError:
+                    catalog_prop = None
+                if catalog_prop is not prop:
+                    raise EngineError(
+                        f"property {prop.identifier!r} is not a catalog "
+                        f"property; only catalog selections serialize")
+            property_ids = [p.identifier for p in self.properties]
+        if self.cases is not None:
+            raise EngineError(
+                "configs with a custom conformance suite (cases=...) "
+                "hold live callables and cannot be serialized")
+        return schema.stamp({
+            "implementation": self.implementation,
+            "property_ids": property_ids,
+            "category": self.category,
+            "jobs": self.jobs,
+            "max_cegar_iterations": self.max_cegar_iterations,
+            "use_extraction_cache": self.use_extraction_cache,
+            "share_cegar_inputs": self.share_cegar_inputs,
+            "group_timeout_seconds": self.group_timeout_seconds,
+            "max_group_retries": self.max_group_retries,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "fault_plan": (self.fault_plan.to_dict()
+                           if self.fault_plan is not None else None),
+            "chaos": (self.chaos.to_dict()
+                      if self.chaos is not None else None),
+            "chaos_runs": self.chaos_runs,
+        })
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "AnalysisConfig":
+        """Rebuild a config from a job payload.
+
+        Raises :class:`~repro.schema.SchemaVersionError` on an unknown
+        wire-format major and :class:`EngineError` on a payload without
+        an implementation.
+        """
+        schema.check(payload, "AnalysisConfig")
+        implementation = payload.get("implementation")
+        if not implementation:
+            raise EngineError("job payload lacks an 'implementation'")
+        chaos = payload.get("chaos")
+        plan = payload.get("fault_plan")
+        return cls(
+            implementation=implementation,
+            property_ids=payload.get("property_ids"),
+            category=payload.get("category"),
+            jobs=payload.get("jobs"),
+            max_cegar_iterations=payload.get("max_cegar_iterations", 8),
+            use_extraction_cache=payload.get("use_extraction_cache", True),
+            share_cegar_inputs=payload.get("share_cegar_inputs", True),
+            group_timeout_seconds=payload.get("group_timeout_seconds"),
+            max_group_retries=payload.get("max_group_retries", 2),
+            retry_backoff_seconds=payload.get("retry_backoff_seconds",
+                                              0.05),
+            fault_plan=(faults.FaultPlan.from_dict(plan)
+                        if plan is not None else None),
+            chaos=(ChaosConfig.from_dict(chaos)
+                   if chaos is not None else None),
+            chaos_runs=payload.get("chaos_runs", 1),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -25,7 +25,6 @@ or analyse several implementations through one shared pool::
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
 from .. import faults, obs
@@ -270,18 +269,7 @@ def analyze_many(configs: Sequence[ConfigLike],
     return reports
 
 
-def analyze_implementation(implementation: str,
-                           properties: Optional[Sequence[Property]] = None
-                           ) -> AnalysisReport:
-    """Deprecated positional entry point; kept as a thin shim.
-
-    Use ``ProChecker.from_config(AnalysisConfig(implementation))`` (or
-    :func:`analyze_many`) instead.
-    """
-    warnings.warn(
-        "analyze_implementation() is deprecated; use "
-        "ProChecker.from_config(AnalysisConfig(...)).analyze() instead",
-        DeprecationWarning, stacklevel=2)
-    config = AnalysisConfig(implementation=implementation,
-                            properties=properties)
-    return ProChecker.from_config(config).analyze()
+# The PR 1 ``analyze_implementation()`` deprecation shim ended its
+# grace period with the repro.api facade: use
+# ``ProChecker.from_config(AnalysisConfig(...)).analyze()`` or
+# :func:`analyze_many`.

@@ -7,6 +7,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from .. import schema
 from ..mc import Trace
 from ..obs.stats import PipelineStats
 from ..properties.spec import Property
@@ -86,7 +87,7 @@ class PropertyResult:
 
     def to_dict(self) -> Dict:
         """JSON-ready representation (round-trips via :meth:`from_dict`)."""
-        return {
+        return schema.stamp({
             "property": self.property.identifier,
             "category": self.property.category,
             "kind": self.property.kind,
@@ -100,12 +101,17 @@ class PropertyResult:
             "worker": self.worker,
             "counterexample": (self.counterexample.to_dict()
                                if self.counterexample is not None else None),
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "PropertyResult":
-        """Rebuild a result; the property is resolved from the catalog."""
+        """Rebuild a result; the property is resolved from the catalog.
+
+        Raises :class:`~repro.core.schema.SchemaVersionError` when the
+        payload declares a wire-format major this reader does not know.
+        """
         from ..properties import property_by_id
+        schema.check(payload, "PropertyResult")
         trace = payload.get("counterexample")
         return cls(
             property=property_by_id(payload["property"]),
@@ -197,7 +203,7 @@ class AnalysisReport:
 
     def to_dict(self) -> Dict:
         """JSON-ready representation (round-trips via :meth:`from_dict`)."""
-        return {
+        return schema.stamp({
             "implementation": self.implementation,
             "fsm_summary": dict(self.fsm_summary),
             "extraction_seconds": self.extraction_seconds,
@@ -214,10 +220,12 @@ class AnalysisReport:
             else None,
             "stability": (dict(self.stability)
                           if self.stability is not None else None),
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "AnalysisReport":
+        """Rebuild a report; rejects unknown wire-format majors."""
+        schema.check(payload, "AnalysisReport")
         stats = payload.get("stats")
         return cls(
             implementation=payload["implementation"],

@@ -1,0 +1,104 @@
+"""Generate ``docs/CLI.md`` from the CLI's own metadata.
+
+The exit-code table and the subcommand list render from
+:data:`repro.cli.EXIT_CODE_MEANINGS` and the argparse parser itself, so
+the document cannot drift from the code.  Run as
+``python -m repro.docgen`` after editing the CLI; ``--check`` exits
+non-zero when the checked-in document is stale (the CI static-analysis
+job runs it, alongside ``tests/test_cli.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cli import EXIT_CODE_MEANINGS, build_parser
+
+
+def render() -> str:
+    """The full markdown document as a string."""
+    lines: List[str] = [
+        "# Command-line interface",
+        "",
+        "Generated from `repro.cli` (regenerate with "
+        "`python -m repro.docgen`).",
+        "Every subcommand that emits a result supports `--json`; every "
+        "JSON",
+        "payload carries the wire-format `schema_version` "
+        "(see `docs/api.md`).",
+        "",
+        "## Subcommands",
+        "",
+    ]
+    parser = build_parser()
+    subparsers = next(action for action in parser._actions
+                      if isinstance(action, argparse._SubParsersAction))
+    for name, sub in subparsers.choices.items():
+        help_text = next((a.help for a in subparsers._choices_actions
+                          if a.dest == name), "")
+        lines.append(f"- `repro {name}` — {help_text};")
+    lines[-1] = lines[-1].rstrip(";") + "."
+    lines += [
+        "",
+        "## Exit codes",
+        "",
+        "| code | name | meaning |",
+        "|---|---|---|",
+    ]
+    for code in sorted(EXIT_CODE_MEANINGS):
+        name, meaning = EXIT_CODE_MEANINGS[code]
+        lines.append(f"| {code} | `{name}` | {meaning} |")
+    lines += [
+        "",
+        "`repro analyze` maps the report to one exit code: 4 if any "
+        "property",
+        "row is a checker error, else 0 (violations are data, not a "
+        "process",
+        "failure — consumers read the JSON).  `repro verify` maps its "
+        "single",
+        "verdict through the same table; `repro attack` exits 1 when the",
+        "attack succeeds; `repro extract` exits 1 on an unstable "
+        "consensus.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+DEFAULT_OUTPUT = "docs/CLI.md"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.docgen",
+        description="regenerate docs/CLI.md from the CLI metadata")
+    parser.add_argument("--check", action="store_true",
+                        help="do not write; exit 1 if the checked-in "
+                             "document is stale")
+    parser.add_argument("-o", "--output", metavar="FILE",
+                        default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    text = render()
+    if args.check:
+        try:
+            with open(args.output) as handle:
+                current = handle.read()
+        except OSError as exc:
+            print(f"{args.output} unreadable: {exc}", file=sys.stderr)
+            return 1
+        if current != text:
+            print(f"{args.output} is stale; regenerate with "
+                  f"`python -m repro.docgen`", file=sys.stderr)
+            return 1
+        print(f"{args.output} is up to date")
+        return 0
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

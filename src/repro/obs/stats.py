@@ -25,6 +25,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from .. import schema
 from .spans import ATTR_PROPERTY, Span
 
 #: Span name of the per-property unit of work the engine schedules.
@@ -124,7 +125,7 @@ class PipelineStats:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
-        return {
+        return schema.stamp({
             "implementation": self.implementation,
             "jobs": self.jobs,
             "properties": {identifier: dict(counters)
@@ -135,10 +136,11 @@ class PipelineStats:
             "phases": {name: dict(data)
                        for name, data in self.phases.items()},
             "runtime": self.runtime,
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "PipelineStats":
+        schema.check(payload, "PipelineStats")
         return cls(
             implementation=payload.get("implementation", ""),
             jobs=payload.get("jobs", 1),

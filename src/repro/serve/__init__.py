@@ -1,0 +1,23 @@
+"""``repro.serve`` — verification as a service.
+
+A long-running mode (``repro serve --port N --workers K``) that turns
+the one-shot pipeline into idempotent, addressable, concurrent jobs:
+
+- :class:`AnalysisService` — thread-safe job queue + worker fleet, with
+  an O(1) short-circuit through the content-addressed result store
+  (:mod:`repro.store`) for identical resubmissions;
+- :mod:`repro.serve.http` — the versioned ``/v1`` HTTP JSON API
+  (stdlib ``ThreadingHTTPServer``, no new dependencies);
+- :class:`ServeClient` — a stdlib client for scripts, benches, tests.
+"""
+
+from .client import ServeClient, ServeClientError
+from .http import ServiceHandler, ServiceHTTPServer, create_server
+from .jobs import JobRecord, JobRegistry, JobStatus
+from .service import AnalysisService, ServiceError
+
+__all__ = [
+    "AnalysisService", "JobRecord", "JobRegistry", "JobStatus",
+    "ServeClient", "ServeClientError", "ServiceError", "ServiceHandler",
+    "ServiceHTTPServer", "create_server",
+]

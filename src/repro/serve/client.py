@@ -1,0 +1,105 @@
+"""A minimal stdlib client for the ``/v1`` API (tests, benches, scripts)."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Union
+
+from ..core.engine import AnalysisConfig
+
+ConfigLike = Union[AnalysisConfig, Dict]
+
+
+class ServeClientError(Exception):
+    """Transport failure, HTTP error body, or a wait that ran out."""
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict] = None) -> Dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+                detail = body.get("error", body)
+            except ValueError:
+                detail = exc.reason
+            raise ServeClientError(
+                f"{method} {path} -> {exc.code}: {detail}") from exc
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                f"{method} {path} unreachable: {exc.reason}") from exc
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/v1/health")
+
+    def submit(self, config: ConfigLike) -> Dict:
+        """Submit a job; returns the job record (may already be done)."""
+        payload = (config.to_dict()
+                   if isinstance(config, AnalysisConfig) else dict(config))
+        return self._request("POST", "/v1/jobs", payload)
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, status: Optional[str] = None,
+             implementation: Optional[str] = None) -> List[Dict]:
+        query = []
+        if status is not None:
+            query.append(f"status={status}")
+        if implementation is not None:
+            query.append(f"implementation={implementation}")
+        suffix = ("?" + "&".join(query)) if query else ""
+        return self._request("GET", "/v1/jobs" + suffix)["jobs"]
+
+    def report(self, digest: str) -> Dict:
+        return self._request("GET", f"/v1/reports/{digest}")["report"]
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_seconds: float = 0.05) -> Dict:
+        """Poll until the job leaves the queue/running states.
+
+        Returns the final job record (check ``status`` — a ``failed``
+        job is returned, not raised); raises :class:`ServeClientError`
+        if the job is still pending when ``timeout`` expires.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    f"job {job_id} still {record['status']} after "
+                    f"{timeout:.1f}s")
+            time.sleep(poll_seconds)
+
+    def result(self, job_id: str, timeout: float = 120.0) -> Dict:
+        """Wait for a job and return its stored report payload."""
+        record = self.wait(job_id, timeout)
+        if record["status"] != "done":
+            raise ServeClientError(
+                f"job {job_id} failed: {record.get('error', '')}")
+        return self.report(record["digest"])

@@ -1,0 +1,114 @@
+"""Job records and the thread-safe job registry of the service mode."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import schema
+
+
+class JobStatus(str, enum.Enum):
+    """Lifecycle of one submitted analysis job.
+
+    ``QUEUED → RUNNING → DONE | FAILED``; a store hit goes straight to
+    ``DONE`` at submission time (the O(1) path).
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class JobRecord:
+    """One submitted job: config payload, identity, lifecycle, telemetry."""
+
+    job_id: str
+    #: content address of the job (see :func:`repro.store.job_digest`)
+    digest: str
+    implementation: str
+    #: the submitted ``AnalysisConfig`` wire payload, verbatim
+    payload: Dict
+    status: JobStatus = JobStatus.QUEUED
+    #: served from the result store without running the pipeline
+    store_hit: bool = False
+    error: str = ""
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: worker-thread name that executed the job ("" for submit-time hits)
+    worker: str = ""
+    #: per-job metrics-registry delta (engine.*/mc.*/... counters); empty
+    #: for store hits — that emptiness is the "zero work" assertion hook
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: registry snapshot at job start (progress baseline; not serialized)
+    start_snapshot: Optional[Dict] = None
+
+    def elapsed_seconds(self, now: Optional[float] = None) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.finished_at
+        if end is None:
+            end = now if now is not None else time.time()
+        return max(0.0, end - self.started_at)
+
+    def to_dict(self) -> Dict:
+        """The ``/v1/jobs`` wire form (versioned)."""
+        return schema.stamp({
+            "job_id": self.job_id,
+            "digest": self.digest,
+            "implementation": self.implementation,
+            "status": self.status.value,
+            "store_hit": self.store_hit,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_seconds": self.elapsed_seconds(),
+            "worker": self.worker,
+            "counters": dict(self.counters),
+            "config": dict(self.payload),
+        })
+
+
+class JobRegistry:
+    """Thread-safe id allocation and lookup for every submitted job."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._ids = itertools.count(1)
+
+    def allocate_id(self) -> str:
+        with self._lock:
+            return f"j{next(self._ids):06d}"
+
+    def add(self, record: JobRecord) -> None:
+        with self._lock:
+            self._jobs[record.job_id] = record
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._jobs[job_id]
+
+    def list(self, status: Optional[JobStatus] = None,
+             implementation: Optional[str] = None) -> List[JobRecord]:
+        """Submission-ordered listing with optional filters."""
+        with self._lock:
+            records = list(self._jobs.values())
+        if status is not None:
+            records = [r for r in records if r.status is status]
+        if implementation is not None:
+            records = [r for r in records
+                       if r.implementation == implementation]
+        return sorted(records, key=lambda r: r.job_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

@@ -1,0 +1,228 @@
+"""The scheduler: a job queue drained by a pool of worker threads.
+
+The split mirrors Klever's bridge/scheduler architecture: the HTTP layer
+(:mod:`repro.serve.http`) only translates requests, this module owns the
+queue, the worker fleet and the result-store short-circuit.
+
+Every job travels one of two paths:
+
+- **store hit** — the job's content address is already filed: the record
+  is marked ``DONE`` *at submission time*, with ``store_hit=True`` and an
+  empty per-job counter delta.  No extraction, no model checking — the
+  acceptance criterion "second identical submission consumes zero
+  ``engine.*``/``mc.*`` work" is checked against exactly this emptiness.
+- **cold run** — a worker thread dequeues the job, re-checks the store
+  (an identical job submitted while the first was still running
+  coalesces into a hit here), then runs the full pipeline via
+  :meth:`ProChecker.from_config(...).analyze()
+  <repro.core.prochecker.ProChecker.analyze>` — inheriting the engine's
+  process-pool fan-out, retry/timeout resilience and crash isolation —
+  and files the finished report.
+
+Per-job telemetry: the finished report's
+``stats.runtime["metrics"]["counters"]`` delta (which includes the
+PR 3 resilience counters ``engine.group_*``/``engine.pool_rebuilds``)
+is copied onto the job record.  The metrics registry is process-wide,
+so with overlapping jobs a delta can attribute a neighbour's counters;
+it is exact whenever jobs do not overlap (and always exact about a
+store hit, whose delta is empty by construction).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .. import obs
+from ..core.engine import exception_chain
+from ..core.prochecker import AnalysisConfig, ProChecker
+from ..obs.metrics import diff_snapshots
+from ..store import ResultStore, job_digest, job_key
+from .jobs import JobRecord, JobRegistry, JobStatus
+
+
+class ServiceError(Exception):
+    """Raised for unacceptable submissions (e.g. fault-plan configs)."""
+
+
+class AnalysisService:
+    """Job queue + worker fleet in front of the verification pipeline."""
+
+    def __init__(self, store: ResultStore, workers: int = 2,
+                 default_engine_jobs: Optional[int] = 1):
+        """``workers`` concurrent jobs; each job's *internal* check-phase
+        width defaults to ``default_engine_jobs`` when the submitted
+        config leaves ``jobs`` unset (``None`` delegates to the config's
+        own default of all cores — sensible for a single-job service,
+        oversubscribed for a wide worker fleet)."""
+        self.store = store
+        self.workers = max(1, workers)
+        self.default_engine_jobs = default_engine_jobs
+        self.registry = JobRegistry()
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "AnalysisService":
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"serve-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Drain-free shutdown: workers exit after their current job."""
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30)
+
+    # ------------------------------------------------------------------
+    # Submission (the bridge side)
+    # ------------------------------------------------------------------
+    def submit(self, payload: Dict) -> JobRecord:
+        """Accept one ``AnalysisConfig`` wire payload as a job.
+
+        Raises :class:`~repro.schema.SchemaVersionError` /
+        :class:`~repro.core.engine.EngineError` /
+        :class:`~repro.store.StoreError` on malformed payloads and
+        :class:`ServiceError` on fault-plan submissions (a shared
+        service must not let one client sabotage the worker fleet).
+        """
+        config = AnalysisConfig.from_dict(payload)
+        if config.fault_plan is not None:
+            raise ServiceError(
+                "fault-plan submissions are not accepted in service "
+                "mode; use the one-shot CLI (--inject-fault) instead")
+        if config.jobs is None and self.default_engine_jobs is not None:
+            config.jobs = self.default_engine_jobs
+        digest = job_digest(config)
+        record = JobRecord(
+            job_id=self.registry.allocate_id(),
+            digest=digest,
+            implementation=config.implementation,
+            payload=config.to_dict(),
+        )
+        self.registry.add(record)
+        if self.store.get(digest) is not None:
+            # O(1) path: identical job already analysed — serve it
+            # straight from the store, consuming zero pipeline work.
+            obs.count("serve.store_hits")
+            self._finish_hit(record)
+        else:
+            obs.count("serve.jobs_queued")
+            self._queue.put(record.job_id)
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> JobRecord:
+        return self.registry.get(job_id)
+
+    def jobs(self, status: Optional[JobStatus] = None,
+             implementation: Optional[str] = None) -> List[JobRecord]:
+        return self.registry.list(status, implementation)
+
+    def report(self, digest: str) -> Optional[Dict]:
+        return self.store.get(digest)
+
+    def progress(self, job_id: str) -> Dict:
+        """Live progress of one job, from the :mod:`repro.obs` registry.
+
+        For a running job: elapsed wall-clock plus the counter delta
+        since the job started (process-wide attribution — see module
+        docstring).  For a finished job: the final per-job counters.
+        """
+        record = self.registry.get(job_id)
+        if record.status is JobStatus.RUNNING \
+                and record.start_snapshot is not None:
+            delta = diff_snapshots(record.start_snapshot,
+                                   obs.metrics().snapshot())
+            counters = delta.get("counters", {})
+        else:
+            counters = dict(record.counters)
+        return {
+            "status": record.status.value,
+            "elapsed_seconds": record.elapsed_seconds(),
+            "counters": counters,
+        }
+
+    def stats(self) -> Dict:
+        """Service-level health block (the ``/v1/health`` body)."""
+        by_status: Dict[str, int] = {}
+        for record in self.registry.list():
+            by_status[record.status.value] = \
+                by_status.get(record.status.value, 0) + 1
+        return {
+            "workers": self.workers,
+            "queued": self._queue.qsize(),
+            "jobs": by_status,
+            "store": self.store.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # The worker fleet (the scheduler side)
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            try:
+                self._run_job(self.registry.get(job_id))
+            except Exception:   # noqa: BLE001 - worker must survive
+                obs.count("serve.worker_errors")
+
+    def _run_job(self, record: JobRecord) -> None:
+        record.status = JobStatus.RUNNING
+        record.started_at = time.time()
+        record.worker = threading.current_thread().name
+        record.start_snapshot = obs.metrics().snapshot()
+        # In-flight coalescing: an identical job may have finished (and
+        # filed its report) between this job's submission and now.
+        if self.store.get(record.digest) is not None:
+            obs.count("serve.store_hits")
+            self._finish_hit(record)
+            return
+        try:
+            config = AnalysisConfig.from_dict(record.payload)
+            with obs.span("serve.job", job=record.job_id,
+                          implementation=record.implementation):
+                report = ProChecker.from_config(config).analyze()
+            payload = report.to_dict()
+            self.store.put(record.digest, payload,
+                           key=job_key(config))
+            if report.stats is not None:
+                record.counters = dict(report.stats.runtime
+                                       .get("metrics", {})
+                                       .get("counters", {}))
+            record.status = JobStatus.DONE
+            obs.count("serve.jobs_completed")
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            record.error = exception_chain(exc)
+            record.status = JobStatus.FAILED
+            obs.count("serve.jobs_failed")
+        finally:
+            record.finished_at = time.time()
+
+    def _finish_hit(self, record: JobRecord) -> None:
+        record.status = JobStatus.DONE
+        record.store_hit = True
+        record.counters = {}
+        record.finished_at = time.time()

@@ -1,0 +1,254 @@
+"""Content-addressed, persistent result store for analysis reports.
+
+The store is what makes analyses *idempotent, addressable jobs*: a
+finished :class:`~repro.core.report.AnalysisReport` is filed under a
+digest derived from everything its verdicts are a pure function of —
+
+- the **implementation fingerprint** (a content hash of the
+  implementation's source module, so editing ``srsue_like.py``
+  invalidates every cached srsUE report);
+- the **catalog hash** of the resolved property selection (identifier,
+  instantiated formula, canonical threat-configuration key, testbed
+  experiment — the same canonicalisation
+  :func:`~repro.core.cegar.threat_config_key` uses for model sharing);
+- the **chaos spec** (seed, rates, scope, consensus width), because a
+  perturbed extraction may legitimately change the model;
+- the CEGAR iteration budget.
+
+Scheduling knobs (``jobs``, timeouts, retries, backoff) are *excluded*:
+the engine's determinism contract guarantees a ``--jobs 4`` run is
+verdict-identical to a serial one, so both must hit the same entry.
+Configs that can change verdicts non-reproducibly (an installed fault
+plan) or that hold live callables (a custom ``cases`` suite, non-catalog
+property objects) are **uncacheable** and raise :class:`StoreError`.
+
+Layout: one JSON file per entry, sharded by digest prefix
+(``<root>/ab/abcdef....json``) so directories stay small at millions of
+entries.  Writes are atomic (temp file + ``os.replace``); a corrupted or
+wire-incompatible entry is *quarantined* (moved to ``<root>/quarantine``)
+and reported as a miss instead of crashing the reader.  Hits, misses,
+writes and quarantines are counted in the :mod:`repro.obs` registry
+(``store.*``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .. import obs, schema
+from ..core.cegar import threat_config_key
+from ..core.engine import AnalysisConfig
+from ..lte.implementations import REGISTRY
+from ..properties.spec import EXTRACTED_VOCAB, KIND_LTL
+
+__all__ = [
+    "ResultStore", "StoreError", "implementation_fingerprint",
+    "catalog_digest", "job_key", "job_digest",
+]
+
+
+class StoreError(Exception):
+    """Raised for uncacheable configs and malformed store operations."""
+
+
+# ---------------------------------------------------------------------------
+# Job identity
+# ---------------------------------------------------------------------------
+def implementation_fingerprint(implementation: str) -> str:
+    """Content hash of the implementation under analysis.
+
+    Digests the source of the module defining the registered UE class
+    (plus the class qualname and the package version), so a behavioural
+    edit to the implementation — or a pipeline release — invalidates
+    every report cached for it.
+    """
+    if implementation not in REGISTRY:
+        raise StoreError(f"unknown implementation {implementation!r}; "
+                         f"available: {sorted(REGISTRY)}")
+    ue_class = REGISTRY[implementation]
+    module = sys.modules[ue_class.__module__]
+    from .. import __version__
+    digest = hashlib.sha256()
+    digest.update(inspect.getsource(module).encode())
+    digest.update(ue_class.__qualname__.encode())
+    digest.update(__version__.encode())
+    return digest.hexdigest()
+
+
+def catalog_digest(config: AnalysisConfig) -> str:
+    """Hash of the resolved property selection, in canonical form.
+
+    Each property contributes its identifier, kind, the formula
+    *instantiated* for the extracted-model vocabulary, the canonical
+    threat-configuration key, the testbed experiment id, and the
+    verification budget — everything the verdict depends on besides the
+    models themselves.
+    """
+    rows = []
+    for prop in config.resolved_properties():
+        threat = (threat_config_key(prop.threat)
+                  if prop.kind == KIND_LTL else ())
+        formula = (prop.formula_for(EXTRACTED_VOCAB)
+                   if prop.kind == KIND_LTL else "")
+        rows.append((prop.identifier, prop.kind, formula, repr(threat),
+                     prop.testbed_attack))
+    digest = hashlib.sha256()
+    digest.update(repr(config.max_cegar_iterations).encode())
+    for row in rows:
+        digest.update(repr(row).encode())
+    return digest.hexdigest()
+
+
+def job_key(config: AnalysisConfig) -> Dict:
+    """The canonical, JSON-ready identity of one analysis job.
+
+    Raises :class:`StoreError` for uncacheable configs (fault plans,
+    custom suites, non-catalog properties) — serving a stored report for
+    one of those would return results the submitted job could not have
+    produced.
+    """
+    if config.fault_plan is not None:
+        raise StoreError("configs with an installed fault plan are "
+                         "uncacheable (injected faults change verdicts)")
+    if config.cases is not None:
+        raise StoreError("configs with a custom conformance suite are "
+                         "uncacheable (live callables have no stable "
+                         "wire identity)")
+    return {
+        "implementation": config.implementation,
+        "implementation_fingerprint":
+            implementation_fingerprint(config.implementation),
+        "catalog": catalog_digest(config),
+        "chaos": (config.chaos.to_dict()
+                  if config.chaos is not None else None),
+        "chaos_runs": config.chaos_runs if config.chaos is not None else 1,
+    }
+
+
+def job_digest(config: AnalysisConfig) -> str:
+    """Content address of the job: SHA-256 of the canonical key JSON."""
+    canonical = json.dumps(job_key(config), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+class ResultStore:
+    """JSON-on-disk content-addressed store, sharded by digest prefix."""
+
+    QUARANTINE = "quarantine"
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        if len(digest) < 3 or not all(c in "0123456789abcdef"
+                                      for c in digest):
+            raise StoreError(f"malformed digest {digest!r}")
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    def put(self, digest: str, report_payload: Dict,
+            key: Optional[Dict] = None) -> Path:
+        """File a report under its digest (atomic; last writer wins)."""
+        entry = schema.stamp({
+            "digest": digest,
+            "key": key,
+            "report": report_payload,
+        })
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{digest[:8]}-",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True, default=str)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                obs.count("store.tmp_unlink_failures")
+            raise
+        obs.count("store.writes")
+        return path
+
+    def get(self, digest: str) -> Optional[Dict]:
+        """The stored report payload, or ``None`` on a miss.
+
+        A corrupted entry (unparseable JSON, digest mismatch, unknown
+        wire-format major) is moved to the quarantine directory and
+        reported as a miss — one bad file must never take the service
+        down or poison future lookups of the same digest.
+        """
+        path = self.path_for(digest)
+        try:
+            text = path.read_text()
+        except OSError:
+            obs.count("store.misses")
+            return None
+        try:
+            entry = json.loads(text)
+            if not isinstance(entry, dict):
+                raise ValueError(f"entry is {type(entry).__name__}, "
+                                 f"not an object")
+            schema.check(entry, "store entry")
+            if entry.get("digest") != digest:
+                raise ValueError(f"digest mismatch: entry says "
+                                 f"{entry.get('digest')!r}")
+            report = entry["report"]
+        except (ValueError, KeyError, schema.SchemaVersionError) as exc:
+            self._quarantine(path, exc)
+            obs.count("store.misses")
+            return None
+        obs.count("store.hits")
+        return report
+
+    def contains(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        quarantine = self.root / self.QUARANTINE
+        quarantine.mkdir(parents=True, exist_ok=True)
+        target = quarantine / path.name
+        with self._lock:
+            try:
+                os.replace(path, target)
+            except OSError:       # pragma: no cover - already moved/gone
+                obs.count("store.quarantine_failures")
+                return
+        obs.count("store.quarantined")
+
+    # ------------------------------------------------------------------
+    def digests(self) -> List[str]:
+        """Every digest currently filed (sorted; excludes quarantine)."""
+        found = []
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or shard.name == self.QUARANTINE:
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                found.append(entry.stem)
+        return found
+
+    def stats(self) -> Dict[str, int]:
+        quarantined = 0
+        quarantine = self.root / self.QUARANTINE
+        if quarantine.is_dir():
+            quarantined = sum(1 for _ in quarantine.iterdir())
+        return {"entries": len(self.digests()),
+                "quarantined": quarantined}

@@ -8,16 +8,24 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_commands_registered(self):
         parser = build_parser()
-        for command in ("analyze", "extract", "verify", "attack", "gaps"):
+        for command in ("analyze", "extract", "verify", "attack", "gaps",
+                        "serve"):
             args = {
                 "analyze": ["analyze", "srsue"],
                 "extract": ["extract", "srsue"],
                 "verify": ["verify", "srsue", "SEC-01"],
                 "attack": ["attack", "P1", "srsue"],
                 "gaps": ["gaps", "srsue"],
+                "serve": ["serve", "--port", "0", "--workers", "1"],
             }[command]
             namespace = parser.parse_args(args)
             assert namespace.command == command
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers == 2
+        assert args.jobs == 1
+        assert args.store_dir == ".repro-store"
 
     def test_bad_implementation_rejected(self):
         with pytest.raises(SystemExit):
@@ -63,6 +71,50 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "candidate missing test cases" in output
         assert "drive the implementation" in output
+
+    def test_gaps_json_is_versioned(self, capsys):
+        import json
+        from repro import schema
+        assert main(["gaps", "reference", "--json", "--limit", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[schema.SCHEMA_KEY] == schema.SCHEMA_VERSION
+        assert len(payload["gaps"]) == 2
+        assert payload["total"] >= 2
+        assert {"state", "trigger",
+                "suggested_test_case"} <= set(payload["gaps"][0])
+
+    def test_smv_json_is_versioned(self, capsys):
+        import json
+        from repro import schema
+        assert main(["smv", "reference", "SEC-01", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[schema.SCHEMA_KEY] == schema.SCHEMA_VERSION
+        assert payload["property"] == "SEC-01"
+        assert "MODULE" in payload["smv"]
+
+    def test_report_json_is_versioned_dossier(self, capsys):
+        import json
+        from repro import schema
+        assert main(["report", "srsue", "--json", "--no-testbed",
+                     "--jobs", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[schema.SCHEMA_KEY] == schema.SCHEMA_VERSION
+        assert payload["implementation"] == "srsue"
+        assert payload["findings"], "srsue has Table I findings"
+        finding = payload["findings"][0]
+        assert finding["properties"][0]["verdict"] == "violated"
+
+
+class TestDocgen:
+    def test_cli_doc_is_current(self, capsys):
+        from repro.docgen import main as docgen_main
+        assert docgen_main(["--check"]) == 0
+
+    def test_exit_code_table_covers_all_codes(self):
+        from repro.cli import EXIT_CODES, EXIT_CODE_MEANINGS
+        documented = set(EXIT_CODE_MEANINGS)
+        used = set(EXIT_CODES.values()) | {0, 2}
+        assert used <= documented
 
 
 class TestChaosFlags:

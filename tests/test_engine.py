@@ -15,8 +15,7 @@ import pytest
 
 import repro.obs as obs
 from repro.core import (AnalysisConfig, EngineError, ExtractionCache,
-                        ProChecker, ProCheckerError,
-                        analyze_implementation, analyze_many,
+                        ProChecker, ProCheckerError, analyze_many,
                         extraction_cache, group_properties)
 from repro.cli import main as cli_main
 from repro.conformance import full_suite
@@ -330,14 +329,18 @@ class TestAnalysisConfig:
 
 
 # ---------------------------------------------------------------------------
-# Deprecation shim
+# Deprecation shim (removed with the repro.api facade)
 # ---------------------------------------------------------------------------
-def test_analyze_implementation_deprecated():
-    with pytest.deprecated_call():
-        report = analyze_implementation(
-            "reference", properties=[property_by_id("SEC-37")])
-    assert len(report.results) == 1
-    assert report.results[0].outcome.value == "verified"
+def test_analyze_implementation_shim_removed():
+    """The PR 1 shim completed its deprecation cycle; the supported
+    entry points are ProChecker.from_config / analyze_many (re-exported
+    by repro.api)."""
+    import repro
+    import repro.api
+    import repro.core
+    for module in (repro, repro.core, repro.api):
+        assert not hasattr(module, "analyze_implementation")
+        assert "analyze_implementation" not in module.__all__
 
 
 # ---------------------------------------------------------------------------
