@@ -68,10 +68,12 @@ def test_full_pipeline(benchmark, implementation):
 def _emit_trajectory(reports):
     """Write the benchmark trajectory point + the pipeline trace.
 
-    ``BENCH_table1_detection.json`` carries the per-phase timings and
-    canonical per-implementation stats of the full three-implementation
-    run; ``trace.jsonl`` is the reassembled span trace CI uploads as an
-    artifact and audits for phase completeness.
+    ``BENCH_table1_detection.json`` carries the per-phase timings,
+    canonical per-implementation stats, and the per-property wall-time
+    trajectory (plus the slowest property's exploration effort — the
+    number the MC regression guard watches) of the full
+    three-implementation run; ``trace.jsonl`` is the reassembled span
+    trace CI uploads as an artifact and audits for phase completeness.
     """
     roots = obs.drain_spans()
     batch_roots = [r for r in roots if r.name == "pipeline.analyze"]
@@ -90,10 +92,30 @@ def _emit_trajectory(reports):
             for impl, report in sorted(reports.items())},
         "canonical": {impl: stats.canonical_dict()
                       for impl, stats in sorted(stats_by_impl.items())},
+        "per_property_seconds": {
+            impl: {r.property.identifier: round(r.elapsed_seconds, 6)
+                   for r in sorted(report.results,
+                                   key=lambda r: r.property.identifier)}
+            for impl, report in sorted(reports.items())},
+        "slowest_property": _slowest_property(reports),
     }
     with open("BENCH_table1_detection.json", "w") as handle:
         json.dump(point, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def _slowest_property(reports):
+    """The (implementation, property) pair with the worst MC effort."""
+    worst = None
+    for impl, report in sorted(reports.items()):
+        for result in report.results:
+            row = (result.states_explored, impl,
+                   result.property.identifier, result.elapsed_seconds)
+            if worst is None or row > worst:
+                worst = row
+    states, impl, identifier, seconds = worst
+    return {"implementation": impl, "property": identifier,
+            "states_explored": states, "seconds": round(seconds, 6)}
 
 
 def test_detection_matrix_summary(benchmark):
@@ -118,6 +140,17 @@ def test_detection_matrix_summary(benchmark):
         and (attack in reports["srsue"].detected_attacks()
              or attack in reports["oai"].detected_attacks())}
     assert len(open_stack_issues) == 6
+    # MC regression guard: the on-the-fly product search keeps even the
+    # worst property's exploration in the low thousands of model states
+    # (the materialised reference engine needed 5-10x that).  A checker
+    # change that pushes past this bound is a real perf regression, not
+    # noise — states-explored is deterministic and width-invariant.
+    slowest = _slowest_property(reports)
+    print(f"slowest property: {slowest['property']} on "
+          f"{slowest['implementation']} "
+          f"({slowest['states_explored']} states, "
+          f"{slowest['seconds']:.3f}s)")
+    assert slowest["states_explored"] <= 5000, slowest
 
 
 def test_engine_speedup(benchmark):

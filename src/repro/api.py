@@ -27,11 +27,13 @@ Three usage tiers:
 
 from __future__ import annotations
 
-from .core.cegar import threat_config_key
+from .core.cegar import threat_config_digest, threat_config_key
 from .core.engine import AnalysisConfig, EngineError, extraction_cache
 from .core.prochecker import ProChecker, ProCheckerError, analyze_many
 from .core.report import AnalysisReport, PropertyResult, Verdict
 from .lte.channel import ChaosConfig
+from .mc import (CheckRequest, CheckResult, McCacheError, McVerdictCache,
+                 ModelChecker, verdict_digest)
 from .obs.stats import PipelineStats
 from .properties import ALL_PROPERTIES, property_by_id
 from .schema import SCHEMA_VERSION, SchemaVersionError
@@ -49,6 +51,10 @@ __all__ = [
     "SCHEMA_VERSION", "SchemaVersionError",
     # property catalog
     "ALL_PROPERTIES", "property_by_id", "threat_config_key",
+    "threat_config_digest",
+    # model checking
+    "CheckRequest", "CheckResult", "ModelChecker",
+    "McCacheError", "McVerdictCache", "verdict_digest",
     # content-addressed result store
     "ResultStore", "StoreError", "implementation_fingerprint",
     "job_digest", "job_key",

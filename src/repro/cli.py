@@ -153,7 +153,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     config = AnalysisConfig(args.implementation, jobs=args.jobs,
                             group_timeout_seconds=args.group_timeout,
                             fault_plan=plan,
-                            chaos=chaos, chaos_runs=args.chaos_runs)
+                            chaos=chaos, chaos_runs=args.chaos_runs,
+                            mc_cache_dir=args.mc_cache)
     try:
         report = ProChecker.from_config(config).analyze()
     finally:
@@ -303,7 +304,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_smv(args: argparse.Namespace) -> int:
     """Export the threat-instrumented model (+ property) as NuXmv input."""
     from .baselines import lteinspector_mme
-    from .mc import parse_ltl, to_smv
+    from .mc import CheckRequest, ModelChecker
     from .properties import EXTRACTED_VOCAB
     from .threat import ThreatInstrumentor
 
@@ -319,9 +320,8 @@ def _cmd_smv(args: argparse.Namespace) -> int:
     ue_model = ProChecker(args.implementation).extract()
     model = ThreatInstrumentor(ue_model, lteinspector_mme(),
                                prop.threat).build(prop.identifier)
-    formula = parse_ltl(prop.formula_for(EXTRACTED_VOCAB),
-                        model.variable_names)
-    text = to_smv(model, [(prop.identifier, formula)])
+    text = ModelChecker().export_smv(model, CheckRequest(
+        formula=prop.formula_for(EXTRACTED_VOCAB), name=prop.identifier))
     if args.json:
         _emit_json({
             "implementation": args.implementation,
@@ -451,6 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="debug: install a deterministic fault, e.g. "
                               "engine.verify_group@SEC-01:exit:1 "
                               "(kinds: raise, hang, exit; repeatable)")
+    analyze.add_argument("--mc-cache", metavar="DIR", default=None,
+                         help="persistent model-checking verdict cache; "
+                              "re-analysing an unchanged implementation "
+                              "skips exploration entirely (verdicts are "
+                              "identical either way)")
     _add_chaos_options(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
 

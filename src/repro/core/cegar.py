@@ -26,6 +26,7 @@ The CPV bridge maps model-level adversary commands onto DY questions:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -34,8 +35,9 @@ from .. import faults, obs
 from ..cpv.deduction import Knowledge
 from ..cpv.terms import Mac, Pair, Term, const, secret_key
 from ..fsm import FiniteStateMachine, NULL_ACTION
+from ..mc import (CheckRequest, CheckResult, McVerdictCache, ModelChecker,
+                  Trace)
 from ..lte import constants as c
-from ..mc import CheckResult, Trace, check_ltl, parse_ltl
 from ..mc.model import Model
 from ..threat import Refinement, ThreatConfig, ThreatInstrumentor
 
@@ -230,6 +232,17 @@ def threat_config_key(config: ThreatConfig) -> Tuple:
                          for r in config.refinements)))
 
 
+def threat_config_digest(config: ThreatConfig) -> str:
+    """Stable digest of the canonical threat key (persistent-cache use).
+
+    Refinements are part of the canonical key, so each CEGAR iteration
+    of a refined configuration addresses its own verdict-cache entry —
+    a warm re-run hits on *every* iteration, not just the first.
+    """
+    return hashlib.sha256(
+        repr(threat_config_key(config)).encode()).hexdigest()
+
+
 class CegarContext:
     """Property-invariant CEGAR inputs, shared across a verification run.
 
@@ -242,7 +255,8 @@ class CegarContext:
     """
 
     def __init__(self, ue_fsm: FiniteStateMachine,
-                 mme_fsm: FiniteStateMachine):
+                 mme_fsm: FiniteStateMachine,
+                 mc_cache_dir: Optional[str] = None):
         self.ue_fsm = ue_fsm
         self.mme_fsm = mme_fsm
         self._lock = threading.Lock()
@@ -250,6 +264,11 @@ class CegarContext:
         self._models: Dict[Tuple, Model] = {}
         self.model_builds = 0
         self.model_hits = 0
+        #: the run's one supported checking entry point; with a cache
+        #: directory configured, verdicts persist across runs
+        self.checker = ModelChecker(
+            cache=(McVerdictCache(mc_cache_dir)
+                   if mc_cache_dir else None))
 
     @property
     def validator(self) -> CounterexampleValidator:
@@ -299,6 +318,8 @@ def check_with_cegar(
     with obs.span("cegar", property=name) as span:
         validator = context.validator if context is not None \
             else CounterexampleValidator(mme_fsm)
+        checker = context.checker if context is not None \
+            else ModelChecker()
         current_config = config
 
         while result.iterations < max_iterations:
@@ -310,8 +331,9 @@ def check_with_cegar(
             else:
                 model = ThreatInstrumentor(ue_fsm, mme_fsm,
                                            current_config).build(name)
-            formula = parse_ltl(formula_text, model.variable_names)
-            mc_result = check_ltl(model, formula, name)
+            mc_result = checker.check(model, CheckRequest(
+                formula=formula_text, name=name,
+                threat_digest=threat_config_digest(current_config)))
             result.mc_results.append(mc_result)
             result.states_explored = max(result.states_explored,
                                          mc_result.states_explored)

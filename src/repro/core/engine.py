@@ -120,6 +120,11 @@ class AnalysisConfig:
     #: with chaos: number of distinct-seed runs merged by the consensus
     #: extractor (1 → single perturbed run, no consensus machinery)
     chaos_runs: int = 1
+    #: directory for the persistent cross-run MC verdict cache
+    #: (``None`` → off).  A warmth knob, not an identity knob: it can
+    #: never change verdicts, so it is excluded from the result-store
+    #: job key the same way scheduling knobs are.
+    mc_cache_dir: Optional[str] = None
 
     def resolved_properties(self) -> List[Property]:
         """The property list this configuration selects, catalog order."""
@@ -189,6 +194,7 @@ class AnalysisConfig:
             "chaos": (self.chaos.to_dict()
                       if self.chaos is not None else None),
             "chaos_runs": self.chaos_runs,
+            "mc_cache_dir": self.mc_cache_dir,
         })
 
     @classmethod
@@ -222,6 +228,7 @@ class AnalysisConfig:
             chaos=(ChaosConfig.from_dict(chaos)
                    if chaos is not None else None),
             chaos_runs=payload.get("chaos_runs", 1),
+            mc_cache_dir=payload.get("mc_cache_dir"),
         )
 
 
@@ -581,6 +588,9 @@ class ImplementationRun:
     max_iterations: int = 8
     #: serial mode reuses this context (e.g. a ProChecker's persistent one)
     context: Optional[CegarContext] = None
+    #: persistent MC verdict cache directory, propagated to the contexts
+    #: built in pool workers and fallback paths (``None`` → off)
+    mc_cache_dir: Optional[str] = None
 
 
 # Worker-process state, installed once per worker by the pool initializer:
@@ -602,11 +612,11 @@ def _init_worker(payloads: Dict[str, Tuple],
     faults.install(faults.FaultPlan.from_dict(fault_plan)
                    if fault_plan is not None else None)
     _WORKER_STATE.clear()
-    for implementation, (ue_fsm, mme_model, max_iterations) in \
-            payloads.items():
+    for implementation, (ue_fsm, mme_model, max_iterations,
+                         mc_cache_dir) in payloads.items():
         _WORKER_STATE[implementation] = (
             ue_fsm, mme_model, max_iterations,
-            CegarContext(ue_fsm, mme_model))
+            CegarContext(ue_fsm, mme_model, mc_cache_dir=mc_cache_dir))
 
 
 def _verify_group(task: Tuple[str, List[Property]]
@@ -696,7 +706,8 @@ class VerificationEngine:
                        ) -> Dict[Tuple[str, str], PropertyResult]:
         outcomes: Dict[Tuple[str, str], PropertyResult] = {}
         for run in runs:
-            context = run.context or CegarContext(run.ue_fsm, run.mme_model)
+            context = run.context or CegarContext(
+                run.ue_fsm, run.mme_model, mc_cache_dir=run.mc_cache_dir)
             for prop in run.properties:
                 outcomes[(run.implementation, prop.identifier)] = \
                     _safe_verify_one(prop, run.implementation, run.ue_fsm,
@@ -709,7 +720,8 @@ class VerificationEngine:
                        tasks: List[Tuple[str, List[Property]]]
                        ) -> Dict[Tuple[str, str], PropertyResult]:
         payloads = {run.implementation:
-                    (run.ue_fsm, run.mme_model, run.max_iterations)
+                    (run.ue_fsm, run.mme_model, run.max_iterations,
+                     run.mc_cache_dir)
                     for run in runs}
         plan = faults.installed()
         plan_payload = plan.to_dict() if plan is not None else None
@@ -835,7 +847,8 @@ class VerificationEngine:
         rather than aborting the run.
         """
         if run.context is None:
-            run.context = CegarContext(run.ue_fsm, run.mme_model)
+            run.context = CegarContext(run.ue_fsm, run.mme_model,
+                                       mc_cache_dir=run.mc_cache_dir)
         outcomes: Dict[Tuple[str, str], PropertyResult] = {}
         with obs.span("engine.fallback",
                       implementation=run.implementation,

@@ -129,7 +129,9 @@ class ProChecker:
         if not self.config.share_cegar_inputs:
             return None
         if self._context is None:
-            self._context = CegarContext(ue_fsm, self.mme_model)
+            self._context = CegarContext(
+                ue_fsm, self.mme_model,
+                mc_cache_dir=self.config.mc_cache_dir)
         return self._context
 
     def verify_property(self, prop: Property) -> PropertyResult:
@@ -169,6 +171,7 @@ class ProChecker:
                 properties=selected,
                 max_iterations=self.config.max_cegar_iterations,
                 context=self._cegar_context(ue_fsm),
+                mc_cache_dir=self.config.mc_cache_dir,
             )
             with obs.span("pipeline.verify",
                           implementation=self.implementation,
@@ -241,6 +244,7 @@ def analyze_many(configs: Sequence[ConfigLike],
                 properties=checker.config.resolved_properties(),
                 max_iterations=checker.config.max_cegar_iterations,
                 context=checker._cegar_context(ue_fsm),
+                mc_cache_dir=checker.config.mc_cache_dir,
             ))
         engine = VerificationEngine(
             jobs if jobs is not None

@@ -81,9 +81,16 @@ class PropertyResult:
                 f"[{self.elapsed_seconds:.2f}s]")
 
     def signature(self) -> tuple:
-        """Timing- and scheduling-independent identity of the verdict."""
-        return (self.property.identifier, self.outcome.value, self.evidence,
-                self.iterations, self.refinements, self.states_explored)
+        """Verdict-semantic identity: what the analysis *concluded*.
+
+        Deliberately excludes exploration effort (``states_explored``,
+        ``evidence``, iteration counts): those describe *how* the
+        checker reached the verdict and legitimately change when the
+        engine improves (e.g. on-the-fly product search visits far
+        fewer states than the materialised reference).  Two runs agree
+        exactly when their signatures agree per property.
+        """
+        return (self.property.identifier, self.outcome.value)
 
     def to_dict(self) -> Dict:
         """JSON-ready representation (round-trips via :meth:`from_dict`)."""

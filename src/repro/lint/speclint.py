@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..baselines.lteinspector import lteinspector_mme, lteinspector_ue
 from ..extraction.signatures import INTERNAL_TRIGGERS
 from ..lte import constants as c
+from ..mc.buchi import normalised_key
 from ..mc.expr import Compare, Expr, ExprError, Not, _NaryExpr, parse_expr
 from ..mc.ltl import LTLError, parse_ltl
 from ..properties.spec import (EXTRACTED_VOCAB, KIND_LTL, KIND_TESTBED,
@@ -257,9 +258,15 @@ def _lint_duplicates(properties: Sequence[Property],
     from ..core.cegar import threat_config_key
 
     def _normalized(prop: Property) -> Optional[str]:
+        # normalised_key digests the alpha-renamed operator shape *and*
+        # the concrete atom spellings, so two properties collide exactly
+        # when they ask the same question of the same variables —
+        # alpha-shape alone would flag e.g. SEC formulas over different
+        # counters as duplicates.
         try:
             text = prop.formula_for(EXTRACTED_VOCAB)
-            return str(parse_ltl(text, _domains_for(prop, "extracted")))
+            return normalised_key(
+                parse_ltl(text, _domains_for(prop, "extracted")))
         except (KeyError, ValueError, LTLError, ExprError):
             return None  # PCL010 already fires for this property
 

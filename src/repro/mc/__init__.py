@@ -4,10 +4,23 @@ Layers:
 
 - :mod:`repro.mc.expr` — finite-domain state predicates + guard parser;
 - :mod:`repro.mc.ltl` — LTL formulas (NNF by construction) + parser;
-- :mod:`repro.mc.buchi` — GPVW tableau LTL→Büchi translation;
-- :mod:`repro.mc.model` — guarded-command transition systems (SMV stand-in);
-- :mod:`repro.mc.checker` — invariant BFS and Büchi-product LTL checking;
-- :mod:`repro.mc.counterexample` — lasso traces consumed by the CEGAR loop.
+- :mod:`repro.mc.buchi` — GPVW tableau LTL→Büchi translation, memoised
+  per normalised formula (alpha-renamed atoms, canonical operators);
+- :mod:`repro.mc.model` — guarded-command transition systems (SMV
+  stand-in) with content fingerprints;
+- :mod:`repro.mc.graph` — dense-integer interning of reachable state
+  graphs (shared successor expansion + literal truth columns);
+- :mod:`repro.mc.checker` — invariant BFS and on-the-fly nested-DFS
+  Büchi-product LTL checking (plus the materialised reference engine);
+- :mod:`repro.mc.cache` — persistent cross-run verdict cache;
+- :mod:`repro.mc.api` — the supported :class:`ModelChecker` facade;
+- :mod:`repro.mc.counterexample` — lasso traces consumed by the CEGAR
+  loop.
+
+The supported checking surface is :class:`ModelChecker` /
+:class:`CheckRequest` / :class:`CheckResult`; the legacy module-level
+``check_ltl`` / ``check_invariant`` functions remain as deprecation
+shims.
 """
 
 from .expr import (And, Compare, Const, Expr, ExprError, FALSE, Not, Or,
@@ -15,11 +28,16 @@ from .expr import (And, Compare, Const, Expr, ExprError, FALSE, Not, Or,
 from .ltl import (Atom, F, Formula, G, Implies, LTLError, R, U, X, And_,
                   Or_, Not_, LTL_FALSE, LTL_TRUE, atom, closure_size,
                   parse_ltl)
-from .buchi import BuchiAutomaton, ltl_to_buchi
+from .buchi import (BuchiAutomaton, buchi_cache_stats, clear_buchi_cache,
+                    ltl_to_buchi, normalise_ltl, normalised_key)
 from .model import (Choice, Command, Model, ModelError, Plus, Ref, Variable)
-from .checker import (CheckerError, as_invariant, check_invariant, check_ltl,
-                      formula_to_expr)
+from .graph import StateGraph
+from .checker import (CheckerError, STRATEGY_MATERIALISED,
+                      STRATEGY_ON_THE_FLY, as_invariant, check_invariant,
+                      check_ltl, check_ltl_materialised, formula_to_expr)
 from .counterexample import ADVERSARY_PREFIX, CheckResult, Step, Trace
+from .cache import McCacheError, McVerdictCache, verdict_digest
+from .api import CheckRequest, ModelChecker
 from .smv import SmvExportError, to_smv
 
 __all__ = [
@@ -28,10 +46,15 @@ __all__ = [
     "Atom", "F", "Formula", "G", "Implies", "LTLError", "R", "U", "X",
     "And_", "Or_", "Not_", "LTL_FALSE", "LTL_TRUE", "atom", "closure_size",
     "parse_ltl",
-    "BuchiAutomaton", "ltl_to_buchi",
+    "BuchiAutomaton", "buchi_cache_stats", "clear_buchi_cache",
+    "ltl_to_buchi", "normalise_ltl", "normalised_key",
     "Choice", "Command", "Model", "ModelError", "Plus", "Ref", "Variable",
-    "CheckerError", "as_invariant", "check_invariant", "check_ltl",
-    "formula_to_expr",
+    "StateGraph",
+    "CheckerError", "STRATEGY_MATERIALISED", "STRATEGY_ON_THE_FLY",
+    "as_invariant", "check_invariant", "check_ltl",
+    "check_ltl_materialised", "formula_to_expr",
     "ADVERSARY_PREFIX", "CheckResult", "Step", "Trace",
+    "McCacheError", "McVerdictCache", "verdict_digest",
+    "CheckRequest", "ModelChecker",
     "SmvExportError", "to_smv",
 ]

@@ -1,0 +1,156 @@
+"""The supported model-checking facade: one door into :mod:`repro.mc`.
+
+Callers used to reach around the package — ``check_ltl`` here,
+``check_invariant`` there, ``parse_ltl`` + ``to_smv`` by hand in the
+CLI.  :class:`ModelChecker` collapses those entry points:
+
+    from repro.mc import CheckRequest, ModelChecker
+
+    checker = ModelChecker()
+    result = checker.check(model, CheckRequest(
+        formula="G (ue_state != UE_NULL)", name="SEC-xx"))
+
+A checker owns the (optional) persistent
+:class:`~repro.mc.cache.McVerdictCache`: when one is attached, every
+check is first looked up under ``(model fingerprint, normalised formula,
+threat digest)`` and a hit returns the stored verdict — counterexample
+included — without touching the state space.  Strategy selection
+(``on_the_fly`` default, ``materialised`` reference) lives here too, so
+the engines in :mod:`repro.mc.checker` stay private.
+
+:class:`CheckRequest` and the returned
+:class:`~repro.mc.counterexample.CheckResult` both carry
+``schema_version``-stamped ``to_dict``/``from_dict`` wire forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from .. import schema
+from .buchi import normalised_key
+from .cache import McVerdictCache, verdict_digest
+from .checker import (STRATEGY_MATERIALISED, STRATEGY_ON_THE_FLY,
+                      CheckerError, _check_formula)
+from .counterexample import CheckResult
+from .expr import Expr
+from .ltl import Formula, parse_ltl
+from .model import Model
+
+__all__ = ["CheckRequest", "ModelChecker"]
+
+
+@dataclass
+class CheckRequest:
+    """One model-checking question, in declarative form.
+
+    ``formula`` may be LTL source text (parsed against the target
+    model's vocabulary at check time) or an already-built
+    :class:`~repro.mc.ltl.Formula`.  ``threat_digest`` is an opaque
+    component of the persistent-cache key — the CEGAR loop passes the
+    digest of the current (possibly refined) threat configuration so
+    distinct refinement stages cache independently.  ``strategy``
+    overrides the checker's engine for this request only.
+    """
+
+    formula: Union[str, Formula]
+    name: str = "property"
+    threat_digest: str = ""
+    use_cache: bool = True
+    strategy: Optional[str] = None
+
+    def resolved(self, model: Model) -> Formula:
+        """The formula, parsed against ``model``'s vocabulary if textual."""
+        if isinstance(self.formula, Formula):
+            return self.formula
+        return parse_ltl(self.formula, model.variable_names)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Schema-stamped wire form; formulas serialise to their text."""
+        return schema.stamp({
+            "formula": (self.formula if isinstance(self.formula, str)
+                        else str(self.formula)),
+            "name": self.name,
+            "threat_digest": self.threat_digest,
+            "use_cache": self.use_cache,
+            "strategy": self.strategy,
+        })
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CheckRequest":
+        schema.check(payload, "CheckRequest")
+        return cls(
+            formula=payload["formula"],
+            name=payload.get("name", "property"),
+            threat_digest=payload.get("threat_digest", ""),
+            use_cache=payload.get("use_cache", True),
+            strategy=payload.get("strategy"),
+        )
+
+
+class ModelChecker:
+    """The one supported verification entry point.
+
+    Thread-safe and cheap to construct; attach a
+    :class:`~repro.mc.cache.McVerdictCache` to make verdicts persistent
+    across runs (the CEGAR context does this when the analysis config
+    sets ``mc_cache_dir``).
+    """
+
+    def __init__(self, cache: Optional[McVerdictCache] = None,
+                 strategy: str = STRATEGY_ON_THE_FLY):
+        if strategy not in (STRATEGY_ON_THE_FLY, STRATEGY_MATERIALISED):
+            raise CheckerError(f"unknown checking strategy {strategy!r}")
+        self.cache = cache
+        self.strategy = strategy
+
+    # ------------------------------------------------------------------
+    def check(self, model: Model, request: CheckRequest) -> CheckResult:
+        """Answer ``model |= request.formula``.
+
+        With a cache attached (and ``request.use_cache``), a stored
+        verdict for the same ``(model content, normalised formula,
+        threat digest)`` is returned without any exploration —
+        ``result.from_cache`` marks it, and no ``mc.*`` span counters
+        are touched, which is what lets a fully warm re-analysis assert
+        ``mc.checks == 0``.
+        """
+        formula = request.resolved(model)
+        digest: Optional[str] = None
+        if self.cache is not None and request.use_cache:
+            digest = verdict_digest(model.fingerprint(),
+                                    normalised_key(formula),
+                                    request.threat_digest)
+            cached = self.cache.get(digest)
+            if cached is not None:
+                cached.property_name = request.name
+                return cached
+        result = _check_formula(model, formula, request.name,
+                                strategy=request.strategy or self.strategy)
+        if digest is not None:
+            self.cache.put(digest, result, key={
+                "model_fingerprint": model.fingerprint(),
+                "formula": normalised_key(formula),
+                "threat_digest": request.threat_digest,
+            })
+        return result
+
+    def check_formula(self, model: Model,
+                      formula: Union[str, Formula],
+                      name: str = "property") -> CheckResult:
+        """Convenience wrapper: check with default request settings."""
+        return self.check(model, CheckRequest(formula=formula, name=name))
+
+    def check_invariant(self, model: Model, invariant: Expr,
+                        name: str = "invariant") -> CheckResult:
+        """Check ``G invariant`` for a propositional ``invariant``."""
+        from .checker import _check_invariant
+        return _check_invariant(model, invariant, name)
+
+    # ------------------------------------------------------------------
+    def export_smv(self, model: Model, request: CheckRequest) -> str:
+        """NuXmv-syntax export of ``model`` plus the request's property."""
+        from .smv import to_smv
+        return to_smv(model, [(request.name, request.resolved(model))])

@@ -9,14 +9,29 @@ counter-based degeneralisation, so the checker only ever deals with a plain
 
 The construction operates on formulas in negation normal form, which the
 constructors in :mod:`repro.mc.ltl` produce by design.
+
+Automata are memoised per **normalised** formula: :func:`normalise_ltl`
+alpha-renames atoms into dense indices (first-occurrence order) over the
+canonical NNF operator core, so the 62 catalog properties — and the
+many per-iteration negations the CEGAR loop requests — share one tableau
+construction per formula *shape*.  Templates are built over placeholder
+atoms and instantiated by binding the concrete atoms back in, which
+costs a dictionary copy instead of a tableau expansion.  The cache is
+process-wide (and inherited by forked pool workers), mirroring the
+extraction-cache pattern; hits/misses are counted in the
+:mod:`repro.obs` registry (``mc.buchi_template_*``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import threading
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
+from .. import obs
+from .expr import Compare, Expr
 from .ltl import Atom, BinOp, BoolConst, Formula, UnOp
 
 
@@ -233,8 +248,170 @@ def _degeneralize(
     )
 
 
+# ---------------------------------------------------------------------------
+# Formula normalisation and the process-wide template cache
+# ---------------------------------------------------------------------------
+Shape = Tuple
+
+
+def normalise_ltl(formula: Formula) -> Tuple[Shape, Tuple[Expr, ...]]:
+    """Canonical ``(shape, atom table)`` decomposition of a formula.
+
+    The *shape* is the formula's NNF operator tree with every atomic
+    predicate alpha-renamed to its dense first-occurrence index (negation
+    stays in the shape, since NNF literals carry it).  Two formulas have
+    equal shapes iff they are alpha-equivalent over their atoms — which
+    also covers operator sugar, because ``F/G/Implies`` already
+    canonicalise to ``U/R/or`` at construction time.  The atom table
+    lists the concrete predicates in index order, so
+    ``instantiate(shape, atoms)`` round-trips.
+    """
+    atoms: Dict[Expr, int] = {}
+
+    def walk(node: Formula) -> Shape:
+        if isinstance(node, BoolConst):
+            return ("const", node.value)
+        if isinstance(node, Atom):
+            index = atoms.setdefault(node.expr, len(atoms))
+            return ("atom", index, node.negated)
+        if isinstance(node, UnOp):
+            return ("X", walk(node.operand))
+        assert isinstance(node, BinOp)
+        return (node.op, walk(node.left), walk(node.right))
+
+    shape = walk(formula)
+    return shape, tuple(atoms)
+
+
+def normalised_key(formula: Formula) -> str:
+    """Stable digest of a formula's full canonical identity.
+
+    Combines the alpha-renamed shape with the concrete atom spellings,
+    so alpha-*equivalent but semantically different* formulas get
+    distinct keys — the right identity for persistent verdict caching
+    and duplicate-formula lint checks, where only the shape-level
+    :func:`normalise_ltl` sharing would be unsound.
+    """
+    shape, atoms = normalise_ltl(formula)
+    digest = hashlib.sha256(repr(shape).encode())
+    for expr in atoms:
+        digest.update(b"\x00")
+        digest.update(str(expr).encode())
+    return digest.hexdigest()
+
+
+def _formula_from_shape(shape: Shape,
+                        atoms: Sequence[Expr]) -> Formula:
+    kind = shape[0]
+    if kind == "const":
+        return BoolConst(shape[1])
+    if kind == "atom":
+        return Atom(atoms[shape[1]], shape[2])
+    if kind == "X":
+        return UnOp("X", _formula_from_shape(shape[1], atoms))
+    return BinOp(kind, _formula_from_shape(shape[1], atoms),
+                 _formula_from_shape(shape[2], atoms))
+
+
+@dataclass(frozen=True)
+class _BuchiTemplate:
+    """An automaton abstracted over its atoms: labels are (index, negated).
+
+    ``instantiate`` binds concrete atoms back in; the transition
+    structure is shared between instantiations (it is never mutated),
+    only the label dict is rebuilt, and each returned automaton compiles
+    its own literal closures lazily.
+    """
+
+    initial: FrozenSet[int]
+    states: FrozenSet[int]
+    transitions: Dict[int, Tuple[int, ...]]
+    labels: Dict[int, Tuple[Tuple[int, bool], ...]]
+    accepting: FrozenSet[int]
+
+    def instantiate(self, atoms: Sequence[Expr]) -> BuchiAutomaton:
+        return BuchiAutomaton(
+            initial=self.initial,
+            states=self.states,
+            transitions=self.transitions,
+            labels={state: tuple(Atom(atoms[index], negated)
+                                 for index, negated in literals)
+                    for state, literals in self.labels.items()},
+            accepting=self.accepting,
+        )
+
+
+_TEMPLATE_LOCK = threading.Lock()
+_TEMPLATE_CACHE: Dict[Shape, _BuchiTemplate] = {}
+_TEMPLATE_HITS = 0
+_TEMPLATE_MISSES = 0
+
+
+def _build_template(shape: Shape, arity: int) -> _BuchiTemplate:
+    # Build over fixed placeholder atoms rather than whichever concrete
+    # formula arrived first: the tableau's set-iteration order depends on
+    # atom hashes, so placeholders make the template — and therefore
+    # every instantiation's exploration order — independent of which
+    # alpha-equivalent formula populated the cache entry.
+    placeholders = tuple(Compare(f"__a{index}", "=", 1)
+                         for index in range(arity))
+    automaton = _ltl_to_buchi_uncached(_formula_from_shape(shape,
+                                                           placeholders))
+    index_of = {expr: index for index, expr in enumerate(placeholders)}
+    return _BuchiTemplate(
+        initial=automaton.initial,
+        states=automaton.states,
+        transitions=automaton.transitions,
+        labels={state: tuple((index_of[literal.expr], literal.negated)
+                             for literal in literals)
+                for state, literals in automaton.labels.items()},
+        accepting=automaton.accepting,
+    )
+
+
+def buchi_cache_stats() -> Dict[str, int]:
+    """Template-cache warmth of this process (for tests/telemetry)."""
+    with _TEMPLATE_LOCK:
+        return {"entries": len(_TEMPLATE_CACHE),
+                "hits": _TEMPLATE_HITS,
+                "misses": _TEMPLATE_MISSES}
+
+
+def clear_buchi_cache() -> None:
+    """Drop all memoised templates and counters (test isolation hook)."""
+    global _TEMPLATE_HITS, _TEMPLATE_MISSES
+    with _TEMPLATE_LOCK:
+        _TEMPLATE_CACHE.clear()
+        _TEMPLATE_HITS = 0
+        _TEMPLATE_MISSES = 0
+
+
 def ltl_to_buchi(formula: Formula) -> BuchiAutomaton:
-    """Translate an NNF LTL formula into a plain Büchi automaton."""
+    """Translate an NNF LTL formula into a plain Büchi automaton.
+
+    Memoised per normalised formula shape (see :func:`normalise_ltl`):
+    on a hit, the cached template is instantiated with this formula's
+    atoms instead of re-running the tableau construction.
+    """
+    global _TEMPLATE_HITS, _TEMPLATE_MISSES
+    shape, atoms = normalise_ltl(formula)
+    with _TEMPLATE_LOCK:
+        template = _TEMPLATE_CACHE.get(shape)
+    if template is None:
+        template = _build_template(shape, len(atoms))
+        with _TEMPLATE_LOCK:
+            template = _TEMPLATE_CACHE.setdefault(shape, template)
+            _TEMPLATE_MISSES += 1
+        obs.count("mc.buchi_template_misses")
+    else:
+        with _TEMPLATE_LOCK:
+            _TEMPLATE_HITS += 1
+        obs.count("mc.buchi_template_hits")
+    return template.instantiate(atoms)
+
+
+def _ltl_to_buchi_uncached(formula: Formula) -> BuchiAutomaton:
+    """The raw GPVW tableau + degeneralisation pipeline (uncached)."""
     counter = itertools.count()
     root = _Node(name=next(counter), incoming={_INIT},
                  new={formula}, old=set(), next=set())

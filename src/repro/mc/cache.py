@@ -1,0 +1,164 @@
+"""Persistent cross-run model-checking verdict cache.
+
+A verdict is a pure function of ``(transition system, formula, threat
+configuration)``: the first two are content-hashed
+(:meth:`repro.mc.model.Model.fingerprint`,
+:func:`repro.mc.buchi.normalised_key`) and the threat configuration —
+which determines the instrumented model's *meaning* across CEGAR
+refinements — rides along as an opaque digest supplied by the caller.
+Re-analysing an unchanged implementation therefore skips model checking
+entirely: every CEGAR iteration's check (refined configs get distinct
+digests) is answered from disk, and the run's ``mc.checks`` counter
+stays at zero.
+
+The layout mirrors :class:`repro.store.ResultStore` (this cache is the
+MC-layer sibling of the report-level store and is re-exported from
+:mod:`repro.store`): one schema-stamped JSON file per entry, sharded by
+digest prefix, atomic writes, quarantine-as-miss for corrupted entries.
+Hits/misses/writes are counted in the :mod:`repro.obs` registry only
+(``mc.verdict_cache_*``) — cache warmth is scheduling/state-dependent
+and must not enter the canonical per-property stats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .. import obs, schema
+from .counterexample import CheckResult
+
+__all__ = ["McCacheError", "McVerdictCache", "verdict_digest"]
+
+
+class McCacheError(Exception):
+    """Raised for malformed cache operations (bad digests, bad roots)."""
+
+
+def verdict_digest(model_fingerprint: str, formula_key: str,
+                   threat_digest: str = "") -> str:
+    """Content address of one check: SHA-256 over the three identities."""
+    digest = hashlib.sha256()
+    digest.update(model_fingerprint.encode())
+    digest.update(b"\x00")
+    digest.update(formula_key.encode())
+    digest.update(b"\x00")
+    digest.update(threat_digest.encode())
+    return digest.hexdigest()
+
+
+class McVerdictCache:
+    """JSON-on-disk verdict cache, sharded by digest prefix."""
+
+    QUARANTINE = "quarantine"
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        if len(digest) < 3 or not all(c in "0123456789abcdef"
+                                      for c in digest):
+            raise McCacheError(f"malformed digest {digest!r}")
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    def put(self, digest: str, result: CheckResult,
+            key: Optional[Dict] = None) -> Path:
+        """File a verdict under its digest (atomic; last writer wins)."""
+        entry = schema.stamp({
+            "digest": digest,
+            "key": key,
+            "result": result.to_dict(),
+        })
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{digest[:8]}-",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True, default=str)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                obs.count("mc.verdict_cache_tmp_unlink_failures")
+            raise
+        obs.count("mc.verdict_cache_writes")
+        return path
+
+    def get(self, digest: str) -> Optional[CheckResult]:
+        """The stored verdict (``from_cache=True``), or ``None`` on a miss.
+
+        A corrupted entry (unparseable JSON, digest mismatch, unknown
+        wire-format major) is quarantined and reported as a miss — a bad
+        file must never fail an analysis or poison future lookups.
+        """
+        path = self.path_for(digest)
+        try:
+            text = path.read_text()
+        except OSError:
+            obs.count("mc.verdict_cache_misses")
+            return None
+        try:
+            entry = json.loads(text)
+            if not isinstance(entry, dict):
+                raise ValueError(f"entry is {type(entry).__name__}, "
+                                 f"not an object")
+            schema.check(entry, "mc cache entry")
+            if entry.get("digest") != digest:
+                raise ValueError(f"digest mismatch: entry says "
+                                 f"{entry.get('digest')!r}")
+            result = CheckResult.from_dict(entry["result"])
+        except (ValueError, KeyError, TypeError,
+                schema.SchemaVersionError) as exc:
+            self._quarantine(path, exc)
+            obs.count("mc.verdict_cache_misses")
+            return None
+        obs.count("mc.verdict_cache_hits")
+        result.from_cache = True
+        return result
+
+    def contains(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        quarantine = self.root / self.QUARANTINE
+        quarantine.mkdir(parents=True, exist_ok=True)
+        target = quarantine / path.name
+        with self._lock:
+            try:
+                os.replace(path, target)
+            except OSError:       # pragma: no cover - already moved/gone
+                obs.count("mc.verdict_cache_quarantine_failures")
+                return
+        obs.count("mc.verdict_cache_quarantined")
+
+    # ------------------------------------------------------------------
+    def digests(self) -> List[str]:
+        """Every digest currently filed (sorted; excludes quarantine)."""
+        found = []
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or shard.name == self.QUARANTINE:
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                found.append(entry.stem)
+        return found
+
+    def stats(self) -> Dict[str, int]:
+        quarantined = 0
+        quarantine = self.root / self.QUARANTINE
+        if quarantine.is_dir():
+            quarantined = sum(1 for _ in quarantine.iterdir())
+        return {"entries": len(self.digests()),
+                "quarantined": quarantined}

@@ -1,30 +1,53 @@
 """Explicit-state model checking engine (the NuXmv stand-in).
 
-Two entry points:
+The supported entry point is the :class:`~repro.mc.api.ModelChecker`
+facade; this module holds the engines behind it:
 
-- :func:`check_invariant` — BFS reachability for safety properties ``G p``
-  with propositional ``p``; returns the shortest violating prefix.
-- :func:`check_ltl` — full LTL: translate the *negated* formula to a Büchi
-  automaton (:mod:`repro.mc.buchi`), build the synchronous product with the
-  model's reachable state graph, and search for a reachable accepting cycle
-  via Tarjan SCC decomposition; the witness lasso is the counterexample.
+- :func:`_check_invariant` — BFS reachability for safety properties
+  ``G p`` with propositional ``p``, over the model's interned
+  :class:`~repro.mc.graph.StateGraph`; returns the shortest violating
+  prefix.
+- :class:`_OnTheFlySearch` — full LTL, the default: translate the
+  *negated* formula to a Büchi automaton (:mod:`repro.mc.buchi`,
+  memoised per normalised formula) and run a nested depth-first search
+  (Schwoon–Esparza colouring) over the product *constructed on the fly*.
+  Product nodes are dense ints (``state id * |Q| + q``), entry labels
+  are evaluated through per-literal truth columns, and the search stops
+  at the first accepting cycle — for violated properties only a
+  fraction of the product is ever built.
+- :func:`check_ltl_materialised` — the previous engine (materialise the
+  full reachable product, Tarjan SCC, BFS witness), kept as the
+  independent reference implementation the on-the-fly path is
+  equivalence-tested against.
 
 The extracted 4G LTE models are small enumerated-domain systems (that is
 the paper's RQ3 point: semantic extraction keeps the model within COTS
 model-checker bounds), so the explicit approach is complete and fast here.
+
+Counter semantics (all deterministic, hence width-invariant across
+``--jobs``): ``mc.states_explored`` counts distinct *model* states the
+search visited, ``mc.product_states`` counts *visited* product nodes
+(not materialised ones), ``mc.peak_frontier`` the high-water mark of the
+search frontier (outer + nested DFS stack, or the BFS queue).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
 from .buchi import BuchiAutomaton, ltl_to_buchi
 from .counterexample import CheckResult, Step, Trace
 from .expr import And, Const, Expr, Not, Or
+from .graph import StateGraph
 from .ltl import Atom, BinOp, BoolConst, Formula, LTL_FALSE
 from .model import Model
+
+#: Strategy names accepted by the facade / ``_check_formula``.
+STRATEGY_ON_THE_FLY = "on_the_fly"
+STRATEGY_MATERIALISED = "materialised"
 
 
 class CheckerError(Exception):
@@ -34,51 +57,56 @@ class CheckerError(Exception):
 # ---------------------------------------------------------------------------
 # Safety fast path
 # ---------------------------------------------------------------------------
-def check_invariant(model: Model, invariant: Expr,
-                    name: str = "invariant") -> CheckResult:
+def _check_invariant(model: Model, invariant: Expr,
+                     name: str = "invariant") -> CheckResult:
     """BFS for a reachable state violating ``invariant`` (i.e. check G p)."""
     model.validate_expression(invariant)
     with obs.span("mc.check", property=name, mode="invariant") as span:
-        initial = model.initial_state()
-        initial_key = model.key(initial)
-        parents: Dict[Tuple, Optional[Tuple[Tuple, str]]] = \
-            {initial_key: None}
-        queue = deque([initial_key])
-        violating: Optional[Tuple] = None
-        if not invariant.evaluate(initial):
-            violating = initial_key
+        graph = model.graph()
+        holds = invariant.compile()
+        root = graph.initial
+        parents: Dict[int, Optional[Tuple[int, str]]] = {root: None}
+        queue = deque([root])
+        peak_frontier = 1
+        violating: Optional[int] = None
+        if not holds(graph.state(root)):
+            violating = root
         while queue and violating is None:
-            key = queue.popleft()
-            for label, successor_key in model.successor_items(key):
-                if successor_key in parents:
+            sid = queue.popleft()
+            for label, successor in graph.successors(sid):
+                if successor in parents:
                     continue
-                parents[successor_key] = (key, label)
-                if not invariant.evaluate(model.unkey(successor_key)):
-                    violating = successor_key
+                parents[successor] = (sid, label)
+                if not holds(graph.state(successor)):
+                    violating = successor
                     break
-                queue.append(successor_key)
+                queue.append(successor)
+            if len(queue) > peak_frontier:
+                peak_frontier = len(queue)
 
         obs.inc("mc.checks")
         obs.inc("mc.states_explored", len(parents))
+        obs.inc("mc.peak_frontier", peak_frontier)
         trace = (None if violating is None
-                 else _path_to_trace(model, parents, violating))
+                 else _sid_path_to_trace(graph, parents, violating))
     obs.observe("mc.check_seconds", span.duration)
     return CheckResult(name, holds=trace is None, counterexample=trace,
                        states_explored=len(parents),
+                       peak_frontier=peak_frontier,
                        elapsed_seconds=span.duration)
 
 
-def _path_to_trace(model: Model, parents, key) -> Trace:
-    chain: List[Tuple[Tuple, str]] = []
-    cursor = key
+def _sid_path_to_trace(graph: StateGraph, parents, sid: int) -> Trace:
+    chain: List[Tuple[int, str]] = []
+    cursor = sid
     while parents[cursor] is not None:
         predecessor, label = parents[cursor]
         chain.append((cursor, label))
         cursor = predecessor
     chain.reverse()
-    trace = Trace(initial_state=model.unkey(cursor))
-    for state_key, label in chain:
-        trace.steps.append(Step(label, model.unkey(state_key)))
+    trace = Trace(initial_state=dict(graph.state(cursor)))
+    for state_sid, label in chain:
+        trace.steps.append(Step(label, graph.state(state_sid)))
     return trace
 
 
@@ -112,7 +140,197 @@ def as_invariant(formula: Formula) -> Optional[Expr]:
 
 
 # ---------------------------------------------------------------------------
-# Full LTL via Büchi product
+# On-the-fly LTL via nested DFS over the implicit Büchi product
+# ---------------------------------------------------------------------------
+class _OnTheFlySearch:
+    """Nested DFS (cyan/blue/red colouring) for an accepting lasso.
+
+    The product is never materialised: a product node is the integer
+    ``sid * |Q| + q`` and its successors are enumerated on demand from
+    the interned state graph and the automaton's transition table, in
+    exactly the order the materialised builder used (model successors
+    outer, Büchi successors inner) so witness shapes stay deterministic.
+
+    The outer (blue) DFS detects cycles closing into the active path
+    early (when either endpoint is accepting); the nested (red) DFS
+    launched post-order from accepting nodes finds the remaining
+    accepting cycles.  Red colouring is permanent, so the whole search
+    is linear in the number of visited product edges.
+    """
+
+    def __init__(self, graph: StateGraph, automaton: BuchiAutomaton):
+        self.graph = graph
+        self.automaton = automaton
+        states = automaton.states
+        self.nq = (max(states) + 1) if states else 1
+        self._label_ok = {q: graph.label_evaluator(automaton.labels[q])
+                          for q in states}
+        self._succ_q = {q: automaton.successors(q) for q in states}
+        self._accepting = automaton.accepting
+        self.cyan: Set[int] = set()
+        self.blue: Set[int] = set()
+        self.red: Set[int] = set()
+        #: every product node ever coloured (the visited-node counter)
+        self.seen: Set[int] = set()
+        #: blue-stack depth of each cyan node (for lasso reconstruction)
+        self._position: Dict[int, int] = {}
+        self.peak_frontier = 0
+        self.trace: Optional[Trace] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> Optional[Trace]:
+        root_sid = self.graph.initial
+        for q in sorted(self.automaton.initial):
+            if not self._label_ok[q](root_sid):
+                continue
+            root = root_sid * self.nq + q
+            if root in self.blue:
+                continue
+            if self._dfs_blue(root):
+                return self.trace
+        return None
+
+    def _edges(self, node: int) -> Iterator[Tuple[int, str]]:
+        sid, q = divmod(node, self.nq)
+        nq = self.nq
+        succ_q = self._succ_q.get(q, ())
+        label_ok = self._label_ok
+        for label, successor_sid in self.graph.successors(sid):
+            for next_q in succ_q:
+                if label_ok[next_q](successor_sid):
+                    yield successor_sid * nq + next_q, label
+
+    def _is_accepting(self, node: int) -> bool:
+        return node % self.nq in self._accepting
+
+    # ------------------------------------------------------------------
+    def _dfs_blue(self, root: int) -> bool:
+        stack: List[Tuple[int, Optional[str], Iterator]] = []
+        self._push_blue(stack, root, None)
+        while stack:
+            node, _, edges = stack[-1]
+            for successor, label in edges:
+                if successor in self.cyan:
+                    # A cycle through the active path; accepting if either
+                    # endpoint is (early exit without a nested search).
+                    if (self._is_accepting(node)
+                            or self._is_accepting(successor)):
+                        self._build_trace(stack, successor,
+                                          [(label, successor)])
+                        return True
+                    continue
+                if successor not in self.blue:
+                    self._push_blue(stack, successor, label)
+                    break
+            else:
+                if self._is_accepting(node) and self._dfs_red(node, stack):
+                    return True
+                stack.pop()
+                self.cyan.discard(node)
+                del self._position[node]
+                self.blue.add(node)
+        return False
+
+    def _push_blue(self, stack, node: int, label: Optional[str]) -> None:
+        self.cyan.add(node)
+        self.seen.add(node)
+        self._position[node] = len(stack)
+        stack.append((node, label, self._edges(node)))
+        if len(stack) > self.peak_frontier:
+            self.peak_frontier = len(stack)
+
+    # ------------------------------------------------------------------
+    def _dfs_red(self, seed: int, blue_stack) -> bool:
+        parents: Dict[int, Optional[Tuple[int, str]]] = {seed: None}
+        self.red.add(seed)
+        stack: List[Tuple[int, Iterator]] = [(seed, self._edges(seed))]
+        while stack:
+            node, edges = stack[-1]
+            for successor, label in edges:
+                if successor in self.cyan:
+                    # Close the lasso: seed ->(red path)-> node -> successor,
+                    # where successor is an ancestor on the blue stack.
+                    closing: List[Tuple[str, int]] = []
+                    cursor = node
+                    while parents[cursor] is not None:
+                        predecessor, step_label = parents[cursor]
+                        closing.append((step_label, cursor))
+                        cursor = predecessor
+                    closing.reverse()
+                    closing.append((label, successor))
+                    self._build_trace(blue_stack, successor, closing)
+                    return True
+                if successor not in self.red:
+                    self.red.add(successor)
+                    self.seen.add(successor)
+                    parents[successor] = (node, label)
+                    stack.append((successor, self._edges(successor)))
+                    frontier = len(blue_stack) + len(stack)
+                    if frontier > self.peak_frontier:
+                        self.peak_frontier = frontier
+                    break
+            else:
+                stack.pop()
+        return False
+
+    # ------------------------------------------------------------------
+    def _build_trace(self, blue_stack, anchor: int,
+                     closing: List[Tuple[str, int]]) -> None:
+        """Assemble the lasso: blue prefix to ``anchor``, blue segment to
+        the stack top, then the ``closing`` chain back to ``anchor``.
+
+        Matches the materialised checker's convention: the final state
+        equals the loop anchor and ``loop_start`` is the anchor's first
+        state index.
+        """
+        graph = self.graph
+        nq = self.nq
+        anchor_index = self._position[anchor]
+        trace = Trace(
+            initial_state=dict(graph.state(blue_stack[0][0] // nq)))
+        for node, label, _ in blue_stack[1:anchor_index + 1]:
+            trace.steps.append(Step(label, graph.state(node // nq)))
+        trace.loop_start = len(trace.steps)
+        for node, label, _ in blue_stack[anchor_index + 1:]:
+            trace.steps.append(Step(label, graph.state(node // nq)))
+        for label, node in closing:
+            trace.steps.append(Step(label, graph.state(node // nq)))
+        self.trace = trace
+
+
+def _check_ltl_on_the_fly(model: Model, formula: Formula,
+                          name: str = "property") -> CheckResult:
+    """Check ``model |= formula`` via the on-the-fly product search."""
+    with obs.span("mc.check", property=name, mode="ltl") as span:
+        automaton = ltl_to_buchi(formula.negate())
+        graph = model.graph()
+        search = _OnTheFlySearch(graph, automaton)
+        trace = search.run()
+
+        model_states = {node // search.nq for node in search.seen}
+        model_states.add(graph.initial)
+        obs.inc("mc.checks")
+        obs.inc("mc.states_explored", len(model_states))
+        obs.inc("mc.product_states", len(search.seen))
+        obs.inc("mc.buchi_states", len(automaton.states))
+        obs.inc("mc.peak_frontier", search.peak_frontier)
+        obs.gauge_max("mc.max_product_states", len(search.seen))
+
+        result = CheckResult(
+            name, holds=trace is None,
+            counterexample=trace,
+            states_explored=len(model_states),
+            product_states=len(search.seen),
+            buchi_states=len(automaton.states),
+            peak_frontier=search.peak_frontier,
+        )
+    result.elapsed_seconds = span.duration
+    obs.observe("mc.check_seconds", span.duration)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Reference engine: fully materialised Büchi product + Tarjan SCC
 # ---------------------------------------------------------------------------
 class _Product:
     """Reachable synchronous product of model and Büchi automaton."""
@@ -271,15 +489,22 @@ def _reconstruct(parents, node):
     return chain
 
 
-def check_ltl(model: Model, formula: Formula,
-              name: str = "property") -> CheckResult:
-    """Check ``model |= formula`` for arbitrary LTL ``formula``."""
+def check_ltl_materialised(model: Model, formula: Formula,
+                           name: str = "property") -> CheckResult:
+    """Reference LTL engine: materialise the product, Tarjan, BFS witness.
+
+    Verdict-equivalent to the on-the-fly search by construction (both
+    decide emptiness of the same product language); kept so the fast
+    path has an independent implementation to be property-tested
+    against.  Witness *shapes* may differ — both satisfy
+    :func:`tests.mc.ltl_semantics.trace_violates`.
+    """
     for expr in formula.atoms():
         model.validate_expression(expr)
 
     invariant = as_invariant(formula)
     if invariant is not None:
-        return check_invariant(model, invariant, name)
+        return _check_invariant(model, invariant, name)
 
     with obs.span("mc.check", property=name, mode="ltl") as span:
         automaton = ltl_to_buchi(formula.negate())
@@ -344,3 +569,44 @@ def check_ltl(model: Model, formula: Formula,
     result.elapsed_seconds = span.duration
     obs.observe("mc.check_seconds", span.duration)
     return result
+
+
+# ---------------------------------------------------------------------------
+# Dispatch + deprecation shims
+# ---------------------------------------------------------------------------
+def _check_formula(model: Model, formula: Formula,
+                   name: str = "property",
+                   strategy: str = STRATEGY_ON_THE_FLY) -> CheckResult:
+    """Validate, take the invariant fast path, dispatch on strategy."""
+    for expr in formula.atoms():
+        model.validate_expression(expr)
+    invariant = as_invariant(formula)
+    if invariant is not None:
+        return _check_invariant(model, invariant, name)
+    if strategy == STRATEGY_MATERIALISED:
+        return check_ltl_materialised(model, formula, name)
+    if strategy != STRATEGY_ON_THE_FLY:
+        raise CheckerError(f"unknown checking strategy {strategy!r}")
+    return _check_ltl_on_the_fly(model, formula, name)
+
+
+def check_invariant(model: Model, invariant: Expr,
+                    name: str = "invariant") -> CheckResult:
+    """Deprecated shim — route checks through
+    :class:`repro.mc.ModelChecker` instead."""
+    warnings.warn(
+        "check_invariant() is deprecated; use "
+        "repro.mc.ModelChecker().check(model, CheckRequest(...))",
+        DeprecationWarning, stacklevel=2)
+    return _check_invariant(model, invariant, name)
+
+
+def check_ltl(model: Model, formula: Formula,
+              name: str = "property") -> CheckResult:
+    """Deprecated shim — route checks through
+    :class:`repro.mc.ModelChecker` instead."""
+    warnings.warn(
+        "check_ltl() is deprecated; use "
+        "repro.mc.ModelChecker().check(model, CheckRequest(...))",
+        DeprecationWarning, stacklevel=2)
+    return _check_formula(model, formula, name)

@@ -133,7 +133,20 @@ class Trace:
 
 @dataclass
 class CheckResult:
-    """Verdict of one model-checking run."""
+    """Verdict of one model-checking run.
+
+    Counter semantics under the on-the-fly product search:
+
+    - ``states_explored`` — distinct *model* states touched by the
+      search (visited product nodes projected onto the model);
+    - ``product_states`` — product nodes actually visited; the search
+      stops at the first accepting cycle, so this is typically far
+      below the materialised product size the old checker reported;
+    - ``peak_frontier`` — the high-water mark of the search's DFS/BFS
+      frontier (outer + nested stack), the memory-proportional figure;
+    - ``from_cache`` — verdict served by the persistent
+      :class:`~repro.mc.cache.McVerdictCache` without any exploration.
+    """
 
     property_name: str
     holds: bool
@@ -141,7 +154,9 @@ class CheckResult:
     states_explored: int = 0
     product_states: int = 0
     buchi_states: int = 0
+    peak_frontier: int = 0
     elapsed_seconds: float = 0.0
+    from_cache: bool = False
 
     @property
     def violated(self) -> bool:
@@ -152,3 +167,38 @@ class CheckResult:
         return (f"{self.property_name}: {verdict} "
                 f"({self.states_explored} states, "
                 f"{self.elapsed_seconds:.3f}s)")
+
+    def to_dict(self) -> Dict:
+        """Schema-stamped wire form (round-trips via :meth:`from_dict`)."""
+        from .. import schema
+        return schema.stamp({
+            "property_name": self.property_name,
+            "holds": self.holds,
+            "counterexample": (self.counterexample.to_dict()
+                               if self.counterexample is not None else None),
+            "states_explored": self.states_explored,
+            "product_states": self.product_states,
+            "buchi_states": self.buchi_states,
+            "peak_frontier": self.peak_frontier,
+            "elapsed_seconds": self.elapsed_seconds,
+            "from_cache": self.from_cache,
+        })
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CheckResult":
+        """Rebuild from a wire payload (typed error on unknown major)."""
+        from .. import schema
+        schema.check(payload, "CheckResult")
+        counterexample = payload.get("counterexample")
+        return cls(
+            property_name=payload["property_name"],
+            holds=payload["holds"],
+            counterexample=(Trace.from_dict(counterexample)
+                            if counterexample is not None else None),
+            states_explored=payload.get("states_explored", 0),
+            product_states=payload.get("product_states", 0),
+            buchi_states=payload.get("buchi_states", 0),
+            peak_frontier=payload.get("peak_frontier", 0),
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            from_cache=payload.get("from_cache", False),
+        )

@@ -131,12 +131,16 @@ class Model:
         self._successor_cache: Dict[Tuple[Value, ...],
                                     List[Tuple[str, Tuple[Value, ...]]]] = {}
         self._compiled_guards: List = []
+        self._graph = None
+        self._fingerprint: Optional[str] = None
 
     def __getstate__(self):
-        # Compiled guards are closures (unpicklable); the engine rebuilds
-        # them lazily on first use after transfer.
+        # Compiled guards are closures (unpicklable), and the interned
+        # state graph holds compiled literal columns; the engine rebuilds
+        # both lazily on first use after transfer.
         state = dict(self.__dict__)
         state["_compiled_guards"] = []
+        state["_graph"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -157,7 +161,52 @@ class Model:
         command = Command(label, guard, updates)
         self.commands.append(command)
         self._successor_cache.clear()
+        self._graph = None
+        self._fingerprint = None
         return command
+
+    # ------------------------------------------------------------------
+    # Derived, cached views
+    # ------------------------------------------------------------------
+    def graph(self):
+        """The interned :class:`~repro.mc.graph.StateGraph` of this model.
+
+        Built lazily and cached on the instance, so every property (and
+        every CEGAR iteration) checked against the same instrumented
+        model shares one state-id table, one successor expansion and one
+        set of literal truth columns.  ``add_command`` invalidates.
+        """
+        if self._graph is None:
+            from .graph import StateGraph
+            self._graph = StateGraph(self)
+        return self._graph
+
+    def fingerprint(self) -> str:
+        """Content hash of the transition system (not the instance).
+
+        Digests variables/domains, initial assignments, the command list
+        (order included — it fixes successor enumeration order and hence
+        counterexample shape) and fairness constraints, but *not* the
+        model name: the same instrumented system built under different
+        display names must hit the same persistent verdict-cache entry.
+        """
+        if self._fingerprint is None:
+            import hashlib
+            digest = hashlib.sha256()
+            for variable in sorted(self.variables, key=lambda v: v.name):
+                digest.update(
+                    f"var {variable.name}={variable.domain!r}\n".encode())
+            for name in sorted(self.init):
+                digest.update(f"init {name}={self.init[name]!r}\n".encode())
+            for command in self.commands:
+                updates = sorted((k, repr(v))
+                                 for k, v in command.updates.items())
+                digest.update(f"cmd {command.label}|{command.guard}"
+                              f"|{updates!r}\n".encode())
+            for constraint in self.fairness:
+                digest.update(f"fair {constraint}\n".encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Execution semantics

@@ -47,11 +47,19 @@ from .. import obs, schema
 from ..core.cegar import threat_config_key
 from ..core.engine import AnalysisConfig
 from ..lte.implementations import REGISTRY
+# The per-verdict model-checking cache lives in repro.mc.cache (the
+# store package imports repro.core, which imports repro.mc — defining
+# it here would close an import cycle) but is re-exported as part of
+# the persistence surface.  Note ``AnalysisConfig.mc_cache_dir`` is a
+# warmth knob only: it is *not* part of job_key/job_digest, because a
+# warm MC cache must never change what an analysis concludes.
+from ..mc.cache import McCacheError, McVerdictCache, verdict_digest
 from ..properties.spec import EXTRACTED_VOCAB, KIND_LTL
 
 __all__ = [
     "ResultStore", "StoreError", "implementation_fingerprint",
     "catalog_digest", "job_key", "job_digest",
+    "McCacheError", "McVerdictCache", "verdict_digest",
 ]
 
 

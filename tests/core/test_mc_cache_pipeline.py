@@ -1,0 +1,64 @@
+"""End-to-end MC verdict cache: a warm re-analysis does zero MC work.
+
+This is the pipeline-level contract behind ``--mc-cache``: with an
+unchanged implementation and property selection, every CEGAR iteration's
+model-checking call resolves from the persistent cache, so the canonical
+stats of the warm run contain no ``mc.checks`` at all — while the
+verdicts (and detected attacks) are exactly those of a cold run.
+"""
+
+import pytest
+
+from repro.api import AnalysisConfig, ProChecker
+
+# A deliberately mixed slice of the catalog: multi-iteration CEGAR
+# (SEC-11 refines), a violated property with a counterexample, and a
+# plain verified one.  Small enough to keep the test fast.
+_PROPERTY_IDS = ["SEC-01", "SEC-11", "SEC-13", "PRIV-10"]
+
+
+def _analyze(cache_dir):
+    config = AnalysisConfig("srsue", jobs=1,
+                            property_ids=_PROPERTY_IDS,
+                            mc_cache_dir=str(cache_dir))
+    return ProChecker.from_config(config).analyze()
+
+
+@pytest.fixture(scope="module")
+def cold_and_warm(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("mc-cache")
+    return _analyze(cache_dir), _analyze(cache_dir)
+
+
+class TestWarmReanalysis:
+    def test_cold_run_does_mc_work_and_fills_the_cache(self,
+                                                       cold_and_warm):
+        cold, _ = cold_and_warm
+        assert cold.stats.to_dict()["totals"].get("mc.checks", 0) > 0
+
+    def test_warm_run_does_zero_mc_checks(self, cold_and_warm):
+        _, warm = cold_and_warm
+        totals = warm.stats.to_dict()["totals"]
+        assert totals.get("mc.checks", 0) == 0
+        assert totals.get("mc.states_explored", 0) == 0
+        assert totals.get("mc.product_states", 0) == 0
+
+    def test_warm_verdicts_identical(self, cold_and_warm):
+        cold, warm = cold_and_warm
+        assert (sorted(r.signature() for r in cold.results)
+                == sorted(r.signature() for r in warm.results))
+        assert cold.detected_attacks() == warm.detected_attacks()
+
+    def test_warm_counterexamples_survive_the_cache(self, cold_and_warm):
+        _, warm = cold_and_warm
+        violated = [r for r in warm.results if r.violated]
+        assert violated
+        for result in violated:
+            assert result.evidence
+
+    def test_uncached_config_matches_cached_verdicts(self, cold_and_warm):
+        cold, _ = cold_and_warm
+        plain = ProChecker.from_config(AnalysisConfig(
+            "srsue", jobs=1, property_ids=_PROPERTY_IDS)).analyze()
+        assert (sorted(r.signature() for r in plain.results)
+                == sorted(r.signature() for r in cold.results))

@@ -6,11 +6,19 @@ property per the reference semantics)."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mc import (Choice, Model, Plus, Variable, check_invariant,
-                      check_ltl, parse_expr, parse_ltl)
+from repro.mc import (Choice, Model, ModelChecker, Plus, Variable,
+                      parse_expr, parse_ltl)
 from repro.mc.checker import as_invariant, formula_to_expr
 
 from .ltl_semantics import brute_force_violation, trace_violates
+
+
+def check_invariant(model, invariant, name="invariant"):
+    return ModelChecker().check_invariant(model, invariant, name)
+
+
+def check_ltl(model, formula, name="property"):
+    return ModelChecker().check_formula(model, formula, name)
 
 
 def counter_model():
@@ -160,3 +168,20 @@ class TestCrossValidation:
         else:
             # the reported counterexample must be genuinely violating
             assert trace_violates(formula, result.counterexample)
+
+
+class TestDeprecatedShims:
+    def test_check_ltl_warns_but_still_answers(self):
+        import repro.mc as mc
+        model = counter_model()
+        with pytest.warns(DeprecationWarning, match="ModelChecker"):
+            result = mc.check_ltl(model, parse_ltl("G (c < 3)", ["c"]))
+        assert not result.holds
+
+    def test_check_invariant_warns_but_still_answers(self):
+        import repro.mc as mc
+        model = counter_model()
+        with pytest.warns(DeprecationWarning, match="ModelChecker"):
+            result = mc.check_invariant(model,
+                                        parse_expr("c <= 3", ["c"]))
+        assert result.holds

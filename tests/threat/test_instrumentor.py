@@ -4,10 +4,14 @@ import pytest
 
 from repro.baselines import lteinspector_mme, lteinspector_ue
 from repro.lte import constants as c
-from repro.mc import check_ltl, parse_ltl
+from repro.mc import ModelChecker, parse_ltl
 from repro.threat import (Refinement, ThreatConfig, build_threat_model)
 from repro.threat.predicates import (PredicateError, compile_predicate,
                                      split_guard)
+
+
+def check_ltl(model, formula, name="property"):
+    return ModelChecker().check_formula(model, formula, name)
 
 
 def baseline_model(config=None):

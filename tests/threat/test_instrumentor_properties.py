@@ -4,8 +4,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.fsm import FiniteStateMachine, NULL_ACTION
 from repro.lte import constants as c
-from repro.mc import check_ltl, parse_ltl
+from repro.mc import ModelChecker, parse_ltl
 from repro.threat import ThreatConfig, build_threat_model
+
+
+def check_ltl(model, formula, name="property"):
+    return ModelChecker().check_formula(model, formula, name)
 
 _UE_STATES = ("S0", "S1", "S2")
 _MME_STATES = ("M0", "M1")
