@@ -23,6 +23,11 @@ Three usage tiers:
 - **service** (jobs over HTTP, content-addressed results)::
 
       from repro.api import AnalysisService, ResultStore, ServeClient
+
+- **fuzzing** (coverage-guided deviation discovery)::
+
+      from repro.api import FuzzConfig, run_campaign
+      result = run_campaign(FuzzConfig("srsue", seed=7))
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ from .core.cegar import threat_config_digest, threat_config_key
 from .core.engine import AnalysisConfig, EngineError, extraction_cache
 from .core.prochecker import ProChecker, ProCheckerError, analyze_many
 from .core.report import AnalysisReport, PropertyResult, Verdict
+from .fuzz import (Deviation, FuzzConfig, FuzzConfigError, FuzzError,
+                   FuzzResult, Fuzzer, campaign_digest, run_campaign)
 from .lte.channel import ChaosConfig
 from .mc import (CheckRequest, CheckResult, McCacheError, McVerdictCache,
                  ModelChecker, verdict_digest)
@@ -61,4 +68,7 @@ __all__ = [
     # service mode
     "AnalysisService", "JobRecord", "JobStatus", "ServeClient",
     "ServeClientError", "ServiceError", "create_server",
+    # coverage-guided fuzzing
+    "Deviation", "FuzzConfig", "FuzzConfigError", "FuzzError",
+    "FuzzResult", "Fuzzer", "campaign_digest", "run_campaign",
 ]

@@ -12,6 +12,9 @@ Commands mirror the pipeline stages so each is scriptable on its own:
   suite does not exercise — the paper's "detecting missing test cases");
 - ``lint``            — static spec/model/implementation analysis
   (``PCL0xx`` findings; exit 5 on gating findings);
+- ``fuzz <impl>``     — coverage-guided lockstep fuzzing against the
+  reference implementation; minimised deviations exit 6 and replay
+  via ``--replay FILE``;
 - ``serve``           — long-running service mode: analysis jobs over the
   ``/v1`` HTTP JSON API, a worker fleet, and a persistent
   content-addressed result store.
@@ -58,6 +61,14 @@ LINT_FINDINGS_EXIT_CODE = 5
 assert LINT_FINDINGS_EXIT_CODE not in EXIT_CODES.values()
 EXIT_CODES["lint_findings"] = LINT_FINDINGS_EXIT_CODE
 
+#: ``repro fuzz`` exit code when a campaign found (or ``--replay``
+#: reproduced) at least one deviation.  Distinct from code 1: a fuzz
+#: deviation is an *implementation-vs-reference* divergence, not a
+#: verified property violation.
+FUZZ_DEVIATIONS_EXIT_CODE = 6
+assert FUZZ_DEVIATIONS_EXIT_CODE not in EXIT_CODES.values()
+EXIT_CODES["fuzz_deviations"] = FUZZ_DEVIATIONS_EXIT_CODE
+
 #: One-line meaning per exit code — the single source the generated
 #: ``docs/CLI.md`` table (``python -m repro.docgen``) renders from.
 #: Exit code 2 is argparse/usage failure by Unix convention.
@@ -74,6 +85,9 @@ EXIT_CODE_MEANINGS = {
                          "Verdict.ERROR rows (crash isolation)"),
     5: ("lint-findings", "repro lint found gating (warning/error) "
                          "findings beyond the baseline"),
+    6: ("deviations-found", "repro fuzz found at least one deviation "
+                            "from the reference (or --replay "
+                            "reproduced one)"),
 }
 
 
@@ -393,6 +407,72 @@ def _cmd_gaps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Coverage-guided lockstep fuzzing (or deviation replay)."""
+    from .fuzz import FuzzConfig, FuzzConfigError, FuzzError, Fuzzer
+    from .testbed.experiments import replay_deviation
+
+    if args.replay is not None:
+        try:
+            payload = json.loads(Path(args.replay).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot load deviation {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            outcome = replay_deviation(payload)
+        except (KeyError, TypeError, ValueError,
+                schema.SchemaVersionError) as exc:
+            print(f"malformed deviation artifact: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            _emit_json(outcome.to_dict())
+        else:
+            verdict = ("REPRODUCED" if outcome.succeeded
+                       else "did not reproduce")
+            print(f"{outcome.attack_id} on {outcome.implementation}: "
+                  f"{verdict} ({outcome.evidence})")
+        return FUZZ_DEVIATIONS_EXIT_CODE if outcome.succeeded else 0
+
+    try:
+        config = FuzzConfig(
+            implementation=args.implementation,
+            seed=args.seed,
+            budget_execs=args.budget_execs,
+            max_steps=args.max_steps,
+            jobs=args.jobs,
+            corpus_dir=args.corpus_dir,
+        )
+    except FuzzConfigError as exc:
+        print(f"bad fuzz configuration: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = Fuzzer(config).run()
+    except FuzzError as exc:
+        print(f"fuzz campaign failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(result.summary())
+    else:
+        print(f"campaign {result.campaign[:12]} on "
+              f"{config.implementation}: {result.execs} execs, "
+              f"coverage {result.coverage_transitions}"
+              f"/{result.coverage_universe} transitions "
+              f"(+{result.coverage_frontier} beyond the extracted FSM), "
+              f"corpus {result.corpus_size}")
+        for deviation in result.deviations:
+            label = deviation.classification or "novel"
+            print(f"  deviation {deviation.digest[:12]} [{label}] "
+                  f"at exec {deviation.found_at_exec}: "
+                  f"{len(deviation.schedule)} step(s) "
+                  f"(raw {deviation.raw_steps})")
+        if not result.deviations:
+            print("  no deviations from the reference")
+        elif config.corpus_dir:
+            print(f"  artifacts under {config.corpus_dir}/deviations/")
+    return FUZZ_DEVIATIONS_EXIT_CODE if result.found_deviations else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Long-running service mode: HTTP /v1 API + worker fleet + store."""
     from .serve import AnalysisService, create_server
@@ -553,6 +633,32 @@ def build_parser() -> argparse.ArgumentParser:
     gaps.add_argument("--json", action="store_true",
                       help="emit the gap report as JSON")
     gaps.set_defaults(handler=_cmd_gaps)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="coverage-guided fuzzing against the reference")
+    fuzz.add_argument("implementation", choices=IMPLEMENTATION_NAMES)
+    fuzz.add_argument("--budget-execs", type=int, default=400,
+                      metavar="N",
+                      help="lockstep executions to spend (default 400)")
+    fuzz.add_argument("--seed", type=int, default=0, metavar="S",
+                      help="campaign PRNG seed (default 0); same seed = "
+                           "byte-identical campaign at any --jobs width")
+    fuzz.add_argument("--max-steps", type=int, default=8, metavar="N",
+                      help="schedule length cap (default 8)")
+    fuzz.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                      help="parallel executor threads (default 1); "
+                           "results are independent of this width")
+    fuzz.add_argument("--corpus-dir", metavar="DIR", default=None,
+                      help="persist the corpus and minimised deviation "
+                           "artifacts under DIR (reloaded as seeds on "
+                           "the next campaign)")
+    fuzz.add_argument("--replay", metavar="FILE", default=None,
+                      help="re-run a deviation artifact instead of "
+                           "fuzzing; exit 6 if it still reproduces")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the campaign summary (or replay "
+                           "outcome) as JSON")
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     serve = commands.add_parser(
         "serve", help="run the analysis service (HTTP /v1 JSON API)")

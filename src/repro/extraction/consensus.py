@@ -157,13 +157,20 @@ def consensus_extract(implementation: str,
     needs to enter the consensus machine (default: strict majority).
     ``clean_fsm``, when given, is the perfect-link baseline checked for
     subgraph containment.
+
+    ``runs=1`` is the degenerate-but-well-defined base case: the
+    consensus machine *is* the single run's machine, every transition
+    has full support, fingerprint agreement is 1.0 (zero pairs) and the
+    report is stable — so callers can treat ``chaos_runs`` as a plain
+    knob from 1 upward.  ``runs < 1`` is a configuration error.
     """
     if implementation not in REGISTRY:
         raise ConsensusError(
             f"unknown implementation {implementation!r}; "
             f"available: {sorted(REGISTRY)}")
-    if runs < 2:
-        raise ConsensusError("consensus needs at least 2 runs")
+    if runs < 1:
+        raise ConsensusError(
+            f"consensus needs at least 1 run, got {runs}")
     if threshold is None:
         threshold = runs // 2 + 1
     if not 1 <= threshold <= runs:

@@ -1,0 +1,180 @@
+"""Fuzz schedules: serialisable stimulus programs and their mutations.
+
+A fuzz input is not a byte blob — it is a *schedule*: an ordered list of
+JSON-serialisable step dicts the lockstep executor replays against a
+fresh UE/MME pair.  Keeping the input symbolic (CovFUZZ mutates decoded
+NAS fields for the same reason) means every corpus entry and every
+minimised deviation artifact is human-readable, diffable, and replayable
+byte-for-byte on any machine.
+
+Step vocabulary (``op`` discriminates):
+
+- ``attach`` — power the UE on and run the full attach exchange;
+- ``mute``   — unplug the MME (the harness takes over the network side);
+- ``replay`` — re-inject a previously captured downlink frame;
+- ``auth``   — craft an ``authentication_request`` with a chosen SQN
+  (valid AUTN MAC computed at execution time under the subscriber key);
+- ``craft``  — build a downlink message from a field template, protect
+  it (``plain``/``protected``/``bad_mac``), apply the step's
+  ``mutations`` list, and inject it.
+
+Mutation records are declarative and applied at execution time, so the
+minimiser can delta-debug over them: ``drop_field`` / ``dup_field`` /
+``set_field`` (boundary values) act on the field dict, ``sec_header`` /
+``count`` rewrite the security envelope *after* protection (the classic
+header-downgrade tamper), and ``bitflip`` XORs one wire byte through the
+chaos channel's :func:`repro.lte.channel.corrupt_frame`.
+
+Everything here is a pure function of the seeded ``random.Random`` the
+campaign owns — no global randomness, no wall clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Dict, List, Sequence
+
+from ..lte import constants as c
+
+Step = Dict[str, object]
+
+#: Upper bound on schedule length the mutator enforces (a deviation
+#: needs few steps; long schedules just burn executor time).
+DEFAULT_MAX_STEPS = 8
+
+#: Messages the ``craft`` op knows how to template.  Field values are
+#: starting points the mutator perturbs; ``$imsi``/``$guti`` resolve to
+#: the live subscriber identity at execution time.
+CRAFT_FIELD_TEMPLATES: Dict[str, Dict[str, object]] = {
+    c.IDENTITY_REQUEST: {"identity_type": "imsi"},
+    c.AUTHENTICATION_REJECT: {},
+    c.SECURITY_MODE_COMMAND: {"selected_eia": "eia1"},
+    c.ATTACH_ACCEPT: {"guti": "00101-0001-01-00ff"},
+    c.ATTACH_REJECT: {"cause": c.CAUSE_PLMN_NOT_ALLOWED},
+    c.DETACH_REQUEST: {"reattach": 0},
+    c.TAU_REJECT: {"cause": c.CAUSE_EPS_NOT_ALLOWED},
+    c.SERVICE_REJECT: {"cause": c.CAUSE_CONGESTION},
+    c.GUTI_REALLOCATION_COMMAND: {"guti": "00101-0001-01-0ee1"},
+    c.EMM_INFORMATION: {"network_name": "fuzznet"},
+    c.DOWNLINK_NAS_TRANSPORT: {"payload": "fz"},
+    c.PAGING: {"paging_id": "$imsi"},
+    c.CONFIGURATION_UPDATE_COMMAND: {"guti": "00101-0001-01-0cc2"},
+}
+
+#: ``set_field`` boundary values (JSON types only — schedules must stay
+#: JSON round-trippable for artifacts and the corpus directory).
+BOUNDARY_VALUES = (0, 1, -1, 255, 2 ** 31, 2 ** 63 - 1, "", "A" * 64)
+
+#: SQN choices for the ``auth`` op: fresh, stale, equal-after-attach and
+#: wraparound edges (the resynchronisation window is where I3 lives).
+AUTH_SEQS = (1, 2, 31, 32, 2 ** 28 - 1)
+AUTH_INDS = (0, 1, 31)
+
+#: The corpus every campaign germinates from: the clean reference
+#: corpus — an honest attach, and an attach with the network muted so
+#: injected traffic is the only downlink stimulus.  Nothing here encodes
+#: any knowledge of a seeded deviation.
+SEED_SCHEDULES: Sequence[Sequence[Step]] = (
+    ({"op": "attach"},),
+    ({"op": "attach"}, {"op": "mute"}),
+)
+
+
+class FuzzScheduleError(ValueError):
+    """Raised for a malformed step or mutation record."""
+
+
+def clone_schedule(steps: Sequence[Step]) -> List[Step]:
+    """Deep-copy a schedule through its canonical JSON form."""
+    return json.loads(json.dumps(list(steps)))
+
+
+def canonical_json(value) -> str:
+    """The byte-stable JSON form digests are computed over."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def schedule_digest(steps: Sequence[Step]) -> str:
+    """Content address of a schedule (corpus dedup key)."""
+    return hashlib.sha256(
+        canonical_json(list(steps)).encode()).hexdigest()
+
+
+def random_step(rng: random.Random) -> Step:
+    """Draw one step from the stimulus grammar."""
+    roll = rng.random()
+    if roll < 0.35:
+        name = rng.choice(sorted(CRAFT_FIELD_TEMPLATES))
+        protection = rng.choice(
+            ("plain", "plain", "protected", "bad_mac"))
+        return {"op": "craft", "name": name, "protection": protection,
+                "fields": dict(CRAFT_FIELD_TEMPLATES[name]),
+                "mutations": []}
+    if roll < 0.65:
+        return {"op": "replay",
+                "name": rng.choice(c.DOWNLINK_MESSAGES),
+                "index": rng.choice((-1, 0))}
+    if roll < 0.80:
+        return {"op": "auth", "seq": rng.choice(AUTH_SEQS),
+                "ind": rng.choice(AUTH_INDS),
+                "valid_mac": rng.random() < 0.8}
+    if roll < 0.90:
+        return {"op": "attach"}
+    return {"op": "mute"}
+
+
+def random_mutation(rng: random.Random, step: Step) -> Dict[str, object]:
+    """Draw one mutation record applicable to a ``craft`` step."""
+    fields = sorted(step.get("fields") or {})
+    kinds = ["set_field", "sec_header", "count", "bitflip"]
+    if fields:
+        kinds += ["drop_field", "dup_field"]
+    kind = rng.choice(kinds)
+    if kind == "set_field":
+        field = (rng.choice(fields) if fields
+                 else rng.choice(("cause", "guti", "identity_type")))
+        return {"kind": "set_field", "field": field,
+                "value": rng.choice(BOUNDARY_VALUES)}
+    if kind == "drop_field":
+        return {"kind": "drop_field", "field": rng.choice(fields)}
+    if kind == "dup_field":
+        return {"kind": "dup_field", "field": rng.choice(fields)}
+    if kind == "sec_header":
+        return {"kind": "sec_header",
+                "value": rng.choice((c.SEC_HDR_PLAIN, c.SEC_HDR_INTEGRITY,
+                                     c.SEC_HDR_INTEGRITY_CIPHERED,
+                                     c.SEC_HDR_INTEGRITY_NEW_CTX))}
+    if kind == "count":
+        return {"kind": "count", "value": rng.choice((0, 1, 99, 255))}
+    return {"kind": "bitflip", "position": rng.randrange(64),
+            "mask": rng.randrange(1, 256)}
+
+
+def mutate_schedule(steps: Sequence[Step], rng: random.Random,
+                    max_steps: int = DEFAULT_MAX_STEPS) -> List[Step]:
+    """One mutation round over a parent schedule (parent untouched)."""
+    mutated = clone_schedule(steps)
+    craft_indices = [i for i, step in enumerate(mutated)
+                     if step.get("op") == "craft"]
+    roll = rng.random()
+    if roll < 0.40 and len(mutated) < max_steps:
+        mutated.append(random_step(rng))
+    elif roll < 0.50 and len(mutated) < max_steps:
+        mutated.insert(rng.randrange(len(mutated) + 1), random_step(rng))
+    elif roll < 0.60 and len(mutated) > 1:
+        mutated.pop(rng.randrange(1, len(mutated)))
+    elif roll < 0.70 and len(mutated) < max_steps:
+        mutated.append(clone_schedule(
+            [mutated[rng.randrange(len(mutated))]])[0])
+    elif craft_indices:
+        step = mutated[rng.choice(craft_indices)]
+        mutations = step.setdefault("mutations", [])
+        assert isinstance(mutations, list)
+        mutations.append(random_mutation(rng, step))
+    elif len(mutated) < max_steps:
+        mutated.append(random_step(rng))
+    else:
+        mutated[-1] = random_step(rng)
+    return mutated

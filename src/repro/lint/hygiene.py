@@ -7,15 +7,20 @@ its upstream inspirations:
 - **``x: Set[str] = None``-style defaults** (PCL031) lie to every type
   checker and reader about ``None`` being possible;
 - **swallowed excepts** (PCL032) hide failures from the observability
-  layer — a bare ``pass``/``continue`` body with no ``obs.count`` means
-  a malformed frame or dead worker vanishes without a trace.
+  layer — a handler that neither raises, returns, records (an
+  ``obs.count``-style metric, a log/warning/print) nor so much as reads
+  the caught exception means a malformed frame or dead worker vanishes
+  without a trace.  The rule is *semantic*: an arbitrary call in the
+  body does not pacify it (that loophole once let a worker loop in
+  ``repro.serve`` escape the gate) — only a recording call, control
+  flow out of the handler, or a use of a bound exception name counts.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from .findings import Finding, LintError
 
@@ -28,6 +33,19 @@ _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
 
 #: Annotation texts for which a ``None`` default is legitimate.
 _NONE_OK_MARKERS = ("Optional", "None", "Any", "object")
+
+#: Method names whose call records the failure somewhere observable:
+#: the :mod:`repro.obs` surface, the stdlib logging verbs, and the
+#: collection/event mutators used to file a sentinel into a result
+#: (``failures.append((index, "crash"))``, ``self._note(...)``).
+_RECORDING_METHODS = {"count", "span", "gauge_max", "observe",
+                      "log", "debug", "info", "warning", "warn",
+                      "error", "exception", "critical",
+                      "append", "extend", "add", "update", "note",
+                      "_note", "record"}
+
+#: Bare-name calls that surface the failure to a human.
+_RECORDING_NAMES = {"print", "warn"}
 
 
 def default_source_root() -> Path:
@@ -71,13 +89,63 @@ def _defaults_with_args(node: _FunctionNode
             yield arg, default
 
 
-def _is_silent_body(body: List[ast.stmt]) -> bool:
-    """True when an except body neither records, raises, nor returns."""
-    for statement in ast.walk(ast.Module(body=body, type_ignores=[])):
-        if isinstance(statement, (ast.Raise, ast.Return, ast.Call)):
+def _is_recording_call(node: ast.Call) -> bool:
+    """True for calls that put the failure on the record.
+
+    ``obs.count(...)`` / ``metrics.count(...)`` style attribute calls,
+    logging verbs, and ``print``/``warn`` qualify.  An arbitrary call
+    (``self._queue.get()``, ``time.sleep(...)``) does **not** — doing
+    unrelated work inside a handler is exactly how failures vanish.
+    """
+    function = node.func
+    if isinstance(function, ast.Attribute):
+        return function.attr in _RECORDING_METHODS
+    if isinstance(function, ast.Name):
+        return function.id in _RECORDING_NAMES
+    return False
+
+
+def _is_silent_body(body: List[ast.stmt],
+                    exception_names: FrozenSet[str]) -> bool:
+    """True when an except body swallows the failure without a trace.
+
+    A body is *not* silent when any nested statement raises, returns,
+    assigns (substituting an explicit fallback value is a recovery,
+    not a swallow), makes a recording call (see
+    :func:`_is_recording_call`), or reads an exception name bound by
+    this or an enclosing handler (storing ``exc.reason`` somewhere
+    counts as propagating the failure).
+    """
+    for statement in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+        if isinstance(statement, (ast.Raise, ast.Return, ast.Assign,
+                                  ast.AugAssign, ast.AnnAssign)):
             return False
-    return all(isinstance(statement, (ast.Pass, ast.Continue, ast.Break))
-               for statement in body)
+        if isinstance(statement, ast.Call) \
+                and _is_recording_call(statement):
+            return False
+        if isinstance(statement, ast.Name) \
+                and isinstance(statement.ctx, ast.Load) \
+                and statement.id in exception_names:
+            return False
+    return True
+
+
+def _walk_handlers(node: ast.AST, bound: FrozenSet[str],
+                   location: str, findings: List[Finding]) -> None:
+    """Flag silent except handlers, tracking bound exception names."""
+    for child in ast.iter_child_nodes(node):
+        scope = bound
+        if isinstance(child, ast.ExceptHandler):
+            if child.name:
+                scope = bound | {child.name}
+            if _is_silent_body(child.body, scope):
+                findings.append(Finding(
+                    "PCL032", location,
+                    "except handler swallows the exception: no raise, "
+                    "return, recording call (obs.count/log/print) or "
+                    "use of the caught exception (silent failure)",
+                    line=child.lineno))
+        _walk_handlers(child, scope, location, findings)
 
 
 def _lint_tree(tree: ast.AST, location: str) -> List[Finding]:
@@ -101,13 +169,7 @@ def _lint_tree(tree: ast.AST, location: str) -> List[Finding]:
                         f"{ast.unparse(arg.annotation)} but defaults to "
                         f"None; annotate Optional[...]",
                         line=default.lineno))
-        elif isinstance(node, ast.ExceptHandler):
-            if _is_silent_body(node.body):
-                findings.append(Finding(
-                    "PCL032", location,
-                    "except handler swallows the exception without an "
-                    "obs.count (silent failure)",
-                    line=node.lineno))
+    _walk_handlers(tree, frozenset(), location, findings)
     return findings
 
 

@@ -49,6 +49,20 @@ class ChaosConfigError(ValueError):
     """Raised for malformed chaos specifications."""
 
 
+def corrupt_frame(frame: bytes, position: int, mask: int) -> bytes:
+    """XOR one byte of ``frame`` at ``position`` with ``mask``.
+
+    The single-byte corruption primitive shared by the chaos schedule
+    (position/mask drawn from the stream RNG) and the fuzzer's
+    ``bitflip`` mutation (position/mask carried in the mutation record,
+    so artifacts replay byte-for-byte).  Empty frames pass through.
+    """
+    if not frame:
+        return frame
+    return (frame[:position] + bytes([frame[position] ^ mask])
+            + frame[position + 1:])
+
+
 class Interceptor(Protocol):
     """In-path adversary hook for one channel direction."""
 
@@ -160,8 +174,11 @@ class ChaosConfig:
 
         Keys are ``drop/dup/reorder/corrupt/delay``, optionally prefixed
         ``ul.``/``dl.`` (unprefixed applies to both directions); plus
-        ``scope=attach|all`` and ``delay_rounds=K``.  The literal text
-        ``default`` yields :meth:`default`.  Example::
+        ``scope=attach|all``, ``delay_rounds=K`` and ``seed=S`` (an
+        in-text seed overrides the ``seed`` argument, so
+        ``parse(config.describe())`` round-trips without threading the
+        seed separately).  The literal text ``default`` yields
+        :meth:`default`.  Example::
 
             drop=0.05,dup=0.02,dl.corrupt=0.01,scope=all
         """
@@ -181,6 +198,13 @@ class ChaosConfig:
             key, _, value = item.partition("=")
             key = key.strip()
             value = value.strip()
+            if key == "seed":
+                try:
+                    seed = int(value)
+                except ValueError:
+                    raise ChaosConfigError(
+                        f"bad chaos seed {value!r}") from None
+                continue
             if key == "scope":
                 if value == "all":
                     messages = None
@@ -227,16 +251,30 @@ class ChaosConfig:
         return replace(self, seed=seed)
 
     def describe(self) -> str:
+        """The canonical spec text; :meth:`parse` inverts it exactly.
+
+        ``parse(config.describe()) == config`` holds for every config
+        whose scope is expressible in the spec grammar (``attach`` or
+        ``all``); a custom message tuple renders as the informational
+        ``scope=<n>msgs``, which parse rejects by design.  Rates use
+        ``repr`` so float precision survives the round-trip.
+        """
         parts = []
         for direction, rates in (("ul", self.uplink), ("dl", self.downlink)):
             for name in ("drop", "duplicate", "reorder", "corrupt",
                          "delay"):
                 value = getattr(rates, name)
                 if value:
-                    parts.append(f"{direction}.{name}={value:g}")
+                    parts.append(f"{direction}.{name}={value!r}")
+        if self.delay_rounds != 1:
+            parts.append(f"delay_rounds={self.delay_rounds}")
         parts.append(f"seed={self.seed}")
-        parts.append("scope=all" if self.messages is None
-                     else f"scope={len(self.messages)}msgs")
+        if self.messages is None:
+            parts.append("scope=all")
+        elif tuple(self.messages) == c.ATTACH_SUPERVISED_DOWNLINK:
+            parts.append("scope=attach")
+        else:
+            parts.append(f"scope={len(self.messages)}msgs")
         return ",".join(parts)
 
     def to_dict(self) -> Dict:
@@ -358,10 +396,7 @@ class RadioLink:
         rng = self._chaos_rng[direction]
         position = rng.randrange(len(frame)) if frame else 0
         mask = rng.randrange(1, 256)
-        if not frame:
-            return frame
-        return (frame[:position] + bytes([frame[position] ^ mask])
-                + frame[position + 1:])
+        return corrupt_frame(frame, position, mask)
 
     def _fault_dropped(self, direction: str, frame: bytes) -> bool:
         """``channel.impair`` fault site: a ``raise`` fault = forced drop."""

@@ -24,7 +24,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 #: The current wire-format version, stamped into every payload.
-SCHEMA_VERSION = "1.0"
+#: 1.1 (additive): fuzz-campaign payloads (``FuzzConfig``/``FuzzResult``
+#: summaries, ``Deviation`` artifacts) and the ``kind``/``result``
+#: fields on serve job records.
+SCHEMA_VERSION = "1.1"
 
 #: The field name carrying the version in every payload.
 SCHEMA_KEY = "schema_version"

@@ -9,15 +9,21 @@ the one-shot pipeline into idempotent, addressable, concurrent jobs:
 - :mod:`repro.serve.http` — the versioned ``/v1`` HTTP JSON API
   (stdlib ``ThreadingHTTPServer``, no new dependencies);
 - :class:`ServeClient` — a stdlib client for scripts, benches, tests.
+
+Two job kinds share the queue: content-addressed analyses (store
+short-circuit applies) and store-exempt ``fuzz`` campaigns
+(:mod:`repro.fuzz`) whose summaries ride inline on the job record.
 """
 
 from .client import ServeClient, ServeClientError
 from .http import ServiceHandler, ServiceHTTPServer, create_server
-from .jobs import JobRecord, JobRegistry, JobStatus
+from .jobs import (KIND_ANALYSIS, KIND_FUZZ, JobRecord, JobRegistry,
+                   JobStatus)
 from .service import AnalysisService, ServiceError
 
 __all__ = [
     "AnalysisService", "JobRecord", "JobRegistry", "JobStatus",
-    "ServeClient", "ServeClientError", "ServiceError", "ServiceHandler",
-    "ServiceHTTPServer", "create_server",
+    "KIND_ANALYSIS", "KIND_FUZZ", "ServeClient", "ServeClientError",
+    "ServiceError", "ServiceHandler", "ServiceHTTPServer",
+    "create_server",
 ]

@@ -61,6 +61,27 @@ class ServeClient:
                    if isinstance(config, AnalysisConfig) else dict(config))
         return self._request("POST", "/v1/jobs", payload)
 
+    def submit_fuzz(self, implementation: str, seed: int = 0,
+                    budget_execs: int = 400, **extra) -> Dict:
+        """Submit a fuzz campaign (``extra`` maps onto ``FuzzConfig``)."""
+        payload = {"type": "fuzz", "implementation": implementation,
+                   "seed": seed, "budget_execs": budget_execs}
+        payload.update(extra)
+        return self._request("POST", "/v1/jobs", payload)
+
+    def fuzz_result(self, job_id: str, timeout: float = 120.0) -> Dict:
+        """Wait for a fuzz job and return its campaign summary."""
+        record = self.wait(job_id, timeout)
+        if record["status"] != "done":
+            raise ServeClientError(
+                f"fuzz job {job_id} failed: {record.get('error', '')}")
+        result = record.get("result")
+        if not result:
+            raise ServeClientError(
+                f"job {job_id} carries no campaign summary "
+                f"(kind={record.get('kind')!r})")
+        return result
+
     def job(self, job_id: str) -> Dict:
         return self._request("GET", f"/v1/jobs/{job_id}")
 

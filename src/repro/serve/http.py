@@ -3,10 +3,13 @@
 Routes — every response body is a ``schema_version``-stamped JSON
 object (the contract is documented in ``docs/api.md``):
 
-- ``POST /v1/jobs`` — submit an ``AnalysisConfig`` wire payload;
-  ``202`` when queued, ``200`` when served from the result store;
+- ``POST /v1/jobs`` — submit an ``AnalysisConfig`` wire payload, or a
+  fuzz-campaign payload (``{"type": "fuzz", "implementation": ...}``);
+  ``202`` when queued, ``200`` when served from the result store
+  (fuzz campaigns are store-exempt, so they always queue);
 - ``GET /v1/jobs`` — list jobs (``?status=…&implementation=…``);
-- ``GET /v1/jobs/{id}`` — one job record + live progress;
+- ``GET /v1/jobs/{id}`` — one job record + live progress (a finished
+  fuzz job carries its campaign summary under ``result``);
 - ``GET /v1/reports/{digest}`` — a stored analysis report;
 - ``GET /v1/health`` — worker/queue/store health.
 
@@ -25,6 +28,7 @@ from urllib.parse import parse_qs, urlparse
 
 from .. import schema
 from ..core.engine import EngineError
+from ..fuzz import FuzzConfigError
 from ..store import StoreError
 from .jobs import JobStatus
 from .service import AnalysisService, ServiceError
@@ -103,7 +107,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         try:
             record = self.server.service.submit(payload)
         except (schema.SchemaVersionError, EngineError, StoreError,
-                ServiceError, ValueError) as exc:
+                ServiceError, FuzzConfigError, ValueError) as exc:
             self._send_error(400, str(exc))
             return
         # A submit-time store hit is already complete: 200.  A queued

@@ -13,10 +13,11 @@ from .. import schema
 
 
 class JobStatus(str, enum.Enum):
-    """Lifecycle of one submitted analysis job.
+    """Lifecycle of one submitted job.
 
     ``QUEUED → RUNNING → DONE | FAILED``; a store hit goes straight to
-    ``DONE`` at submission time (the O(1) path).
+    ``DONE`` at submission time (the O(1) path, analysis jobs only —
+    fuzz campaigns are store-exempt).
     """
 
     QUEUED = "queued"
@@ -25,16 +26,24 @@ class JobStatus(str, enum.Enum):
     FAILED = "failed"
 
 
+#: Job kinds the service dispatches on.
+KIND_ANALYSIS = "analysis"
+KIND_FUZZ = "fuzz"
+
+
 @dataclass
 class JobRecord:
     """One submitted job: config payload, identity, lifecycle, telemetry."""
 
     job_id: str
-    #: content address of the job (see :func:`repro.store.job_digest`)
+    #: content address of the job (:func:`repro.store.job_digest` for
+    #: analyses, :func:`repro.fuzz.campaign_digest` for campaigns)
     digest: str
     implementation: str
-    #: the submitted ``AnalysisConfig`` wire payload, verbatim
+    #: the submitted config wire payload, verbatim
     payload: Dict
+    #: :data:`KIND_ANALYSIS` or :data:`KIND_FUZZ`
+    kind: str = KIND_ANALYSIS
     status: JobStatus = JobStatus.QUEUED
     #: served from the result store without running the pipeline
     store_hit: bool = False
@@ -44,11 +53,14 @@ class JobRecord:
     finished_at: Optional[float] = None
     #: worker-thread name that executed the job ("" for submit-time hits)
     worker: str = ""
-    #: per-job metrics-registry delta (engine.*/mc.*/... counters); empty
-    #: for store hits — that emptiness is the "zero work" assertion hook
+    #: per-job metrics-registry delta (engine.*/mc.*/fuzz.* counters);
+    #: empty for store hits — that emptiness is the "zero work" hook
     counters: Dict[str, float] = field(default_factory=dict)
     #: registry snapshot at job start (progress baseline; not serialized)
     start_snapshot: Optional[Dict] = None
+    #: inline result summary for jobs whose output is not store-backed
+    #: (fuzz campaigns file their ``FuzzResult.summary()`` here)
+    result: Optional[Dict] = None
 
     def elapsed_seconds(self, now: Optional[float] = None) -> float:
         if self.started_at is None:
@@ -64,6 +76,7 @@ class JobRecord:
             "job_id": self.job_id,
             "digest": self.digest,
             "implementation": self.implementation,
+            "kind": self.kind,
             "status": self.status.value,
             "store_hit": self.store_hit,
             "error": self.error,
@@ -74,6 +87,8 @@ class JobRecord:
             "worker": self.worker,
             "counters": dict(self.counters),
             "config": dict(self.payload),
+            "result": (dict(self.result)
+                       if self.result is not None else None),
         })
 
 

@@ -19,13 +19,21 @@ Every job travels one of two paths:
   process-pool fan-out, retry/timeout resilience and crash isolation —
   and files the finished report.
 
+A third path exists for ``"type": "fuzz"`` payloads: a long-running
+fuzz campaign (:mod:`repro.fuzz`) executed on a worker thread.
+Campaigns are **store-exempt** — they are open-ended discovery work,
+not content-addressed analyses — so they always run cold; their
+``FuzzResult.summary()`` is filed inline on the job record instead of
+in the store.
+
 Per-job telemetry: the finished report's
 ``stats.runtime["metrics"]["counters"]`` delta (which includes the
 PR 3 resilience counters ``engine.group_*``/``engine.pool_rebuilds``)
-is copied onto the job record.  The metrics registry is process-wide,
-so with overlapping jobs a delta can attribute a neighbour's counters;
-it is exact whenever jobs do not overlap (and always exact about a
-store hit, whose delta is empty by construction).
+is copied onto the job record; fuzz jobs file their registry delta
+(the ``fuzz.*`` work counters) the same way.  The metrics registry is
+process-wide, so with overlapping jobs a delta can attribute a
+neighbour's counters; it is exact whenever jobs do not overlap (and
+always exact about a store hit, whose delta is empty by construction).
 """
 
 from __future__ import annotations
@@ -38,9 +46,10 @@ from typing import Dict, List, Optional
 from .. import obs
 from ..core.engine import exception_chain
 from ..core.prochecker import AnalysisConfig, ProChecker
+from ..fuzz import FuzzConfig, Fuzzer, campaign_digest
 from ..obs.metrics import diff_snapshots
 from ..store import ResultStore, job_digest, job_key
-from .jobs import JobRecord, JobRegistry, JobStatus
+from .jobs import KIND_FUZZ, JobRecord, JobRegistry, JobStatus
 
 
 class ServiceError(Exception):
@@ -96,14 +105,18 @@ class AnalysisService:
     # Submission (the bridge side)
     # ------------------------------------------------------------------
     def submit(self, payload: Dict) -> JobRecord:
-        """Accept one ``AnalysisConfig`` wire payload as a job.
+        """Accept one job payload: an analysis config, or a fuzz
+        campaign when the payload says ``"type": "fuzz"``.
 
         Raises :class:`~repro.schema.SchemaVersionError` /
         :class:`~repro.core.engine.EngineError` /
-        :class:`~repro.store.StoreError` on malformed payloads and
+        :class:`~repro.store.StoreError` /
+        :class:`~repro.fuzz.FuzzConfigError` on malformed payloads and
         :class:`ServiceError` on fault-plan submissions (a shared
         service must not let one client sabotage the worker fleet).
         """
+        if payload.get("type") == KIND_FUZZ:
+            return self._submit_fuzz(payload)
         config = AnalysisConfig.from_dict(payload)
         if config.fault_plan is not None:
             raise ServiceError(
@@ -127,6 +140,29 @@ class AnalysisService:
         else:
             obs.count("serve.jobs_queued")
             self._queue.put(record.job_id)
+        return record
+
+    def _submit_fuzz(self, payload: Dict) -> JobRecord:
+        """Queue one fuzz campaign.
+
+        Campaigns are *store-exempt*: they are open-ended discovery
+        work, not content-addressed analyses — identical resubmission
+        deliberately re-runs (the determinism contract makes that a
+        byte-identical re-derivation, which is exactly what a CI
+        re-check wants).  The campaign digest still names the job so
+        clients can correlate runs.
+        """
+        config = FuzzConfig.from_dict(payload)
+        record = JobRecord(
+            job_id=self.registry.allocate_id(),
+            digest=campaign_digest(config),
+            implementation=config.implementation,
+            payload=config.to_dict(),
+            kind=KIND_FUZZ,
+        )
+        self.registry.add(record)
+        obs.count("serve.fuzz_jobs_queued")
+        self._queue.put(record.job_id)
         return record
 
     # ------------------------------------------------------------------
@@ -185,9 +221,13 @@ class AnalysisService:
             if job_id is None:
                 return
             try:
-                self._run_job(self.registry.get(job_id))
+                record = self.registry.get(job_id)
+                if record.kind == KIND_FUZZ:
+                    self._run_fuzz_job(record)
+                else:
+                    self._run_job(record)
             except Exception:   # noqa: BLE001 - worker must survive
-                obs.count("serve.worker_errors")
+                obs.count("serve.worker_loop_errors")
 
     def _run_job(self, record: JobRecord) -> None:
         record.status = JobStatus.RUNNING
@@ -214,6 +254,30 @@ class AnalysisService:
                                        .get("counters", {}))
             record.status = JobStatus.DONE
             obs.count("serve.jobs_completed")
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            record.error = exception_chain(exc)
+            record.status = JobStatus.FAILED
+            obs.count("serve.jobs_failed")
+        finally:
+            record.finished_at = time.time()
+
+    def _run_fuzz_job(self, record: JobRecord) -> None:
+        """Run one fuzz campaign on this worker thread (no store)."""
+        record.status = JobStatus.RUNNING
+        record.started_at = time.time()
+        record.worker = threading.current_thread().name
+        record.start_snapshot = obs.metrics().snapshot()
+        try:
+            config = FuzzConfig.from_dict(record.payload)
+            with obs.span("serve.fuzz_job", job=record.job_id,
+                          implementation=record.implementation):
+                result = Fuzzer(config).run()
+            record.result = result.summary()
+            delta = diff_snapshots(record.start_snapshot,
+                                   obs.metrics().snapshot())
+            record.counters = dict(delta.get("counters", {}))
+            record.status = JobStatus.DONE
+            obs.count("serve.fuzz_jobs_completed")
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             record.error = exception_chain(exc)
             record.status = JobStatus.FAILED

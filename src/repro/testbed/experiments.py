@@ -161,3 +161,49 @@ def attach_replay_indistinguishable(implementation: str) -> AttackResult:
         "ATTACH-replay-indistinguishable", implementation, bool(verdict),
         f"subscribers distinguishable: {verdict.test}" if verdict
         else "response types identical across subscribers")
+
+
+# ---------------------------------------------------------------------------
+# Fuzzer deviation replay (repro.fuzz -> testbed bridge)
+# ---------------------------------------------------------------------------
+def replay_deviation(payload) -> AttackResult:
+    """Re-run a minimised fuzzer deviation as a testbed experiment.
+
+    ``payload`` is a :class:`repro.fuzz.Deviation` or its ``to_dict``
+    wire form (the ``deviations/<digest>.json`` artifact a campaign
+    persists).  The minimised schedule is re-executed in lockstep
+    against the reference; ``succeeded=True`` means the divergence
+    signature reproduced — the implementation still leaves its
+    extracted FSM on this input.  ``attack_id`` is ``FUZZ-<digest>``
+    so replays file alongside the Table I scripts.
+    """
+    # Lazy import: repro.fuzz reaches core.prochecker, which reaches
+    # back into repro.testbed at module-import time.
+    from ..fuzz import run_schedule
+    from ..fuzz.deviation import Deviation
+
+    deviation = (payload if isinstance(payload, Deviation)
+                 else Deviation.from_dict(payload))
+    with obs.span("testbed.replay_deviation",
+                  implementation=deviation.implementation):
+        result = run_schedule(deviation.implementation, deviation.schedule,
+                              reference=deviation.reference)
+    expected = deviation.signature()
+    reproduced = result.diverged \
+        and result.divergence_signature() == expected
+    detail = "signature did not reproduce"
+    if reproduced:
+        detail = (f"diverges from {deviation.reference} at step "
+                  f"{result.divergence_index}")
+    elif result.diverged:
+        detail = (f"diverged at step {result.divergence_index} with a "
+                  f"different signature")
+    return AttackResult(
+        f"FUZZ-{deviation.digest[:12]}", deviation.implementation,
+        reproduced, detail,
+        details={
+            "classification": deviation.classification,
+            "digest": deviation.digest,
+            "step_index": result.divergence_index,
+            "schedule_length": len(deviation.schedule),
+        })

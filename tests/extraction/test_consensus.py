@@ -35,14 +35,48 @@ class TestValidation:
         with pytest.raises(ConsensusError):
             consensus_extract("nope", ChaosConfig.default(), runs=3)
 
-    def test_single_run_rejected(self):
+    def test_zero_runs_rejected(self):
         with pytest.raises(ConsensusError):
-            consensus_extract("reference", ChaosConfig.default(), runs=1)
+            consensus_extract("reference", ChaosConfig.default(), runs=0)
+
+    def test_negative_runs_rejected(self):
+        with pytest.raises(ConsensusError):
+            consensus_extract("reference", ChaosConfig.default(), runs=-3)
 
     def test_threshold_out_of_range_rejected(self):
         with pytest.raises(ConsensusError):
             consensus_extract("reference", ChaosConfig.default(),
                               runs=3, threshold=4)
+
+
+class TestSingleRunBaseCase:
+    """``runs=1`` is well-defined: the consensus machine *is* the single
+    run's machine, agreement is trivially 1.0 and the report is stable."""
+
+    def test_single_run_matches_clean_extraction(self):
+        suite = standard_suite()[:6]
+        clean = run_extraction("reference", suite)
+        outcome = consensus_extract("reference", ChaosConfig.default(),
+                                    runs=1, cases=suite,
+                                    clean_fsm=clean.fsm)
+        report = outcome.report
+        assert report.fingerprint_agreement == 1.0
+        assert report.stable
+        assert report.quarantined == []
+        assert report.flaky == []
+        assert report.run_fingerprints == (clean.fsm.fingerprint(),)
+        assert report.consensus_fingerprint == clean.fsm.fingerprint()
+        assert report.clean_is_subgraph is True
+        assert outcome.fsm.fingerprint() == clean.fsm.fingerprint()
+
+    def test_single_run_deterministic(self):
+        suite = standard_suite()[:4]
+        first = consensus_extract("reference", ChaosConfig.default(),
+                                  runs=1, cases=suite)
+        second = consensus_extract("reference", ChaosConfig.default(),
+                                   runs=1, cases=suite)
+        assert (first.report.consensus_fingerprint
+                == second.report.consensus_fingerprint)
 
 
 class TestConsensusOnReference:

@@ -1,0 +1,101 @@
+"""``repro fuzz`` CLI: exit codes, JSON output, replay mode."""
+
+import json
+
+import pytest
+
+from repro import schema
+from repro.cli import FUZZ_DEVIATIONS_EXIT_CODE, build_parser, main
+
+SEED = "20260808"
+
+
+class TestParser:
+    def test_fuzz_registered_with_defaults(self):
+        args = build_parser().parse_args(["fuzz", "srsue"])
+        assert args.command == "fuzz"
+        assert args.budget_execs == 400
+        assert args.seed == 0
+        assert args.jobs == 1
+        assert args.max_steps == 8
+        assert args.corpus_dir is None
+        assert args.replay is None
+
+    def test_bad_implementation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "huawei"])
+
+
+class TestCampaignCommand:
+    def test_deviations_exit_code_six(self, capsys):
+        status = main(["fuzz", "srsue", "--seed", SEED,
+                       "--budget-execs", "96"])
+        assert status == FUZZ_DEVIATIONS_EXIT_CODE
+        output = capsys.readouterr().out
+        assert "deviation" in output
+        assert "coverage" in output
+
+    def test_clean_reference_exits_zero(self, capsys):
+        status = main(["fuzz", "reference", "--seed", "1",
+                       "--budget-execs", "40"])
+        assert status == 0
+        assert "no deviations" in capsys.readouterr().out
+
+    def test_json_summary_is_versioned(self, capsys):
+        status = main(["fuzz", "srsue", "--seed", SEED,
+                       "--budget-execs", "96", "--json"])
+        assert status == FUZZ_DEVIATIONS_EXIT_CODE
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[schema.SCHEMA_KEY] == schema.SCHEMA_VERSION
+        assert payload["execs"] == 96
+        assert payload["deviations"]
+        assert payload["trajectory"]
+
+    def test_bad_budget_is_usage_error(self, capsys):
+        status = main(["fuzz", "srsue", "--budget-execs", "0"])
+        assert status == 2
+        assert "budget_execs" in capsys.readouterr().err
+
+
+class TestReplayCommand:
+    @pytest.fixture()
+    def artifact(self, tmp_path):
+        main(["fuzz", "srsue", "--seed", SEED, "--budget-execs", "96",
+              "--corpus-dir", str(tmp_path), "--json"])
+        return next((tmp_path / "deviations").glob("*.json"))
+
+    def test_replay_reproduces_and_exits_six(self, artifact, capsys):
+        status = main(["fuzz", "srsue", "--replay", str(artifact)])
+        assert status == FUZZ_DEVIATIONS_EXIT_CODE
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_replay_json_is_attack_result(self, artifact, capsys):
+        status = main(["fuzz", "srsue", "--replay", str(artifact),
+                       "--json"])
+        assert status == FUZZ_DEVIATIONS_EXIT_CODE
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attack_id"].startswith("FUZZ-")
+        assert payload["succeeded"] is True
+        assert payload[schema.SCHEMA_KEY] == schema.SCHEMA_VERSION
+
+    def test_missing_artifact_is_usage_error(self, tmp_path, capsys):
+        status = main(["fuzz", "srsue", "--replay",
+                       str(tmp_path / "nope.json")])
+        assert status == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_malformed_artifact_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": "1.0"}))
+        status = main(["fuzz", "srsue", "--replay", str(path)])
+        assert status == 2
+        assert "malformed" in capsys.readouterr().err
+
+
+class TestExitCodeRegistry:
+    def test_code_six_documented_and_collision_free(self):
+        from repro.cli import EXIT_CODES, EXIT_CODE_MEANINGS
+        assert EXIT_CODES["fuzz_deviations"] == FUZZ_DEVIATIONS_EXIT_CODE
+        assert FUZZ_DEVIATIONS_EXIT_CODE in EXIT_CODE_MEANINGS
+        values = list(EXIT_CODES.values())
+        assert len(values) == len(set(values))

@@ -1,0 +1,65 @@
+"""Schedule vocabulary: generation, mutation, digests — all seeded."""
+
+import random
+
+from repro.fuzz import mutate_schedule, schedule_digest
+from repro.fuzz.schedule import (CRAFT_FIELD_TEMPLATES, DEFAULT_MAX_STEPS,
+                                 SEED_SCHEDULES, canonical_json,
+                                 clone_schedule, random_step)
+from repro.lte import constants as c
+
+
+class TestVocabulary:
+    def test_seed_schedules_start_with_attach(self):
+        for steps in SEED_SCHEDULES:
+            assert steps[0]["op"] == "attach"
+
+    def test_craft_templates_are_downlink_messages(self):
+        for name in CRAFT_FIELD_TEMPLATES:
+            assert name in c.DOWNLINK_MESSAGES
+
+    def test_random_step_stays_in_vocabulary(self):
+        rng = random.Random(0)
+        ops = {random_step(rng)["op"] for _ in range(200)}
+        assert ops <= {"attach", "mute", "replay", "auth", "craft"}
+        assert "craft" in ops and "replay" in ops
+
+
+class TestDeterminism:
+    def test_same_seed_same_mutations(self):
+        base = clone_schedule(SEED_SCHEDULES[0])
+        first = [mutate_schedule(base, random.Random(7), DEFAULT_MAX_STEPS)
+                 for _ in range(20)]
+        second = [mutate_schedule(base, random.Random(7), DEFAULT_MAX_STEPS)
+                  for _ in range(20)]
+        assert ([schedule_digest(s) for s in first]
+                == [schedule_digest(s) for s in second])
+
+    def test_mutation_never_exceeds_max_steps(self):
+        rng = random.Random(3)
+        steps = clone_schedule(SEED_SCHEDULES[0])
+        for _ in range(100):
+            steps = mutate_schedule(steps, rng, max_steps=4)
+            assert 1 <= len(steps) <= 4
+
+    def test_mutation_does_not_alias_parent(self):
+        parent = clone_schedule(SEED_SCHEDULES[0])
+        snapshot = canonical_json(parent)
+        rng = random.Random(11)
+        for _ in range(50):
+            mutate_schedule(parent, rng, DEFAULT_MAX_STEPS)
+        assert canonical_json(parent) == snapshot
+
+
+class TestDigest:
+    def test_digest_is_content_addressed(self):
+        a = [{"op": "attach"}, {"op": "mute"}]
+        b = clone_schedule(a)
+        assert schedule_digest(a) == schedule_digest(b)
+        b.append({"op": "attach"})
+        assert schedule_digest(a) != schedule_digest(b)
+
+    def test_digest_is_key_order_independent(self):
+        a = [{"op": "replay", "name": "attach_accept", "index": 0}]
+        b = [{"index": 0, "name": "attach_accept", "op": "replay"}]
+        assert schedule_digest(a) == schedule_digest(b)

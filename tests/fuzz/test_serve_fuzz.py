@@ -1,0 +1,107 @@
+"""Fuzz campaigns as serve jobs: queueing, store exemption, HTTP."""
+
+import threading
+
+import pytest
+
+from repro import schema
+from repro.serve import (AnalysisService, JobStatus, KIND_FUZZ,
+                         ServeClient, ServeClientError, create_server)
+from repro.store import ResultStore
+
+SEED = 20260808
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = AnalysisService(ResultStore(tmp_path / "store"), workers=2,
+                          default_engine_jobs=1)
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture()
+def client(service):
+    server = create_server("127.0.0.1", 0, service, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServeClient(f"http://127.0.0.1:{server.port}")
+    server.shutdown()
+    server.server_close()
+
+
+def fuzz_payload(**overrides):
+    payload = {"type": "fuzz", "implementation": "srsue", "seed": SEED,
+               "budget_execs": 96}
+    payload.update(overrides)
+    return payload
+
+
+class TestFuzzJobs:
+    def test_fuzz_job_runs_and_carries_summary(self, service):
+        record = service.submit(fuzz_payload())
+        assert record.kind == KIND_FUZZ
+        assert not record.store_hit
+        done = _wait(service, record.job_id)
+        assert done.status is JobStatus.DONE
+        assert done.result is not None
+        assert done.result["execs"] == 96
+        assert done.result["deviations"]
+        assert done.counters.get("fuzz.execs") == 96
+
+    def test_fuzz_jobs_are_store_exempt(self, service, tmp_path):
+        first = service.submit(fuzz_payload())
+        _wait(service, first.job_id)
+        assert service.store.stats()["entries"] == 0
+        # Identical resubmission queues again (no hit) and re-derives
+        # the byte-identical summary.
+        second = service.submit(fuzz_payload())
+        assert not second.store_hit
+        done = _wait(service, second.job_id)
+        assert done.result == service.job(first.job_id).result
+
+    def test_bad_fuzz_payload_is_typed_error(self, service):
+        from repro.fuzz import FuzzConfigError
+        with pytest.raises(FuzzConfigError):
+            service.submit(fuzz_payload(budget_execs=0))
+
+    def test_analysis_jobs_unaffected(self, service):
+        record = service.submit({"implementation": "srsue",
+                                 "property_ids": ["SEC-01"]})
+        assert record.kind == "analysis"
+        done = _wait(service, record.job_id)
+        assert done.status is JobStatus.DONE
+        assert service.store.stats()["entries"] == 1
+
+
+class TestFuzzOverHTTP:
+    def test_submit_and_fetch_result(self, client):
+        record = client.submit_fuzz("srsue", seed=SEED, budget_execs=96)
+        assert record["kind"] == "fuzz"
+        assert record["status"] == "queued"
+        assert record[schema.SCHEMA_KEY] == schema.SCHEMA_VERSION
+        result = client.fuzz_result(record["job_id"])
+        assert result["execs"] == 96
+        assert result["campaign"] == record["digest"]
+        assert result["deviations"][0]["schedule"]
+
+    def test_bad_fuzz_payload_is_400(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit_fuzz("srsue", budget_execs=0)
+        assert "400" in str(excinfo.value)
+
+    def test_unknown_fuzz_implementation_is_400(self, client):
+        with pytest.raises(ServeClientError):
+            client.submit_fuzz("huawei")
+
+
+def _wait(service, job_id, timeout=60.0):
+    import time
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = service.job(job_id)
+        if record.status in (JobStatus.DONE, JobStatus.FAILED):
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish")

@@ -115,6 +115,77 @@ class TestSwallowedExcept:
         """)
         assert findings == []
 
+    def test_arbitrary_call_no_longer_pacifies(self, tmp_path):
+        # The loophole that once let a serve worker loop escape the
+        # gate: any ast.Call used to count as "handling" the failure.
+        findings = _lint_snippet(tmp_path, """
+            def loop(self):
+                while True:
+                    try:
+                        self._run_job()
+                    except Exception:
+                        self._queue.get()
+        """)
+        assert [f.rule for f in findings] == ["PCL032"]
+
+    def test_side_effect_call_without_record_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f():
+                try:
+                    risky()
+                except OSError:
+                    time.sleep(1)
+        """)
+        assert [f.rule for f in findings] == ["PCL032"]
+
+    def test_logging_call_not_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f():
+                try:
+                    risky()
+                except OSError:
+                    logger.warning("risky failed")
+        """)
+        assert findings == []
+
+    def test_fallback_assignment_not_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f():
+                try:
+                    value = risky()
+                except ValueError:
+                    value = None
+                return value
+        """)
+        assert findings == []
+
+    def test_sentinel_append_not_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(xs):
+                failures = []
+                for x in xs:
+                    try:
+                        risky(x)
+                    except ValueError:
+                        failures.append((x, "crash"))
+                return failures
+        """)
+        assert findings == []
+
+    def test_reading_bound_exception_not_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f():
+                try:
+                    risky()
+                except OSError as exc:
+                    try:
+                        detail = describe(exc)
+                    except ValueError:
+                        detail = exc.reason
+                return detail
+        """)
+        assert findings == []
+
 
 class TestRealTree:
     def test_seed_source_is_clean(self):

@@ -1,6 +1,7 @@
 """Radio link tests: queued delivery, interception, injection, chaos."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import faults, obs
 from repro.lte import constants as c
@@ -205,6 +206,58 @@ class TestChaosConfig:
         assert config.with_seed(9) == ChaosConfig.parse(
             "drop=0.1,scope=all", seed=9)
         assert "seed=5" in config.describe()
+
+    def test_in_text_seed_overrides_argument(self):
+        config = ChaosConfig.parse("drop=0.1,seed=17", seed=5)
+        assert config.seed == 17
+
+    def test_bad_in_text_seed_rejected(self):
+        with pytest.raises(ChaosConfigError):
+            ChaosConfig.parse("drop=0.1,seed=five")
+
+
+class TestChaosDescribeRoundTrip:
+    """Property: ``parse(describe(c)) == c`` for every expressible
+    config — ``describe`` is the canonical spec text, not a log line."""
+
+    _rate = st.floats(min_value=0.0, max_value=0.2, allow_nan=False)
+    _rates = st.builds(ImpairmentRates, drop=_rate, duplicate=_rate,
+                       reorder=_rate, corrupt=_rate, delay=_rate)
+    _configs = st.builds(
+        ChaosConfig, uplink=_rates, downlink=_rates,
+        seed=st.integers(min_value=-2**31, max_value=2**31),
+        delay_rounds=st.integers(min_value=1, max_value=6),
+        messages=st.sampled_from(
+            [None, c.ATTACH_SUPERVISED_DOWNLINK]))
+
+    @settings(max_examples=120, deadline=None)
+    @given(_configs)
+    def test_parse_inverts_describe(self, config):
+        assert ChaosConfig.parse(config.describe()) == config
+
+    @settings(max_examples=60, deadline=None)
+    @given(_configs, st.integers(min_value=-100, max_value=100))
+    def test_in_text_seed_wins_over_argument(self, config, other_seed):
+        # describe() always embeds seed=, so the argument is inert.
+        assert ChaosConfig.parse(config.describe(),
+                                 seed=other_seed) == config
+
+    @settings(max_examples=60, deadline=None)
+    @given(_configs)
+    def test_describe_is_a_fixpoint(self, config):
+        text = config.describe()
+        assert ChaosConfig.parse(text).describe() == text
+
+    def test_zero_rate_config_round_trips(self):
+        config = ChaosConfig(seed=3)
+        parsed = ChaosConfig.parse(config.describe())
+        assert parsed == config
+        assert not parsed.uplink.any() and not parsed.downlink.any()
+
+    def test_default_profile_round_trips(self):
+        config = ChaosConfig.default(seed=11)
+        assert ChaosConfig.parse(config.describe()) == config
+        assert ChaosConfig.parse("default", seed=11) == config
 
 
 class TestChaosImpairments:
