@@ -1,0 +1,89 @@
+"""Lint runtime: the static pass must stay cheap enough to gate PRs.
+
+Times the full ``repro lint`` pipeline (spec + hygiene + xcheck + the
+taint family) and the taint family alone, and records the findings
+inventory per family.  The headline numbers land in
+``BENCH_lint_runtime.json``:
+
+- the full run (two dynamic extractions included) finishes inside the
+  regression budget, and the taint family alone is pure static
+  analysis — an order of magnitude cheaper still;
+- the findings trajectory is stable: zero gating findings on the seed
+  tree, and exactly the seeded Table I privacy deviations re-found as
+  non-gating PCL043 re-finds;
+- two back-to-back runs produce identical reports (the determinism
+  contract the baseline machinery depends on).
+"""
+
+import json
+import time
+
+from repro.lint import default_baseline_path, lint_taint, run_lint
+
+#: wall-clock regression budgets (seconds); generous against CI jitter
+#: but tight enough to catch an accidentally quadratic summary pass.
+FULL_RUN_BUDGET_SECONDS = 30.0
+TAINT_ONLY_BUDGET_SECONDS = 5.0
+
+IMPLEMENTATIONS = ("reference", "srsue", "oai")
+
+
+def _family_counts(report):
+    counts = {}
+    for finding in report.findings:
+        counts[finding.family] = counts.get(finding.family, 0) + 1
+    return counts
+
+
+def _measure():
+    start = time.perf_counter()
+    report = run_lint(baseline_path=default_baseline_path())
+    full_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    taint_findings = lint_taint(IMPLEMENTATIONS)
+    taint_seconds = time.perf_counter() - start
+
+    repeat = run_lint(baseline_path=default_baseline_path())
+    return {
+        "full_seconds": round(full_seconds, 3),
+        "taint_seconds": round(taint_seconds, 3),
+        "families": sorted(report.families),
+        "family_counts": _family_counts(report),
+        "gating": len(report.gating),
+        "suppressed": len(report.suppressed),
+        "taint_rules": sorted({f.rule for f in taint_findings}),
+        "deterministic": report.to_dict() == repeat.to_dict(),
+    }
+
+
+def test_lint_runtime(benchmark):
+    point = {"benchmark": "lint_runtime",
+             "budget_full_seconds": FULL_RUN_BUDGET_SECONDS,
+             "budget_taint_seconds": TAINT_ONLY_BUDGET_SECONDS}
+
+    def measure_all():
+        point.update(_measure())
+        return point
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    # Runtime regression guard: static gating must stay PR-cheap.
+    assert point["full_seconds"] < FULL_RUN_BUDGET_SECONDS, point
+    assert point["taint_seconds"] < TAINT_ONLY_BUDGET_SECONDS, point
+    # Findings trajectory: seed tree is clean modulo the checked-in
+    # baseline, and the taint family re-finds only the seeded Table I
+    # deviations (non-gating PCL043).
+    assert point["gating"] == 0, point
+    assert point["taint_rules"] == ["PCL043"], point
+    assert point["family_counts"].get("taint", 0) == 3, point
+    assert point["deterministic"] is True
+
+    with open("BENCH_lint_runtime.json", "w") as handle:
+        json.dump(point, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\nlint runtime: full %.2fs (budget %.0fs), "
+          "taint-only %.2fs (budget %.0fs), %d findings suppressed"
+          % (point["full_seconds"], FULL_RUN_BUDGET_SECONDS,
+             point["taint_seconds"], TAINT_ONLY_BUDGET_SECONDS,
+             point["suppressed"]))

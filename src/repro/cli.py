@@ -356,7 +356,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     """Static analysis over the catalog, the source, and the FSMs."""
     from .lint import LintError, run_lint
     from .lint.baseline import Baseline
+    from .lint.findings import RULES
     from .lint.runner import default_baseline_path
+
+    if args.rules:
+        if args.json:
+            _emit_json({"rules": [
+                {"id": rule.identifier, "family": rule.family,
+                 "severity": rule.severity.value, "summary": rule.summary}
+                for rule in RULES.values()]})
+        else:
+            for rule in RULES.values():
+                print(f"{rule.identifier} [{rule.family}/"
+                      f"{rule.severity.value}] {rule.summary}")
+        return 0
 
     baseline_path = (None if args.no_baseline
                      else args.baseline or default_baseline_path())
@@ -366,6 +379,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             run_xcheck=not args.no_xcheck,
             baseline_path=None if args.write_baseline else baseline_path,
             catalog_module=args.catalog,
+            run_taint=args.taint,
+            taint_modules=args.taint_impl,
         )
     except LintError as exc:
         print(f"lint failed: {exc}", file=sys.stderr)
@@ -611,6 +626,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-xcheck", action="store_true",
                       help="skip the static/dynamic cross-check family "
                            "(no extraction run)")
+    lint.add_argument("--taint", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="run the identity/key-material taint family "
+                           "(PCL04x; default on)")
+    lint.add_argument("--taint-impl", action="append", default=[],
+                      metavar="MODULE",
+                      help="also taint-audit an external UE persona "
+                           "module (importable path defining a UeNas "
+                           "subclass; repeatable)")
+    lint.add_argument("--rules", action="store_true",
+                      help="print the PCL0xx rule table and exit")
     lint.add_argument("--baseline", metavar="FILE", type=Path,
                       default=None,
                       help="baseline suppression file "

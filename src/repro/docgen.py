@@ -1,11 +1,13 @@
-"""Generate ``docs/CLI.md`` from the CLI's own metadata.
+"""Generate ``docs/CLI.md`` and ``docs/lint.md`` from live metadata.
 
 The exit-code table and the subcommand list render from
-:data:`repro.cli.EXIT_CODE_MEANINGS` and the argparse parser itself, so
-the document cannot drift from the code.  Run as
-``python -m repro.docgen`` after editing the CLI; ``--check`` exits
-non-zero when the checked-in document is stale (the CI static-analysis
-job runs it, alongside ``tests/test_cli.py``).
+:data:`repro.cli.EXIT_CODE_MEANINGS` and the argparse parser itself,
+and the lint rule table renders from :data:`repro.lint.findings.RULES`
+plus the taint source/sink/sanctioned-flow catalogs, so neither
+document can drift from the code.  Run as ``python -m repro.docgen``
+after editing the CLI or the rule catalog; ``--check`` exits non-zero
+when either checked-in document is stale (the CI static-analysis job
+runs it, alongside ``tests/test_cli.py``).
 """
 
 from __future__ import annotations
@@ -66,37 +68,123 @@ def render() -> str:
     return "\n".join(lines)
 
 
+def render_lint() -> str:
+    """``docs/lint.md``: the PCL0xx rule table and the taint catalogs."""
+    from .lint.findings import RULES
+    from .lint.taint import (FLAG_TO_ATTACK, SANCTIONED_WIRE_FLOWS,
+                             SANITIZERS, SELF_ATTR_SOURCES,
+                             TAINT_VISIBLE_FLAGS)
+
+    lines: List[str] = [
+        "# Static analysis rules",
+        "",
+        "Generated from `repro.lint` (regenerate with "
+        "`python -m repro.docgen`;",
+        "the same table prints from `repro lint --rules`).  Warnings and",
+        "errors gate `repro lint` with exit code 5; info findings are",
+        "expected-behaviour annotations and never gate.",
+        "",
+        "## Rule table",
+        "",
+        "| id | family | severity | summary |",
+        "|---|---|---|---|",
+    ]
+    for identifier in sorted(RULES):
+        rule = RULES[identifier]
+        lines.append(f"| {rule.identifier} | {rule.family} | "
+                     f"{rule.severity.value} | {rule.summary} |")
+    lines += [
+        "",
+        "## Taint catalogs (PCL04x)",
+        "",
+        "The taint family is an interprocedural dataflow pass over the",
+        "implementation source.  Its behaviour is fully declarative:",
+        "",
+        "### Sources (`self.` attribute paths)",
+        "",
+        "| path | labels |",
+        "|---|---|",
+    ]
+    for path in sorted(SELF_ATTR_SOURCES):
+        labels = ", ".join(sorted(SELF_ATTR_SOURCES[path])) or "—"
+        lines.append(f"| `self.{path}` | {labels} |")
+    lines += [
+        "",
+        "### Sanitizers (callee name → result labels)",
+        "",
+        "| callee | result labels |",
+        "|---|---|",
+    ]
+    for name in sorted(SANITIZERS):
+        labels = ", ".join(sorted(SANITIZERS[name])) or "(clean)"
+        lines.append(f"| `{name}(...)` | {labels} |")
+    lines += [
+        "",
+        "### Standards-sanctioned plaintext flows",
+        "",
+        "Identity/SQN material on these (message, field) pairs is",
+        "mandated protocol behaviour and never flagged:",
+        "",
+    ]
+    for message, field in sorted(SANCTIONED_WIRE_FLOWS):
+        lines.append(f"- `{message}.{field}`")
+    lines += [
+        "",
+        "### Cross-examination contract",
+        "",
+        "Seeded policy flags map to Table I attacks; the taint-visible",
+        "subset must be re-found statically as PCL043 on the persona",
+        "that carries the flag, and static/dynamic disagreements",
+        "surface as PCL045:",
+        "",
+        "| flag | attack | taint-visible |",
+        "|---|---|---|",
+    ]
+    for flag in sorted(FLAG_TO_ATTACK):
+        visible = "yes" if flag in TAINT_VISIBLE_FLAGS else "no"
+        lines.append(f"| `{flag}` | {FLAG_TO_ATTACK[flag]} | {visible} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
 DEFAULT_OUTPUT = "docs/CLI.md"
+LINT_OUTPUT = "docs/lint.md"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.docgen",
-        description="regenerate docs/CLI.md from the CLI metadata")
+        description="regenerate docs/CLI.md and docs/lint.md from "
+                    "live metadata")
     parser.add_argument("--check", action="store_true",
-                        help="do not write; exit 1 if the checked-in "
+                        help="do not write; exit 1 if a checked-in "
                              "document is stale")
     parser.add_argument("-o", "--output", metavar="FILE",
                         default=DEFAULT_OUTPUT)
+    parser.add_argument("--lint-output", metavar="FILE",
+                        default=LINT_OUTPUT)
     args = parser.parse_args(argv)
 
-    text = render()
+    documents = ((args.output, render()),
+                 (args.lint_output, render_lint()))
     if args.check:
-        try:
-            with open(args.output) as handle:
-                current = handle.read()
-        except OSError as exc:
-            print(f"{args.output} unreadable: {exc}", file=sys.stderr)
-            return 1
-        if current != text:
-            print(f"{args.output} is stale; regenerate with "
-                  f"`python -m repro.docgen`", file=sys.stderr)
-            return 1
-        print(f"{args.output} is up to date")
+        for path, text in documents:
+            try:
+                with open(path) as handle:
+                    current = handle.read()
+            except OSError as exc:
+                print(f"{path} unreadable: {exc}", file=sys.stderr)
+                return 1
+            if current != text:
+                print(f"{path} is stale; regenerate with "
+                      f"`python -m repro.docgen`", file=sys.stderr)
+                return 1
+            print(f"{path} is up to date")
         return 0
-    with open(args.output, "w") as handle:
-        handle.write(text)
-    print(f"wrote {args.output}")
+    for path, text in documents:
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"wrote {path}")
     return 0
 
 

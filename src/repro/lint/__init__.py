@@ -9,7 +9,10 @@ Three rule families under stable ``PCL0xx`` identifiers:
   source, cross-checked against the dynamically extracted FSM
   (:func:`lint_implementation`);
 - **hygiene** (PCL03x): repo-specific source hazards
-  (:func:`lint_source`).
+  (:func:`lint_source`);
+- **taint** (PCL04x): interprocedural identity/key-material dataflow
+  over the implementation source, cross-examined against the dynamic
+  privacy verdicts (:func:`lint_taint`).
 
 Run everything via :func:`run_lint` or ``python -m repro lint``.
 """
@@ -23,6 +26,8 @@ from .runner import (DEFAULT_IMPLEMENTATIONS, default_baseline_path,
 from .speclint import lint_catalog
 from .staticfsm import (StaticHandler, StaticModel, static_mme_handlers,
                         static_ue_model)
+from .taint import (TaintFlow, TaintModel, cross_examine, lint_taint,
+                    taint_mme_flows, taint_ue_class, taint_ue_model)
 from .xcheck import lint_implementation
 
 __all__ = [
@@ -36,13 +41,20 @@ __all__ = [
     "Severity",
     "StaticHandler",
     "StaticModel",
+    "TaintFlow",
+    "TaintModel",
+    "cross_examine",
     "default_baseline_path",
     "lint_catalog",
     "lint_implementation",
     "lint_source",
+    "lint_taint",
     "load_catalog",
     "run_lint",
     "sort_findings",
     "static_mme_handlers",
     "static_ue_model",
+    "taint_mme_flows",
+    "taint_ue_class",
+    "taint_ue_model",
 ]

@@ -9,7 +9,10 @@ refactors.  Rules are grouped into three families:
   implications, unknown threat capabilities);
 - ``PCL02x`` — **cross-check**: static transition extraction from the
   implementation source against the dynamically extracted FSM;
-- ``PCL03x`` — **hygiene**: repo-specific source hazards.
+- ``PCL03x`` — **hygiene**: repo-specific source hazards;
+- ``PCL04x`` — **taint**: identity/key-material dataflow from the
+  implementation source (sources → sinks modulo sanitizers), plus the
+  static-vs-dynamic privacy cross-examination.
 
 A finding's *fingerprint* deliberately excludes line numbers so baseline
 entries survive unrelated edits to the same file.
@@ -65,6 +68,7 @@ def _rule(identifier: str, family: str, severity: Severity,
 FAMILY_SPEC = "spec"
 FAMILY_XCHECK = "xcheck"
 FAMILY_HYGIENE = "hygiene"
+FAMILY_TAINT = "taint"
 
 # -- PCL01x: spec lint ------------------------------------------------------
 PCL010 = _rule("PCL010", FAMILY_SPEC, Severity.ERROR,
@@ -113,6 +117,25 @@ PCL031 = _rule("PCL031", FAMILY_HYGIENE, Severity.WARNING,
                "None default on a non-Optional annotation")
 PCL032 = _rule("PCL032", FAMILY_HYGIENE, Severity.WARNING,
                "swallowed except without an obs.count (silent failure)")
+
+# -- PCL04x: identity/key-material taint -------------------------------------
+PCL040 = _rule("PCL040", FAMILY_TAINT, Severity.ERROR,
+               "permanent identity or SQN material reaches a plaintext "
+               "NAS field outside the standards-sanctioned flows")
+PCL041 = _rule("PCL041", FAMILY_TAINT, Severity.ERROR,
+               "key material (permanent key, K_ASME, NAS keys) reaches a "
+               "wire or log sink unsanitized")
+PCL042 = _rule("PCL042", FAMILY_TAINT, Severity.WARNING,
+               "permanent identity reaches a log/event sink unredacted")
+PCL043 = _rule("PCL043", FAMILY_TAINT, Severity.INFO,
+               "identity taint flow explained by a seeded policy "
+               "deviation (expected Table I behaviour)")
+PCL044 = _rule("PCL044", FAMILY_TAINT, Severity.WARNING,
+               "GUTI allocation preimage embeds the raw IMSI without "
+               "allocator-secret salt (guessable temporary identity)")
+PCL045 = _rule("PCL045", FAMILY_TAINT, Severity.WARNING,
+               "static taint and dynamic privacy verdicts disagree "
+               "(instrumentation or analysis blind spot)")
 
 
 class LintError(Exception):

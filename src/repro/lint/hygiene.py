@@ -24,7 +24,7 @@ from typing import FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from .findings import Finding, LintError
 
-_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
 
 #: Call constructors that produce a fresh mutable object per evaluation —
 #: still shared when evaluated once at def time.
@@ -79,6 +79,12 @@ def _allows_none(annotation: Optional[ast.expr]) -> bool:
 
 def _defaults_with_args(node: _FunctionNode
                         ) -> Iterable[Tuple[ast.arg, ast.expr]]:
+    """Every (parameter, default) pair across all parameter kinds.
+
+    Positional-only, regular positional, and keyword-only defaults are
+    all covered; lambdas share the same ``ast.arguments`` layout, so
+    this works for them too.
+    """
     positional = node.args.posonlyargs + node.args.args
     for arg, default in zip(positional[len(positional)
                                        - len(node.args.defaults):],
@@ -151,11 +157,17 @@ def _walk_handlers(node: ast.AST, bound: FrozenSet[str],
 def _lint_tree(tree: ast.AST, location: str) -> List[Finding]:
     findings: List[Finding] = []
     for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # Lambdas cannot carry annotations, so PCL031 never applies
+            # to them — but a mutable default is shared across calls all
+            # the same.
+            name = (node.name
+                    if not isinstance(node, ast.Lambda) else "<lambda>")
             for arg, default in _defaults_with_args(node):
                 if _is_mutable_default(default):
                     findings.append(Finding(
-                        "PCL030", f"{location}::{node.name}",
+                        "PCL030", f"{location}::{name}",
                         f"parameter {arg.arg!r} has a mutable default "
                         f"({ast.unparse(default)}); use None and "
                         f"construct inside the function",
@@ -164,7 +176,7 @@ def _lint_tree(tree: ast.AST, location: str) -> List[Finding]:
                         and default.value is None
                         and not _allows_none(arg.annotation)):
                     findings.append(Finding(
-                        "PCL031", f"{location}::{node.name}",
+                        "PCL031", f"{location}::{name}",
                         f"parameter {arg.arg!r} is annotated "
                         f"{ast.unparse(arg.annotation)} but defaults to "
                         f"None; annotate Optional[...]",

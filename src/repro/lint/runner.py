@@ -8,10 +8,11 @@ from typing import List, Optional, Sequence
 
 from ..properties.spec import Property
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
-from .findings import (FAMILY_HYGIENE, FAMILY_SPEC, FAMILY_XCHECK, Finding,
-                       LintError, LintReport)
+from .findings import (FAMILY_HYGIENE, FAMILY_SPEC, FAMILY_TAINT,
+                       FAMILY_XCHECK, Finding, LintError, LintReport)
 from .hygiene import lint_source
 from .speclint import lint_catalog
+from .taint import lint_taint
 from .xcheck import REFERENCE_IMPLEMENTATION, lint_implementation
 
 #: Implementations the cross-check family covers by default.
@@ -44,7 +45,9 @@ def run_lint(implementations: Optional[Sequence[str]] = None,
              run_xcheck: bool = True,
              baseline_path: Optional[Path] = None,
              catalog_module: Optional[str] = None,
-             source_root: Optional[Path] = None) -> LintReport:
+             source_root: Optional[Path] = None,
+             run_taint: bool = True,
+             taint_modules: Sequence[str] = ()) -> LintReport:
     """Run the configured lint families and fold in the baseline."""
     findings: List[Finding] = []
     families: List[str] = [FAMILY_SPEC, FAMILY_HYGIENE]
@@ -59,6 +62,7 @@ def run_lint(implementations: Optional[Sequence[str]] = None,
 
     implementations = list(implementations if implementations is not None
                            else DEFAULT_IMPLEMENTATIONS)
+    xcheck_findings: List[Finding] = []
     if run_xcheck:
         families.append(FAMILY_XCHECK)
         reference = None
@@ -68,10 +72,18 @@ def run_lint(implementations: Optional[Sequence[str]] = None,
                     from ..core.prochecker import ProChecker
                     reference = ProChecker(
                         REFERENCE_IMPLEMENTATION).extract()
-                findings.extend(lint_implementation(
+                xcheck_findings.extend(lint_implementation(
                     implementation, reference=reference))
             else:
-                findings.extend(lint_implementation(implementation))
+                xcheck_findings.extend(
+                    lint_implementation(implementation))
+        findings.extend(xcheck_findings)
+
+    if run_taint:
+        families.append(FAMILY_TAINT)
+        findings.extend(lint_taint(
+            implementations, taint_modules=taint_modules,
+            xcheck_findings=xcheck_findings))
 
     baseline = (Baseline.load(baseline_path)
                 if baseline_path is not None else Baseline())

@@ -9,8 +9,9 @@ observations is a linkability signal the CPV equivalence check detects.
 from __future__ import annotations
 
 import hashlib
+import hmac
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 
 @dataclass(frozen=True)
@@ -68,13 +69,34 @@ class GutiAllocator:
         self.mme_group = mme_group
         self.mme_code = mme_code
         self._counter = seed
+        # Allocator-secret keying material.  Deriving it from the seeded
+        # configuration keeps allocation deterministic for replay, but an
+        # observer who does not hold the secret cannot regenerate the
+        # IMSI→M-TMSI mapping by enumerating the low-entropy counter.
+        self._secret = hashlib.sha256(
+            f"guti-allocator:{plmn}:{mme_group}:{mme_code}:{seed}"
+            .encode()).digest()
 
     def allocate(self, imsi: Imsi) -> Guti:
         self._counter += 1
-        digest = hashlib.sha256(
-            f"{imsi}:{self._counter}".encode()).digest()
+        digest = hmac.new(
+            self._secret, f"{imsi}:{self._counter}".encode(),
+            hashlib.sha256).digest()
         m_tmsi = int.from_bytes(digest[:4], "big")
         return Guti(self.plmn, self.mme_group, self.mme_code, m_tmsi)
+
+
+def redact(identity: Union[Imsi, str, None]) -> str:
+    """One-way display form of a permanent identity for logs/evidence.
+
+    Logging the raw IMSI defeats the privacy properties the testbed
+    exists to check (I5 linkability); the taint pass treats this helper
+    as a sanitizer, so event strings built from it are clean.
+    """
+    if identity is None:
+        return "imsi:<none>"
+    digest = hashlib.sha256(f"imsi:{identity}".encode()).hexdigest()
+    return f"imsi:{digest[:10]}"
 
 
 @dataclass

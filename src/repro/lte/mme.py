@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 from . import constants as c
 from .channel import RadioLink
 from .hss import Hss, HssError
-from .identifiers import Guti, GutiAllocator, Imsi
+from .identifiers import Guti, GutiAllocator, Imsi, redact
 from .messages import MessageError, NasMessage
 from .security import (AuthVector, DIR_DOWNLINK, DIR_UPLINK,
                        SecurityContext)
@@ -176,7 +176,8 @@ class MmeNas:
         try:
             self.hss.resynchronise(self.session_imsi, resync_seq)
         except HssError:
-            self._note("sync_failure_unknown_imsi", self.session_imsi)
+            self._note("sync_failure_unknown_imsi",
+                       redact(self.session_imsi))
             return
         self._note("auth_sync_failure", f"resync to {resync_seq}")
         self._start_authentication()

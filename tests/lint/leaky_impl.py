@@ -1,0 +1,31 @@
+"""A deliberately privacy-broken UE persona for taint-lint fixtures.
+
+It logs the raw IMSI before any security context exists — the classic
+leak the PCL042 rule exists to catch.  Used by
+``tests/lint/test_taint.py`` and the CI ``taint-smoke`` job via
+``repro lint --taint-impl tests.lint.leaky_impl``; never registered
+with the real implementation registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lte.channel import RadioLink
+from repro.lte.identifiers import Subscriber
+from repro.lte.timers import SimClock
+from repro.lte.ue import UeNas, UePolicy
+
+
+class LeakyUe(UeNas):
+    """Reference policy, leaky bookkeeping."""
+
+    def __init__(self, subscriber: Subscriber, link: RadioLink,
+                 clock: Optional[SimClock] = None):
+        super().__init__(subscriber, link, clock=clock,
+                         policy=UePolicy())
+
+    def debug_attach(self) -> None:
+        # The leak: permanent identity into the event log, unredacted,
+        # before ciphering is ever established.
+        self._note("attach_debug", f"attaching as {self.subscriber.imsi}")

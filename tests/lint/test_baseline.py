@@ -52,6 +52,70 @@ class TestValidation:
             Baseline.load(path)
 
 
+class TestFingerprintStability:
+    """Fingerprints must survive the edits baselines exist to absorb."""
+
+    def test_unrelated_line_insertion_keeps_fingerprint(self):
+        # The same finding, shifted by an edit above it: only the
+        # advisory line number changes, never the identity.
+        before = Finding("PCL030", "repro/serve.py::worker",
+                         "parameter 'jobs' has a mutable default", line=40)
+        after = Finding("PCL030", "repro/serve.py::worker",
+                        "parameter 'jobs' has a mutable default", line=55)
+        assert before.fingerprint() == after.fingerprint()
+
+    def test_line_insertion_survives_baseline_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        before = Finding("PCL032", "repro/fuzz.py::drain",
+                         "except handler swallows the exception", line=10)
+        Baseline.write(path, [before])
+        after = Finding("PCL032", "repro/fuzz.py::drain",
+                        "except handler swallows the exception", line=99)
+        kept, suppressed = Baseline.load(path).apply([after])
+        assert kept == [] and suppressed == [after]
+
+    def test_file_move_changes_fingerprint(self, tmp_path):
+        # A move *should* invalidate the entry: the location anchor is
+        # part of the identity, so stale suppressions don't silently
+        # follow code into a new home.
+        path = tmp_path / "baseline.json"
+        original = Finding("PCL030", "repro/old.py::f", "mutable default")
+        Baseline.write(path, [original])
+        moved = Finding("PCL030", "repro/new.py::f", "mutable default")
+        kept, suppressed = Baseline.load(path).apply([moved])
+        assert suppressed == [] and kept == [moved]
+
+    def test_object_anchored_location_survives_file_shuffle(self,
+                                                           tmp_path):
+        # Taint/xcheck findings anchor to implementation::object, not a
+        # path, so moving source files around does not touch them.
+        path = tmp_path / "baseline.json"
+        finding = Finding(
+            "PCL042", "oai::repro.lte.ue::UeNas.power_on",
+            "permanent identity (imsi) reaches the event log", line=3)
+        Baseline.write(path, [finding])
+        relined = Finding(
+            "PCL042", "oai::repro.lte.ue::UeNas.power_on",
+            "permanent identity (imsi) reaches the event log", line=300)
+        kept, suppressed = Baseline.load(path).apply([relined])
+        assert kept == [] and suppressed == [relined]
+
+    def test_pcl04x_round_trips_through_baseline(self, tmp_path):
+        from repro.lint.taint import resolve_findings, taint_ue_model
+
+        path = tmp_path / "baseline.json"
+        model = taint_ue_model("oai")
+        findings = resolve_findings(model.flows, model.deviant_flags,
+                                    "oai")
+        assert findings, "expected at least one PCL04x finding"
+        count = Baseline.write(path, findings)
+        assert count == len({f.fingerprint() for f in findings})
+        kept, suppressed = Baseline.load(path).apply(findings)
+        assert kept == []
+        assert {f.fingerprint() for f in suppressed} == \
+            {f.fingerprint() for f in findings}
+
+
 class TestCheckedInBaseline:
     def test_repo_baseline_loads(self):
         from repro.lint import default_baseline_path

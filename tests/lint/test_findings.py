@@ -9,14 +9,14 @@ from repro.lint.findings import sort_findings
 class TestRules:
     def test_registry_covers_all_families(self):
         families = {rule.family for rule in RULES.values()}
-        assert families == {"spec", "xcheck", "hygiene"}
+        assert families == {"spec", "xcheck", "hygiene", "taint"}
 
     def test_identifiers_match_family_numbering(self):
         for identifier, rule in RULES.items():
             assert identifier.startswith("PCL0")
             digit = identifier[4]
-            assert {"1": "spec", "2": "xcheck",
-                    "3": "hygiene"}[digit] == rule.family
+            assert {"1": "spec", "2": "xcheck", "3": "hygiene",
+                    "4": "taint"}[digit] == rule.family
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(LintError):

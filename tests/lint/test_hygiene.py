@@ -44,6 +44,48 @@ class TestMutableDefault:
         """)
         assert findings == []
 
+    def test_positional_only_default_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(items=[], /):
+                return items
+        """)
+        assert [f.rule for f in findings] == ["PCL030"]
+        assert "items" in findings[0].message
+
+    def test_positional_only_immutable_default_clean(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(limit=10, /):
+                return limit
+        """)
+        assert findings == []
+
+    def test_keyword_only_immutable_default_clean(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            def f(*, limit=10):
+                return limit
+        """)
+        assert findings == []
+
+    def test_lambda_mutable_default_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            handler = lambda payload, seen=[]: seen.append(payload)
+        """)
+        assert [f.rule for f in findings] == ["PCL030"]
+        assert findings[0].location.endswith("::<lambda>")
+        assert "seen" in findings[0].message
+
+    def test_lambda_keyword_only_mutable_default_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            handler = lambda payload, *, cache={}: cache
+        """)
+        assert [f.rule for f in findings] == ["PCL030"]
+
+    def test_lambda_immutable_default_clean(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            scale = lambda value, factor=2: value * factor
+        """)
+        assert findings == []
+
 
 class TestNonOptionalNoneDefault:
     def test_bare_container_annotation_flagged(self, tmp_path):
@@ -67,6 +109,32 @@ class TestNonOptionalNoneDefault:
         findings = _lint_snippet(tmp_path, """
             def f(alphabet=None):
                 return alphabet
+        """)
+        assert findings == []
+
+    def test_keyword_only_none_default_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            from typing import Set
+
+            def f(*, alphabet: Set[str] = None):
+                return alphabet
+        """)
+        assert [f.rule for f in findings] == ["PCL031"]
+
+    def test_positional_only_none_default_flagged(self, tmp_path):
+        findings = _lint_snippet(tmp_path, """
+            from typing import Set
+
+            def f(alphabet: Set[str] = None, /):
+                return alphabet
+        """)
+        assert [f.rule for f in findings] == ["PCL031"]
+
+    def test_lambda_none_default_allowed(self, tmp_path):
+        # Lambdas cannot annotate parameters, so a None default never
+        # contradicts anything.
+        findings = _lint_snippet(tmp_path, """
+            pick = lambda xs, fallback=None: xs[0] if xs else fallback
         """)
         assert findings == []
 

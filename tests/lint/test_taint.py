@@ -1,0 +1,227 @@
+"""Taint family (PCL04x): engine, resolution, cross-examination."""
+
+import importlib.util
+import sys
+
+from repro.lint import run_lint
+from repro.lint.taint import (TAINT_VISIBLE_FLAGS, allocator_findings,
+                              cross_examine, lint_external_module,
+                              lint_taint, resolve_findings,
+                              taint_hss_flows, taint_mme_flows,
+                              taint_ue_model)
+from repro.properties.expected import NEW_ATTACKS
+
+
+def _findings(implementation):
+    model = taint_ue_model(implementation)
+    return resolve_findings(model.flows, model.deviant_flags,
+                            implementation), model
+
+
+class TestReferenceClean:
+    def test_reference_has_zero_taint_findings(self):
+        findings, _ = _findings("reference")
+        assert findings == [], [f.format() for f in findings]
+
+    def test_reference_flows_exist_but_are_sanctioned(self):
+        # The engine must *see* the sanctioned flows (IMSI in the
+        # initial attach, identity response, SQN resync) and excuse
+        # them — an empty flow list would mean the sources are dead,
+        # not that the implementation is private.
+        _, model = _findings("reference")
+        wire = {(f.message, f.field) for f in model.flows
+                if f.sink == "wire"}
+        assert ("attach_request", "imsi") in wire
+        assert ("identity_response", "imsi") in wire
+
+    def test_mme_and_hss_are_clean(self):
+        flows = taint_mme_flows() + taint_hss_flows()
+        findings = resolve_findings(flows, (), "testbed")
+        assert findings == [], [f.format() for f in findings]
+
+    def test_no_key_material_on_any_flow_unprotected(self):
+        for impl in ("reference", "srsue", "oai"):
+            model = taint_ue_model(impl)
+            for flow in model.flows:
+                if flow.sink == "wire" and not flow.protected:
+                    assert not (flow.labels
+                                & {"permanent_key", "kasme", "nas_key"}), \
+                        flow.describe()
+
+
+class TestSeededDeviationReFound:
+    def test_oai_i5_identity_exposure(self):
+        findings, _ = _findings("oai")
+        assert [f.rule for f in findings] == ["PCL043"]
+        finding = findings[0]
+        assert finding.details["flags"] == "respond_identity_always"
+        assert finding.details["attacks"] == "I5"
+        assert "identity_response" in finding.message
+
+    def test_srsue_privacy_affecting_flags(self):
+        findings, _ = _findings("srsue")
+        assert {f.rule for f in findings} == {"PCL043"}
+        flags = {f.details["flags"] for f in findings}
+        assert flags == {"accept_equal_sqn", "require_auth_after_reject"}
+        attacks = {f.details["attacks"] for f in findings}
+        assert attacks == {"I3", "I4"}
+
+    def test_findings_are_non_gating(self):
+        for impl in ("srsue", "oai"):
+            findings, _ = _findings(impl)
+            assert all(not f.severity.gates() for f in findings)
+
+    def test_every_taint_visible_deviant_flag_is_named(self):
+        # The acceptance contract: each seeded privacy-affecting flag
+        # must be re-found statically on the persona that carries it.
+        for impl in ("srsue", "oai"):
+            findings, model = _findings(impl)
+            named = set()
+            for finding in findings:
+                named.update(finding.details["flags"].split(","))
+            expected = set(model.deviant_flags) & TAINT_VISIBLE_FLAGS
+            assert named == expected
+
+
+class TestDeterminism:
+    def test_flows_identical_across_runs(self):
+        for impl in ("reference", "srsue", "oai"):
+            first = taint_ue_model(impl)
+            second = taint_ue_model(impl)
+            assert first.flows == second.flows
+            assert first.deviant_flags == second.deviant_flags
+
+    def test_full_family_identical_across_runs(self):
+        impls = ("reference", "srsue", "oai")
+        first = lint_taint(impls)
+        second = lint_taint(impls)
+        assert [f.to_dict() for f in first] == \
+            [f.to_dict() for f in second]
+
+
+class TestAllocatorContract:
+    def test_fixed_allocator_is_clean(self):
+        assert allocator_findings() == []
+
+    def test_unsalted_allocator_flagged(self, tmp_path):
+        source = '''
+import hashlib
+
+
+class GutiAllocator:
+    def __init__(self):
+        self._counter = 0
+
+    def allocate(self, imsi):
+        self._counter += 1
+        digest = hashlib.sha256(
+            f"{imsi}:{self._counter}".encode()).digest()
+        return int.from_bytes(digest[:4], "big")
+'''
+        path = tmp_path / "bad_allocator.py"
+        path.write_text(source)
+        spec = importlib.util.spec_from_file_location(
+            "bad_allocator", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules["bad_allocator"] = module
+        try:
+            spec.loader.exec_module(module)
+            findings = allocator_findings(module)
+        finally:
+            del sys.modules["bad_allocator"]
+        assert [f.rule for f in findings] == ["PCL044"]
+        assert "allocator-secret" in findings[0].message
+
+    def test_guti_unlinkable_across_allocators_without_secret(self):
+        # Behavioural side of the contract: two allocators with
+        # different seeds map the same IMSI to different M-TMSIs, so
+        # observing one allocator's output does not let an attacker
+        # confirm identity guesses against another.
+        from repro.lte.identifiers import GutiAllocator, Imsi
+        imsi = Imsi("001", "01", "000000001")
+        a, b = GutiAllocator(seed=0), GutiAllocator(seed=1)
+        assert a.allocate(imsi).m_tmsi != b.allocate(imsi).m_tmsi
+
+    def test_allocation_still_deterministic(self):
+        from repro.lte.identifiers import GutiAllocator, Imsi
+        imsi = Imsi("001", "01", "000000001")
+        assert (GutiAllocator(seed=7).allocate(imsi)
+                == GutiAllocator(seed=7).allocate(imsi))
+
+
+class TestCrossExamination:
+    def test_seed_tree_has_no_blind_spots(self):
+        for impl in ("reference", "srsue", "oai"):
+            findings, model = _findings(impl)
+            blind = cross_examine(impl, findings, model.deviant_flags)
+            assert blind == [], [f.format() for f in blind]
+
+    def test_static_only_disagreement_flagged(self):
+        # Static finds the I5 flow, but the dynamic matrix claims I5
+        # is undetected on this implementation → instrumentation gap.
+        findings, model = _findings("oai")
+        expected = {"I5": {"oai": False}}
+        blind = cross_examine("oai", findings, model.deviant_flags,
+                              expected=expected)
+        assert [f.rule for f in blind] == ["PCL045"]
+        assert blind[0].details["direction"] == "static-only"
+        assert blind[0].details["flag"] == "respond_identity_always"
+
+    def test_dynamic_only_disagreement_flagged(self):
+        # Dynamic detects I5 on oai but static found nothing → the
+        # taint catalogs have a gap.
+        blind = cross_examine("oai", [], ("respond_identity_always",),
+                              expected={"I5": {"oai": True}})
+        assert [f.rule for f in blind] == ["PCL045"]
+        assert blind[0].details["direction"] == "dynamic-only"
+
+    def test_agreement_is_silent(self):
+        findings, model = _findings("srsue")
+        blind = cross_examine("srsue", findings, model.deviant_flags,
+                              expected=NEW_ATTACKS)
+        assert blind == []
+
+
+class TestExternalPersonaAudit:
+    def test_leaky_persona_flagged_before_it_runs(self):
+        findings = lint_external_module("tests.lint.leaky_impl")
+        assert "PCL042" in {f.rule for f in findings}
+        leak = next(f for f in findings if f.rule == "PCL042")
+        assert "imsi" in leak.message
+        assert leak.severity.gates()
+
+    def test_unknown_module_rejected(self):
+        import pytest
+
+        from repro.lint import LintError
+        with pytest.raises(LintError):
+            lint_external_module("tests.lint.does_not_exist")
+
+    def test_module_without_ue_subclass_rejected(self):
+        import pytest
+
+        from repro.lint import LintError
+        with pytest.raises(LintError):
+            lint_external_module("tests.lint.test_findings")
+
+
+class TestRunnerIntegration:
+    def test_taint_family_reported(self):
+        report = run_lint(run_xcheck=False)
+        assert "taint" in report.families
+        rules = {f.rule for f in report.findings}
+        assert "PCL043" in rules
+
+    def test_taint_family_skippable(self):
+        report = run_lint(run_xcheck=False, run_taint=False)
+        assert "taint" not in report.families
+        assert not any(f.rule.startswith("PCL04")
+                       for f in report.findings)
+
+    def test_seed_tree_gates_only_on_known_baseline(self):
+        from repro.lint import default_baseline_path
+        report = run_lint(run_xcheck=False,
+                          baseline_path=default_baseline_path())
+        taint_gating = [f for f in report.gating
+                        if f.rule.startswith("PCL04")]
+        assert taint_gating == [], [f.format() for f in taint_gating]
