@@ -19,8 +19,8 @@ import time
 import pytest
 
 from repro.core import AnalysisConfig, extraction_cache
-from repro.serve import AnalysisService, JobStatus
-from repro.store import ResultStore
+from repro.serve import AnalysisService, JobJournal, JobStatus
+from repro.store import ResultStore, job_digest
 
 #: Distinct (implementation, property-slice) jobs: small enough to keep
 #: the benchmark minutes-scale, varied enough to exercise the queue.
@@ -122,3 +122,72 @@ def test_serve_throughput(tmp_path, benchmark):
         print(f"  {entry['workers']} worker(s): "
               f"cold {entry['cold_jobs_per_minute']}, "
               f"store-hit {entry['store_hit_jobs_per_minute']}")
+
+
+def test_journal_replay_recovery(tmp_path, benchmark):
+    """Crash-recovery cost: replaying journaled submissions over a warm
+    store must resolve every job as an O(1) hit at ``start()`` time —
+    replay wall time is store-read-bound, never pipeline-bound."""
+    extraction_cache.clear()
+    store = ResultStore(tmp_path / "replay-store")
+    warm = AnalysisService(store, workers=2, default_engine_jobs=1)
+    warm.start()
+    try:
+        cold, cold_seconds = _run_batch(warm)
+        assert all(r.status is JobStatus.DONE for r in cold)
+    finally:
+        warm.stop()
+
+    # Hand-journal the identical batch as crash-pending submissions —
+    # submits with no finish, exactly what a SIGKILL mid-queue leaves.
+    journal = JobJournal(tmp_path / "replay-journal")
+    pending = []
+    for index, (implementation, property_ids) in enumerate(JOB_CONFIGS):
+        config = AnalysisConfig(implementation,
+                                property_ids=property_ids, jobs=1)
+        job_id = f"j{index + 1:06d}"
+        journal.append("submit", job_id, digest=job_digest(config),
+                       kind="analysis", implementation=implementation,
+                       payload=config.to_dict(), deadline_seconds=None,
+                       submitted_at=time.time())
+        pending.append(job_id)
+
+    point = {}
+
+    def recover():
+        revived = AnalysisService(store, workers=2,
+                                  default_engine_jobs=1, journal=journal)
+        start = time.perf_counter()
+        revived.start()
+        replay_seconds = time.perf_counter() - start
+        try:
+            records = [revived.job(job_id) for job_id in pending]
+            assert all(r.status is JobStatus.DONE for r in records)
+            assert all(r.store_hit for r in records), records
+            assert all(r.counters == {} for r in records), records
+        finally:
+            revived.stop()
+        point["replay_seconds"] = round(replay_seconds, 4)
+
+    benchmark.pedantic(recover, rounds=1, iterations=1)
+
+    point.update({
+        "pending_jobs": len(pending),
+        "cold_batch_seconds": round(cold_seconds, 3),
+        "replayed_hits_per_minute": _jobs_per_minute(
+            len(pending), point["replay_seconds"]),
+    })
+    assert point["replay_seconds"] < cold_seconds, point
+
+    try:
+        with open("BENCH_serve_throughput.json") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        payload = {"benchmark": "serve_throughput"}
+    payload["journal_replay"] = point
+    with open("BENCH_serve_throughput.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\njournal replay: {len(pending)} pending jobs recovered as "
+          f"store hits in {point['replay_seconds']}s "
+          f"(cold batch took {point['cold_batch_seconds']}s)")

@@ -44,8 +44,10 @@ from .mc import (CheckRequest, CheckResult, McCacheError, McVerdictCache,
 from .obs.stats import PipelineStats
 from .properties import ALL_PROPERTIES, property_by_id
 from .schema import SCHEMA_VERSION, SchemaVersionError
-from .serve import (AnalysisService, JobRecord, JobStatus, ServeClient,
-                    ServeClientError, ServiceError, create_server)
+from .serve import (AnalysisService, JobJournal, JobRecord, JobStatus,
+                    JournalError, QueueFullError, ServeClient,
+                    ServeClientError, ServiceDrainingError, ServiceError,
+                    Watchdog, create_server)
 from .store import (ResultStore, StoreError, implementation_fingerprint,
                     job_digest, job_key)
 
@@ -65,9 +67,10 @@ __all__ = [
     # content-addressed result store
     "ResultStore", "StoreError", "implementation_fingerprint",
     "job_digest", "job_key",
-    # service mode
-    "AnalysisService", "JobRecord", "JobStatus", "ServeClient",
-    "ServeClientError", "ServiceError", "create_server",
+    # service mode (+ resilience layer: journal, watchdog, backpressure)
+    "AnalysisService", "JobJournal", "JobRecord", "JobStatus",
+    "JournalError", "QueueFullError", "ServeClient", "ServeClientError",
+    "ServiceDrainingError", "ServiceError", "Watchdog", "create_server",
     # coverage-guided fuzzing
     "Deviation", "FuzzConfig", "FuzzConfigError", "FuzzError",
     "FuzzResult", "Fuzzer", "campaign_digest", "run_campaign",

@@ -490,29 +490,85 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Long-running service mode: HTTP /v1 API + worker fleet + store."""
-    from .serve import AnalysisService, create_server
+    import signal
+    import threading
+
+    from .serve import AnalysisService, JobJournal, create_server
     from .store import ResultStore
 
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.max_queue is not None and args.max_queue < 1:
+        print("--max-queue must be >= 1", file=sys.stderr)
+        return 2
+    if args.deadline is not None and args.deadline <= 0:
+        print("--deadline must be > 0", file=sys.stderr)
+        return 2
+    plan = None
+    if args.inject_fault:
+        try:
+            plan = faults.FaultPlan.parse(args.inject_fault)
+        except faults.FaultSpecError as exc:
+            print(f"bad --inject-fault: {exc}", file=sys.stderr)
+            return 2
+        # Serve workers are threads in this process, so the plan is
+        # installed here rather than shipped through a job config
+        # (fault-plan submissions are rejected by the service).
+        faults.install(plan)
+        print(f"fault plan installed: {plan.describe()}", file=sys.stderr)
     store = ResultStore(args.store_dir)
+    journal = JobJournal(args.journal) if args.journal else None
     service = AnalysisService(store, workers=args.workers,
-                              default_engine_jobs=args.jobs)
-    service.start()
+                              default_engine_jobs=args.jobs,
+                              journal=journal,
+                              max_queue=args.max_queue,
+                              default_deadline_seconds=args.deadline)
+    try:
+        service.start()
+    finally:
+        if plan is not None and not service.started:
+            faults.clear()
     server = create_server(args.host, args.port, service,
                            quiet=not args.verbose)
+    durability = (f", journal at {journal.root}" if journal else "")
     print(f"repro serve: listening on http://{args.host}:{server.port} "
-          f"({args.workers} worker(s), store at {store.root})",
+          f"({args.workers} worker(s), store at {store.root}"
+          f"{durability})",
           file=sys.stderr)
+
+    # Graceful lifecycle: SIGTERM/SIGINT flips the event; the main
+    # thread then drains (finish in-flight, leave the rest journaled)
+    # before tearing the server down.
+    shutdown = threading.Event()
+
+    def _request_shutdown(signum, frame):
+        shutdown.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _request_shutdown)
+    server_thread = threading.Thread(target=server.serve_forever,
+                                     name="serve-http", daemon=True)
+    server_thread.start()
     try:
-        server.serve_forever()
+        while not shutdown.wait(0.2):
+            pass
     except KeyboardInterrupt:
-        print("repro serve: shutting down", file=sys.stderr)
-    finally:
-        server.shutdown()
-        server.server_close()
-        service.stop()
+        # A raw Ctrl-C that beat the installed SIGINT handler is still
+        # a shutdown request: fall through to the drain below.
+        obs.count("serve.keyboard_interrupts")
+    print("repro serve: draining (in-flight jobs finish; queued jobs "
+          "stay journaled for the next start)", file=sys.stderr)
+    idle = service.drain(wait=True, timeout=args.drain_grace)
+    if not idle:
+        print(f"repro serve: drain grace ({args.drain_grace:.0f}s) "
+              f"expired with jobs still running", file=sys.stderr)
+    server.shutdown()
+    server.server_close()
+    service.stop()
+    if plan is not None:
+        faults.clear()
+    print("repro serve: stopped", file=sys.stderr)
     return 0
 
 
@@ -701,6 +757,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store-dir", metavar="DIR", default=".repro-store",
                        help="content-addressed result store directory "
                             "(default .repro-store)")
+    serve.add_argument("--journal", metavar="DIR", default=None,
+                       help="write-ahead job journal directory; a "
+                            "restarted serve replays every unfinished "
+                            "job from it (default: no journal, jobs "
+                            "are lost on restart)")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="admission control: reject submissions with "
+                            "HTTP 429 + Retry-After once N jobs are "
+                            "queued (default: unbounded)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job wall-clock deadline; the "
+                            "watchdog marks over-deadline jobs TIMEOUT "
+                            "and respawns their workers (jobs may carry "
+                            "their own deadline_seconds)")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM/SIGINT, wait this long for "
+                            "in-flight jobs before stopping "
+                            "(default 30)")
+    serve.add_argument("--inject-fault", action="append", default=[],
+                       metavar="SITE[@KEY]:KIND[:NTH[:SCOPE]]",
+                       help="debug: install a deterministic fault in "
+                            "the service process, e.g. "
+                            "journal.append@start:raise:1:all "
+                            "(repeatable)")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
     serve.set_defaults(handler=_cmd_serve)

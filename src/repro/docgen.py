@@ -19,6 +19,22 @@ from typing import List, Optional
 from .cli import EXIT_CODE_MEANINGS, build_parser
 
 
+def _describe_argument(action: argparse.Action) -> str:
+    """One bullet for one argparse action (flag or positional)."""
+    if action.option_strings:
+        name = ", ".join(f"`{opt}`" for opt in action.option_strings)
+        if action.nargs != 0:
+            metavar = action.metavar or action.dest.upper()
+            name += f" `{metavar}`"
+    else:
+        name = f"`{action.metavar or action.dest}`"
+        if action.choices:
+            name += " (" + " | ".join(f"`{c}`"
+                                      for c in action.choices) + ")"
+    help_text = " ".join((action.help or "").split())
+    return f"- {name} — {help_text}" if help_text else f"- {name}"
+
+
 def render() -> str:
     """The full markdown document as a string."""
     lines: List[str] = [
@@ -42,6 +58,14 @@ def render() -> str:
                           if a.dest == name), "")
         lines.append(f"- `repro {name}` — {help_text};")
     lines[-1] = lines[-1].rstrip(";") + "."
+    for name, sub in subparsers.choices.items():
+        help_text = next((a.help for a in subparsers._choices_actions
+                          if a.dest == name), "")
+        lines += ["", f"### `repro {name}`", "", f"{help_text}.", ""]
+        for action in sub._actions:
+            if isinstance(action, argparse._HelpAction):
+                continue
+            lines.append(_describe_argument(action))
     lines += [
         "",
         "## Exit codes",

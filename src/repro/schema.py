@@ -27,7 +27,12 @@ from typing import Dict, Optional, Tuple
 #: 1.1 (additive): fuzz-campaign payloads (``FuzzConfig``/``FuzzResult``
 #: summaries, ``Deviation`` artifacts) and the ``kind``/``result``
 #: fields on serve job records.
-SCHEMA_VERSION = "1.1"
+#: 1.2 (additive): service resilience — the ``timeout`` job status and
+#: ``deadline_seconds`` on job records, journal entries
+#: (:mod:`repro.serve.journal`), and the ``live``/``ready``/
+#: ``draining``/``queue_full``/``leaked_threads``/``journal`` fields
+#: in the ``/v1/health`` body.
+SCHEMA_VERSION = "1.2"
 
 #: The field name carrying the version in every payload.
 SCHEMA_KEY = "schema_version"

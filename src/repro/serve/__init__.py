@@ -13,17 +13,37 @@ the one-shot pipeline into idempotent, addressable, concurrent jobs:
 Two job kinds share the queue: content-addressed analyses (store
 short-circuit applies) and store-exempt ``fuzz`` campaigns
 (:mod:`repro.fuzz`) whose summaries ride inline on the job record.
+
+The resilience layer (PR 10) makes the service durable and
+self-healing:
+
+- :class:`JobJournal` — a write-ahead JSONL journal
+  (``repro serve --journal DIR``); a restarted service replays every
+  unfinished job deterministically;
+- :class:`Watchdog` — per-job deadlines (``TIMEOUT`` status) and
+  worker-fleet supervision (dead/hung workers are respawned);
+- drain lifecycle (SIGTERM/SIGINT → finish in-flight, journal the
+  rest) with a liveness/readiness health split;
+- bounded-queue backpressure (``--max-queue`` → HTTP 429 +
+  ``Retry-After``) and idempotency-aware client retries.
 """
 
-from .client import ServeClient, ServeClientError
+from .client import (RETRY_CONNECT, RETRY_IDEMPOTENT, RETRY_NONE,
+                     TERMINAL_JOB_STATUSES, ServeClient, ServeClientError)
 from .http import ServiceHandler, ServiceHTTPServer, create_server
-from .jobs import (KIND_ANALYSIS, KIND_FUZZ, JobRecord, JobRegistry,
-                   JobStatus)
-from .service import AnalysisService, ServiceError
+from .jobs import (KIND_ANALYSIS, KIND_FUZZ, TERMINAL_STATUSES, JobRecord,
+                   JobRegistry, JobStatus)
+from .journal import JobJournal, JournalError, JournalReplay
+from .service import (AnalysisService, QueueFullError, ServiceDrainingError,
+                      ServiceError)
+from .watchdog import Watchdog
 
 __all__ = [
-    "AnalysisService", "JobRecord", "JobRegistry", "JobStatus",
-    "KIND_ANALYSIS", "KIND_FUZZ", "ServeClient", "ServeClientError",
-    "ServiceError", "ServiceHandler", "ServiceHTTPServer",
-    "create_server",
+    "AnalysisService", "JobJournal", "JobRecord", "JobRegistry",
+    "JobStatus", "JournalError", "JournalReplay", "KIND_ANALYSIS",
+    "KIND_FUZZ", "QueueFullError", "RETRY_CONNECT", "RETRY_IDEMPOTENT",
+    "RETRY_NONE", "ServeClient", "ServeClientError",
+    "ServiceDrainingError", "ServiceError", "ServiceHandler",
+    "ServiceHTTPServer", "TERMINAL_JOB_STATUSES", "TERMINAL_STATUSES",
+    "Watchdog", "create_server",
 ]

@@ -1,32 +1,87 @@
-"""A minimal stdlib client for the ``/v1`` API (tests, benches, scripts)."""
+"""A minimal stdlib client for the ``/v1`` API (tests, benches, scripts).
+
+Retry discipline — the part worth reading twice:
+
+- **analysis submits are idempotent-by-digest**: the service content-
+  addresses every analysis job, so re-sending the same payload can at
+  worst produce a store hit.  They retry (jittered exponential
+  backoff) on connection errors, on ``429`` backpressure (honouring
+  ``Retry-After``) and on ``5xx``.
+- **fuzz submits are NOT idempotent**: every accepted submission
+  starts a fresh campaign.  They retry only on *connection* errors —
+  where the request provably never reached the service — and never on
+  an HTTP status, which proves the request was read.
+- ``GET``\\ s are safe and retry like analysis submits.
+- :meth:`ServeClient.wait` polls with *capped exponential backoff*
+  (not a fixed interval), treats transient poll failures (connection,
+  ``429``, ``5xx``) as retryable within the wait budget, and honours
+  ``Retry-After``.
+
+The sleep, the clock and the jitter RNG are injectable so every
+schedule is unit-testable without wall-clock time.
+"""
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from ..core.engine import AnalysisConfig
 
 ConfigLike = Union[AnalysisConfig, Dict]
 
+#: Retry policies (see module docstring).
+RETRY_IDEMPOTENT = "idempotent"
+RETRY_CONNECT = "connect"
+RETRY_NONE = "none"
+
+#: Job statuses :meth:`ServeClient.wait` treats as final.
+TERMINAL_JOB_STATUSES = ("done", "failed", "timeout")
+
 
 class ServeClientError(Exception):
-    """Transport failure, HTTP error body, or a wait that ran out."""
+    """Transport failure, HTTP error body, or a wait that ran out.
+
+    ``status`` is the HTTP status code (``None`` for connection
+    failures and exhausted waits); ``retry_after`` is the parsed
+    ``Retry-After`` header when the server sent one.
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
 
 
 class ServeClient:
     """Talk to one ``repro serve`` instance over HTTP."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 3, backoff_seconds: float = 0.1,
+                 backoff_cap_seconds: float = 2.0,
+                 jitter_seed: Optional[int] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
+        self._rng = random.Random(jitter_seed)
+        self._sleep = sleep
+        self._clock = clock
 
+    # ------------------------------------------------------------------
+    # Transport
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
                  payload: Optional[Dict] = None) -> Dict:
+        """One attempt, no retries; raises :class:`ServeClientError`."""
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -46,35 +101,87 @@ class ServeClient:
             except ValueError:
                 detail = exc.reason
             raise ServeClientError(
-                f"{method} {path} -> {exc.code}: {detail}") from exc
+                f"{method} {path} -> {exc.code}: {detail}",
+                status=exc.code,
+                retry_after=_parse_retry_after(exc.headers),
+            ) from exc
         except urllib.error.URLError as exc:
             raise ServeClientError(
                 f"{method} {path} unreachable: {exc.reason}") from exc
 
+    def _call(self, method: str, path: str,
+              payload: Optional[Dict] = None,
+              retry: str = RETRY_IDEMPOTENT) -> Dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request(method, path, payload)
+            except ServeClientError as exc:
+                if attempt >= self.retries \
+                        or not _retryable(exc, retry):
+                    raise
+                delay = (exc.retry_after if exc.retry_after is not None
+                         else self._backoff(attempt))
+                self._sleep(delay)
+                attempt += 1
+
+    def _backoff(self, attempt: int) -> float:
+        """Jittered exponential backoff: ``base * 2^attempt`` capped,
+        scaled by a jitter factor in ``[0.5, 1.0)`` so a fleet of
+        rejected clients does not retry in lock-step."""
+        delay = min(self.backoff_cap_seconds,
+                    self.backoff_seconds * (2 ** attempt))
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    # ------------------------------------------------------------------
+    # API surface
     # ------------------------------------------------------------------
     def health(self) -> Dict:
-        return self._request("GET", "/v1/health")
+        return self._call("GET", "/v1/health")
+
+    def ready(self) -> bool:
+        """Readiness probe: whether the service accepts submissions."""
+        try:
+            body = self._call("GET", "/v1/health/ready",
+                              retry=RETRY_NONE)
+        except ServeClientError as exc:
+            if exc.status == 503:
+                return False
+            raise
+        return bool(body.get("ready"))
 
     def submit(self, config: ConfigLike) -> Dict:
-        """Submit a job; returns the job record (may already be done)."""
+        """Submit a job; returns the job record (may already be done).
+
+        Analysis submission is idempotent-by-digest, so this retries
+        on connection errors, 429 backpressure and 5xx.
+        """
         payload = (config.to_dict()
                    if isinstance(config, AnalysisConfig) else dict(config))
-        return self._request("POST", "/v1/jobs", payload)
+        return self._call("POST", "/v1/jobs", payload,
+                          retry=RETRY_IDEMPOTENT)
 
     def submit_fuzz(self, implementation: str, seed: int = 0,
                     budget_execs: int = 400, **extra) -> Dict:
-        """Submit a fuzz campaign (``extra`` maps onto ``FuzzConfig``)."""
+        """Submit a fuzz campaign (``extra`` maps onto ``FuzzConfig``).
+
+        NOT idempotent — retried only on connection errors, never on
+        an HTTP status (429/5xx prove the service read the request,
+        and a blind re-send could start a duplicate campaign).
+        """
         payload = {"type": "fuzz", "implementation": implementation,
                    "seed": seed, "budget_execs": budget_execs}
         payload.update(extra)
-        return self._request("POST", "/v1/jobs", payload)
+        return self._call("POST", "/v1/jobs", payload,
+                          retry=RETRY_CONNECT)
 
     def fuzz_result(self, job_id: str, timeout: float = 120.0) -> Dict:
         """Wait for a fuzz job and return its campaign summary."""
         record = self.wait(job_id, timeout)
         if record["status"] != "done":
             raise ServeClientError(
-                f"fuzz job {job_id} failed: {record.get('error', '')}")
+                f"fuzz job {job_id} {record['status']}: "
+                f"{record.get('error', '')}")
         result = record.get("result")
         if not result:
             raise ServeClientError(
@@ -83,7 +190,7 @@ class ServeClient:
         return result
 
     def job(self, job_id: str) -> Dict:
-        return self._request("GET", f"/v1/jobs/{job_id}")
+        return self._call("GET", f"/v1/jobs/{job_id}")
 
     def jobs(self, status: Optional[str] = None,
              implementation: Optional[str] = None) -> List[Dict]:
@@ -93,34 +200,77 @@ class ServeClient:
         if implementation is not None:
             query.append(f"implementation={implementation}")
         suffix = ("?" + "&".join(query)) if query else ""
-        return self._request("GET", "/v1/jobs" + suffix)["jobs"]
+        return self._call("GET", "/v1/jobs" + suffix)["jobs"]
 
     def report(self, digest: str) -> Dict:
-        return self._request("GET", f"/v1/reports/{digest}")["report"]
+        return self._call("GET", f"/v1/reports/{digest}")["report"]
 
     def wait(self, job_id: str, timeout: float = 120.0,
-             poll_seconds: float = 0.05) -> Dict:
-        """Poll until the job leaves the queue/running states.
+             poll_seconds: float = 0.05,
+             poll_cap_seconds: float = 1.0) -> Dict:
+        """Poll until the job reaches a terminal status.
+
+        The poll interval starts at ``poll_seconds`` and doubles up to
+        ``poll_cap_seconds`` (capped exponential backoff — a long job
+        is not hammered at the initial rate).  A ``429`` poll response
+        honours its ``Retry-After``; connection errors and ``5xx``
+        within the wait budget are retried on the same schedule.
 
         Returns the final job record (check ``status`` — a ``failed``
-        job is returned, not raised); raises :class:`ServeClientError`
-        if the job is still pending when ``timeout`` expires.
+        or ``timeout`` job is returned, not raised); raises
+        :class:`ServeClientError` if the job is still pending when
+        ``timeout`` expires.
         """
-        deadline = time.monotonic() + timeout
+        deadline = self._clock() + timeout
+        delay = max(0.0, poll_seconds)
+        last_status = "unknown"
         while True:
-            record = self.job(job_id)
-            if record["status"] in ("done", "failed"):
-                return record
-            if time.monotonic() >= deadline:
+            pause = delay
+            try:
+                record = self._request("GET", f"/v1/jobs/{job_id}")
+            except ServeClientError as exc:
+                if not _retryable(exc, RETRY_IDEMPOTENT):
+                    raise
+                if exc.retry_after is not None:
+                    pause = exc.retry_after
+            else:
+                last_status = record.get("status", "unknown")
+                if last_status in TERMINAL_JOB_STATUSES:
+                    return record
+            if self._clock() >= deadline:
                 raise ServeClientError(
-                    f"job {job_id} still {record['status']} after "
+                    f"job {job_id} still {last_status} after "
                     f"{timeout:.1f}s")
-            time.sleep(poll_seconds)
+            self._sleep(pause)
+            delay = min(poll_cap_seconds, max(delay, poll_seconds) * 2)
 
     def result(self, job_id: str, timeout: float = 120.0) -> Dict:
         """Wait for a job and return its stored report payload."""
         record = self.wait(job_id, timeout)
         if record["status"] != "done":
             raise ServeClientError(
-                f"job {job_id} failed: {record.get('error', '')}")
+                f"job {job_id} {record['status']}: "
+                f"{record.get('error', '')}")
         return self.report(record["digest"])
+
+
+def _retryable(exc: ServeClientError, policy: str) -> bool:
+    if policy == RETRY_NONE:
+        return False
+    if exc.status is None:
+        # Connection-level failure: the request never got an answer;
+        # safe to retry under every policy.
+        return True
+    if policy == RETRY_CONNECT:
+        return False
+    return exc.status == 429 or 500 <= exc.status < 600
+
+
+def _parse_retry_after(headers) -> Optional[float]:
+    value = headers.get("Retry-After") if headers is not None else None
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except (TypeError, ValueError):
+        return None

@@ -11,12 +11,22 @@ object (the contract is documented in ``docs/api.md``):
 - ``GET /v1/jobs/{id}`` — one job record + live progress (a finished
   fuzz job carries its campaign summary under ``result``);
 - ``GET /v1/reports/{digest}`` — a stored analysis report;
-- ``GET /v1/health`` — worker/queue/store health.
+- ``GET /v1/health`` — *liveness*: always ``200`` while the process
+  answers; the body carries ``ready``/``draining`` and the
+  worker/queue/store/journal health block;
+- ``GET /v1/health/ready`` — *readiness*: ``200`` only when the
+  service accepts submissions, ``503`` while draining or stopped
+  (orchestrators route traffic on this split: a draining instance is
+  alive but must receive no new work).
 
 Errors are JSON too: ``{"error": ..., "schema_version": ...}`` with
 ``400`` for malformed payloads (bad JSON, unknown wire major, unknown
 implementation, uncacheable config), ``404`` for unknown routes, ids
-and digests, and ``405`` for unsupported methods.
+and digests, ``405`` for unsupported methods, ``429`` +
+``Retry-After`` when admission control rejects a submission over the
+``--max-queue`` bound, ``503`` + ``Retry-After`` while draining, and
+``500`` for anything unexpected (the handler never lets an exception
+escape to a hung connection).
 """
 
 from __future__ import annotations
@@ -31,7 +41,8 @@ from ..core.engine import EngineError
 from ..fuzz import FuzzConfigError
 from ..store import StoreError
 from .jobs import JobStatus
-from .service import AnalysisService, ServiceError
+from .service import (AnalysisService, QueueFullError, ServiceDrainingError,
+                      ServiceError)
 
 #: Largest accepted request body (a config payload is tiny; anything
 #: bigger is a client error or abuse).
@@ -65,17 +76,21 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if not self.server.quiet:            # pragma: no cover - verbose
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: Dict) -> None:
+    def _send_json(self, status: int, payload: Dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(schema.stamp(dict(payload)), sort_keys=True,
                           default=str).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error(self, status: int, message: str,
+                    headers: Optional[Dict[str, str]] = None) -> None:
+        self._send_json(status, {"error": message}, headers=headers)
 
     def _read_body(self) -> Optional[Dict]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -93,6 +108,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return None
         return payload
 
+    @staticmethod
+    def _retry_after(seconds: float) -> Dict[str, str]:
+        # Retry-After is delta-seconds; round up so 0.3s never becomes
+        # an immediate (0s) retry storm.
+        return {"Retry-After": str(max(1, int(-(-seconds // 1))))}
+
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
@@ -106,9 +127,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         try:
             record = self.server.service.submit(payload)
+        except QueueFullError as exc:
+            self._send_error(
+                429, str(exc),
+                headers=self._retry_after(exc.retry_after_seconds))
+            return
+        except ServiceDrainingError as exc:
+            self._send_error(
+                503, str(exc),
+                headers=self._retry_after(exc.retry_after_seconds))
+            return
         except (schema.SchemaVersionError, EngineError, StoreError,
                 ServiceError, FuzzConfigError, ValueError) as exc:
             self._send_error(400, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - answer, don't hang up
+            self._send_error(500, f"internal error: {exc}")
             return
         # A submit-time store hit is already complete: 200.  A queued
         # job is accepted-but-pending: 202, poll /v1/jobs/{id}.
@@ -119,7 +153,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
         if parts == ["v1", "health"]:
+            # Liveness: a process that can build this body is alive.
             self._send_json(200, self.server.service.stats())
+        elif parts == ["v1", "health", "ready"]:
+            self._get_readiness()
         elif parts == ["v1", "jobs"]:
             self._list_jobs(parse_qs(parsed.query))
         elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
@@ -128,6 +165,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._get_report(parts[2])
         else:
             self._send_error(404, f"no such route: GET {parsed.path}")
+
+    def _get_readiness(self) -> None:
+        service = self.server.service
+        body = {"live": True, "ready": service.ready,
+                "draining": service.draining}
+        if service.ready:
+            self._send_json(200, body)
+        else:
+            self._send_json(503, body, headers=self._retry_after(5.0))
 
     def _list_jobs(self, query: Dict) -> None:
         status = None

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-import itertools
 import threading
 import time
 from dataclasses import dataclass, field
@@ -15,16 +14,25 @@ from .. import schema
 class JobStatus(str, enum.Enum):
     """Lifecycle of one submitted job.
 
-    ``QUEUED → RUNNING → DONE | FAILED``; a store hit goes straight to
-    ``DONE`` at submission time (the O(1) path, analysis jobs only —
-    fuzz campaigns are store-exempt).
+    ``QUEUED → RUNNING → DONE | FAILED | TIMEOUT``; a store hit goes
+    straight to ``DONE`` at submission time (the O(1) path, analysis
+    jobs only — fuzz campaigns are store-exempt).  ``TIMEOUT`` is
+    assigned by the watchdog when a running job exceeds its deadline;
+    like ``DONE``/``FAILED`` it is terminal — a worker returning late
+    from a timed-out job must not overwrite it.
     """
 
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    TIMEOUT = "timeout"
 
+
+#: Statuses a job cannot leave (the watchdog and workers both check
+#: against this set under the record lock before finalising).
+TERMINAL_STATUSES = frozenset(
+    (JobStatus.DONE, JobStatus.FAILED, JobStatus.TIMEOUT))
 
 #: Job kinds the service dispatches on.
 KIND_ANALYSIS = "analysis"
@@ -51,6 +59,10 @@ class JobRecord:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: wall-clock budget once RUNNING; ``None`` → no deadline.  A
+    #: scheduling knob like ``jobs`` — deliberately excluded from the
+    #: store's job identity (it cannot change what a verdict *is*).
+    deadline_seconds: Optional[float] = None
     #: worker-thread name that executed the job ("" for submit-time hits)
     worker: str = ""
     #: per-job metrics-registry delta (engine.*/mc.*/fuzz.* counters);
@@ -61,6 +73,9 @@ class JobRecord:
     #: inline result summary for jobs whose output is not store-backed
     #: (fuzz campaigns file their ``FuzzResult.summary()`` here)
     result: Optional[Dict] = None
+    #: guards status finalisation (watchdog TIMEOUT vs worker finish)
+    lock: threading.Lock = field(default_factory=threading.Lock,
+                                 repr=False, compare=False)
 
     def elapsed_seconds(self, now: Optional[float] = None) -> float:
         if self.started_at is None:
@@ -84,6 +99,7 @@ class JobRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "elapsed_seconds": self.elapsed_seconds(),
+            "deadline_seconds": self.deadline_seconds,
             "worker": self.worker,
             "counters": dict(self.counters),
             "config": dict(self.payload),
@@ -98,11 +114,19 @@ class JobRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._jobs: Dict[str, JobRecord] = {}
-        self._ids = itertools.count(1)
+        self._next = 1
 
     def allocate_id(self) -> str:
         with self._lock:
-            return f"j{next(self._ids):06d}"
+            allocated = self._next
+            self._next += 1
+            return f"j{allocated:06d}"
+
+    def advance_past(self, job_number: int) -> None:
+        """Move the id counter beyond ``job_number`` (journal replay:
+        resurrected ids must never collide with fresh allocations)."""
+        with self._lock:
+            self._next = max(self._next, job_number + 1)
 
     def add(self, record: JobRecord) -> None:
         with self._lock:

@@ -18,7 +18,7 @@ def _small_report():
 class TestSchemaModule:
     def test_current_version_parses(self):
         major, minor = schema.parse_version(schema.SCHEMA_VERSION)
-        assert (major, minor) == (1, 1)
+        assert (major, minor) == (1, 2)
         assert schema.CURRENT_MAJOR == 1
 
     def test_stamp_sets_key(self):

@@ -1,0 +1,182 @@
+"""The write-ahead job journal: append, replay, rotation, quarantine."""
+
+import json
+
+import pytest
+
+from repro import faults, obs, schema
+from repro.serve import JobJournal, JobRecord, JobStatus, JournalError
+from repro.serve.journal import (EVENT_FINISH, EVENT_START, EVENT_SUBMIT,
+                                 _job_number)
+
+
+def _record(job_id="j000001", digest="d" * 64, status=JobStatus.QUEUED,
+            **extra):
+    record = JobRecord(job_id=job_id, digest=digest,
+                       implementation="srsue",
+                       payload={"implementation": "srsue"}, **extra)
+    record.status = status
+    return record
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    return JobJournal(tmp_path / "journal")
+
+
+class TestAppend:
+    def test_append_writes_stamped_jsonl(self, journal):
+        journal.append_submit(_record())
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["event"] == EVENT_SUBMIT
+        assert entry["job_id"] == "j000001"
+        assert entry[schema.SCHEMA_KEY] == schema.SCHEMA_VERSION
+        assert entry["payload"] == {"implementation": "srsue"}
+
+    def test_unknown_event_rejected(self, journal):
+        with pytest.raises(JournalError, match="unknown journal event"):
+            journal.append("restart", "j000001")
+        assert not journal.path.exists()
+
+    def test_append_fault_site_fires_before_the_write(self, journal):
+        faults.install(faults.FaultPlan.of(faults.FaultSpec(
+            site="journal.append", key=EVENT_SUBMIT, kind="raise",
+            nth=1, scope="all")))
+        try:
+            with pytest.raises(faults.InjectedFault):
+                journal.append_submit(_record())
+            # The fault models a failed disk: nothing may have landed.
+            assert not journal.path.exists()
+            # Other events keep working (the key scopes the fault).
+            journal.append_start(_record(status=JobStatus.RUNNING))
+        finally:
+            faults.clear()
+
+
+class TestReplay:
+    def test_missing_file_is_a_fresh_start(self, journal):
+        replay = journal.replay()
+        assert replay.pending == []
+        assert replay.max_job_number == 0
+        assert replay.truncated_bytes == 0
+
+    def test_submit_without_finish_is_pending(self, journal):
+        journal.append_submit(_record("j000001"))
+        journal.append_submit(_record("j000002"))
+        done = _record("j000001", status=JobStatus.DONE)
+        journal.append_start(done)
+        journal.append_finish(done)
+        replay = journal.replay()
+        assert [e["job_id"] for e in replay.pending] == ["j000002"]
+        assert replay.finished == ["j000001"]
+        assert replay.max_job_number == 2
+        assert replay.entries_read == 4
+
+    def test_running_at_crash_is_still_pending(self, journal):
+        # A start with no finish: the process died mid-job.
+        record = _record("j000003", status=JobStatus.RUNNING)
+        journal.append_submit(record)
+        journal.append_start(record)
+        replay = journal.replay()
+        assert [e["job_id"] for e in replay.pending] == ["j000003"]
+
+    def test_all_terminal_statuses_close_a_job(self, journal):
+        for index, status in enumerate((JobStatus.DONE, JobStatus.FAILED,
+                                        JobStatus.TIMEOUT), start=1):
+            record = _record(f"j{index:06d}", status=status)
+            journal.append_submit(record)
+            journal.append_finish(record)
+        assert journal.replay().pending == []
+
+    def test_pending_preserves_submission_order(self, journal):
+        for index in (1, 2, 3):
+            journal.append_submit(_record(f"j{index:06d}"))
+        closed = _record("j000002", status=JobStatus.FAILED)
+        journal.append_finish(closed)
+        replay = journal.replay()
+        assert [e["job_id"] for e in replay.pending] == \
+            ["j000001", "j000003"]
+
+
+class TestCorruptedTail:
+    def test_half_written_tail_is_quarantined_and_truncated(self, journal):
+        journal.append_submit(_record("j000001"))
+        clean = journal.path.read_bytes()
+        # A SIGKILL mid-append leaves a torn line behind.
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"event": "fini')
+        before = obs.metrics().snapshot()
+        replay = journal.replay()
+        assert [e["job_id"] for e in replay.pending] == ["j000001"]
+        assert replay.truncated_bytes == len(b'{"event": "fini')
+        assert journal.path.read_bytes() == clean
+        tails = list((journal.root / JobJournal.QUARANTINE).iterdir())
+        assert len(tails) == 1
+        assert tails[0].read_bytes() == b'{"event": "fini'
+        delta = obs.diff_snapshots(before, obs.metrics().snapshot())
+        assert delta["counters"].get(
+            "serve.journal_truncated_tails") == 1
+        # The truncated journal replays cleanly a second time.
+        again = journal.replay()
+        assert again.truncated_bytes == 0
+        assert [e["job_id"] for e in again.pending] == ["j000001"]
+
+    def test_unknown_major_line_is_treated_as_corrupt(self, journal):
+        journal.append_submit(_record("j000001"))
+        with open(journal.path, "a") as handle:
+            handle.write(json.dumps({
+                "event": EVENT_FINISH, "job_id": "j000001",
+                "status": "done", schema.SCHEMA_KEY: "99.0"}) + "\n")
+        replay = journal.replay()
+        # The finish line was unreadable -> the job stays pending
+        # (conservative: better a redundant re-run than a lost job).
+        assert [e["job_id"] for e in replay.pending] == ["j000001"]
+        assert replay.truncated_bytes > 0
+
+    def test_non_object_line_is_corrupt(self, journal):
+        journal.append_submit(_record("j000001"))
+        with open(journal.path, "a") as handle:
+            handle.write('["not", "an", "object"]\n')
+        assert journal.replay().truncated_bytes > 0
+
+
+class TestRotation:
+    def test_rotate_compacts_to_pending_submits(self, journal):
+        journal.append_submit(_record("j000001"))
+        done = _record("j000001", status=JobStatus.DONE)
+        journal.append_start(done)
+        journal.append_finish(done)
+        journal.append_submit(_record("j000002"))
+        replay = journal.replay()
+        journal.rotate(list(replay.pending))
+        lines = [json.loads(line)
+                 for line in journal.path.read_text().splitlines()]
+        assert [(e["event"], e["job_id"]) for e in lines] == \
+            [(EVENT_SUBMIT, "j000002")]
+        # Rotation is itself journaled state: a fresh replay agrees.
+        assert [e["job_id"] for e in journal.replay().pending] == \
+            ["j000002"]
+
+    def test_rotate_rejects_non_submit_entries(self, journal):
+        with pytest.raises(JournalError, match="submit entries only"):
+            journal.rotate([{"event": EVENT_START, "job_id": "j000001"}])
+
+    def test_rotate_to_empty(self, journal):
+        journal.append_submit(_record("j000001"))
+        journal.rotate([])
+        assert journal.path.read_bytes() == b""
+
+
+class TestStats:
+    def test_stats_shape(self, journal):
+        stats = journal.stats()
+        assert stats["bytes"] == 0
+        assert stats["quarantined_tails"] == 0
+        journal.append_submit(_record())
+        assert journal.stats()["bytes"] > 0
+
+    def test_job_number_parsing(self):
+        assert _job_number("j000042") == 42
+        assert _job_number("weird-id") == 0

@@ -39,7 +39,8 @@ def _wait(service, job_id, timeout=60.0):
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
         record = service.job(job_id)
-        if record.status in (JobStatus.DONE, JobStatus.FAILED):
+        if record.status in (JobStatus.DONE, JobStatus.FAILED,
+                             JobStatus.TIMEOUT):
             return record
         time.sleep(0.02)
     raise AssertionError(f"job {job_id} did not finish")
@@ -111,6 +112,9 @@ class TestAnalysisService:
         stats = service.stats()
         assert stats["workers"] == 2
         assert "store" in stats and "jobs" in stats
+        assert stats["live"] is True and stats["ready"] is True
+        assert stats["draining"] is False
+        assert stats["journal"] is None  # no --journal configured
 
 
 class TestHTTPApi:

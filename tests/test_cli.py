@@ -26,6 +26,25 @@ class TestParser:
         assert args.workers == 2
         assert args.jobs == 1
         assert args.store_dir == ".repro-store"
+        assert args.journal is None
+        assert args.max_queue is None
+        assert args.deadline is None
+        assert args.drain_grace == 30.0
+
+    def test_serve_rejects_bad_resilience_flags(self, capsys):
+        # Each of these must fail validation (exit 2) before the
+        # blocking serve loop ever starts.
+        assert main(["serve", "--max-queue", "0"]) == 2
+        assert "--max-queue" in capsys.readouterr().err
+        assert main(["serve", "--deadline", "0"]) == 2
+        assert "--deadline" in capsys.readouterr().err
+        assert main(["serve", "--inject-fault", "nonsense"]) == 2
+        assert "--inject-fault" in capsys.readouterr().err
+
+    def test_serve_bad_fault_spec_leaves_no_plan_installed(self):
+        from repro import faults
+        assert main(["serve", "--inject-fault", ":::"]) == 2
+        assert faults.installed() is None
 
     def test_bad_implementation_rejected(self):
         with pytest.raises(SystemExit):
